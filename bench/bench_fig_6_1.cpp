@@ -1,0 +1,61 @@
+// Figure 6-1: Speedups without chunking, single task queue, 1-13 match
+// processes.
+//
+// Paper: maximum speedup about 4.2-fold; the curves saturate around 8-9
+// processes and *decrease* beyond (failed pops hammering the single queue
+// lock). Uniprocessor times: Eight-puzzle 37.7 s, Strips 43.7 s,
+// Cypress 172.7 s.
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-1",
+               "Speedups without chunking, single task queue");
+  const auto tasks = collect_all();
+
+  std::printf("Uniprocessor virtual times (paper: 8p 37.7s, strips 43.7s, "
+              "cypress 172.7s):\n");
+  SimOptions opts;
+  opts.policy = QueuePolicy::Single;
+  for (const auto& d : tasks) {
+    std::printf("  %-12s %.1f s  (%llu tasks)\n", d.name.c_str(),
+                uniproc_seconds(d.nolearn.stats.traces, opts),
+                static_cast<unsigned long long>(
+                    total_tasks(d.nolearn.stats.traces)));
+  }
+
+  TextTable table({"procs", "eight-puzzle", "strips", "cypress"});
+  double peak = 0;
+  std::vector<std::vector<double>> curves(tasks.size());
+  for (const uint32_t p : process_counts()) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const double s = speedup_at(tasks[i].nolearn.stats.traces, p,
+                                  QueuePolicy::Single);
+      curves[i].push_back(s);
+      peak = std::max(peak, s);
+      row.push_back(TextTable::num(s, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nPeak speedup: %.2f (paper: ~4.2)\n", peak);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const double at13 = curves[i].back();
+    double best = 0;
+    uint32_t best_p = 1;
+    for (size_t j = 0; j < curves[i].size(); ++j) {
+      if (curves[i][j] > best) {
+        best = curves[i][j];
+        best_p = process_counts()[j];
+      }
+    }
+    std::printf("%-12s peaks at %u procs (%.2f); at 13 procs %.2f%s\n",
+                tasks[i].name.c_str(), best_p, best, at13,
+                at13 < best ? "  [dips past the peak, as in the paper]" : "");
+  }
+  return 0;
+}

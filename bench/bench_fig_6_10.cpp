@@ -1,0 +1,53 @@
+// Figure 6-10: Speedups after chunking, multiple task queues.
+//
+// Paper: parallelism increases with chunking in Eight-puzzle and Strips;
+// Eight-puzzle shows the system's maximum (~10-fold at 13 processes) because
+// its chunks are expensive — they shift the cycle-size distribution toward
+// large cycles (Figures 6-11/6-12). The Cypress after-chunking run is very
+// short and inconclusive. Uniprocessor times: 8p 111.2 s, strips 30.6 s,
+// cypress 9.5 s.
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-10", "Speedups after chunking, multiple queues");
+  const auto tasks = collect_all();
+
+  SimOptions base;
+  base.policy = QueuePolicy::Multi;
+  std::printf("After-chunking uniprocessor virtual times (paper: 8p 111.2s, "
+              "strips 30.6s, cypress 9.5s):\n");
+  for (const auto& d : tasks) {
+    std::printf("  %-12s %.1f s (%llu tasks; %zu chunks preloaded)\n",
+                d.name.c_str(), uniproc_seconds(d.after.stats.traces, base),
+                static_cast<unsigned long long>(
+                    total_tasks(d.after.stats.traces)),
+                d.during.stats.chunk_texts.size());
+  }
+
+  TextTable table({"procs", "eight-puzzle", "strips", "cypress"});
+  for (const uint32_t p : process_counts()) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& d : tasks) {
+      row.push_back(TextTable::num(
+          speedup_at(d.after.stats.traces, p, QueuePolicy::Multi), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nEffect of chunking on parallelism (speedup at 13 procs, "
+              "paper: increases for 8p/strips):\n");
+  for (const auto& d : tasks) {
+    const double before =
+        speedup_at(d.nolearn.stats.traces, 13, QueuePolicy::Multi);
+    const double after =
+        speedup_at(d.after.stats.traces, 13, QueuePolicy::Multi);
+    std::printf("  %-12s without chunks %.2f -> after chunks %.2f%s\n",
+                d.name.c_str(), before, after,
+                after > before ? "  [parallelism increased]" : "");
+  }
+  return 0;
+}

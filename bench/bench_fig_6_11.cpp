@@ -1,0 +1,38 @@
+// Figure 6-11: Eight-puzzle without chunking — tasks/cycle vs percentage of
+// cycles (histogram, 25-task bins).
+//
+// Paper: 60% or more of the cycles have fewer than 100 tasks; very few
+// (~3%) have 1000 or more. Small cycles are caused by the serial initial
+// context decisions in subgoals and provide little parallelism.
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-11",
+               "Eight-puzzle without chunking: tasks/cycle histogram");
+  const TaskData d = collect("eight-puzzle");
+  const auto hist =
+      tasks_per_cycle_histogram(d.nolearn.stats.traces, 25, 1200);
+
+  TextTable table({"tasks/cycle", "% of cycles", ""});
+  double under100 = 0, over1000 = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const uint32_t lo = static_cast<uint32_t>(i) * 25;
+    if (lo < 100) under100 += hist[i];
+    if (lo >= 1000) over1000 += hist[i];
+    if (hist[i] == 0) continue;
+    const int bar = static_cast<int>(hist[i]);
+    table.add_row({(i + 1 == hist.size() ? ">=" + std::to_string(lo)
+                                         : std::to_string(lo) + "-" +
+                                               std::to_string(lo + 24)),
+                   TextTable::num(hist[i], 1),
+                   std::string(static_cast<size_t>(bar), '#')});
+  }
+  table.print();
+
+  std::printf("\nCycles with <100 tasks: %.1f%% (paper: >=60%%)\n", under100);
+  std::printf("Cycles with >=1000 tasks: %.1f%% (paper: ~3%%)\n", over1000);
+  return 0;
+}

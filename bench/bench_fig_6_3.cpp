@@ -1,0 +1,57 @@
+// Figure 6-3: Task-queue contention (spins per task) with an increasing
+// number of processes, single shared queue.
+//
+// Paper: spins/task rises with the process count at approximately the same
+// rate for all three tasks (same locking code, similar task granularity),
+// reaching ~30 spins/task at 13 processes; this is what saturates the
+// single-queue speedups around 8-10 processes.
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-3", "Task-queue contention vs number of processes");
+  const auto tasks = collect_all();
+
+  TextTable table({"procs", "eight-puzzle spins/task", "strips spins/task",
+                   "cypress spins/task"});
+  std::vector<double> at3(tasks.size()), at13(tasks.size());
+  for (const uint32_t p : process_counts()) {
+    if (p < 3) continue;
+    std::vector<std::string> row{std::to_string(p)};
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      SimOptions opts;
+      opts.policy = QueuePolicy::Single;
+      opts.processors = p;
+      const auto run = simulate_run(tasks[i].nolearn.stats.traces, opts);
+      const double spt = run.spins_per_task();
+      if (p == 3) at3[i] = spt;
+      if (p == 13) at13[i] = spt;
+      row.push_back(TextTable::num(spt, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nShape check (paper: contention rises at approximately the "
+              "same rate in all tasks):\n");
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  %-12s spins/task 3->13 procs: %.2f -> %.2f (x%.1f)\n",
+                tasks[i].name.c_str(), at3[i], at13[i],
+                at3[i] > 0 ? at13[i] / at3[i] : 0);
+  }
+
+  // Multi-queue comparison: the paper reports spins/task dropping to ~2-3
+  // at 13 processes once every process has its own queue.
+  std::printf("\nMulti-queue at 13 processes (paper: ~2-3 spins/task):\n");
+  for (const auto& d : tasks) {
+    SimOptions opts;
+    opts.policy = QueuePolicy::Multi;
+    opts.processors = 13;
+    const auto run = simulate_run(d.nolearn.stats.traces, opts);
+    std::printf("  %-12s %.2f spins/task\n", d.name.c_str(),
+                run.spins_per_task());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6-4: Speedup without chunking, multiple task queues.
+//
+// Paper: parallelism increases in all three tasks once every match process
+// has its own queue; maximum speedup about 7-fold (Strips and Cypress),
+// Eight-puzzle lower — limited by its small cycles and long chains rather
+// than by queue contention.
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-4", "Speedup without chunking, multiple task queues");
+  const auto tasks = collect_all();
+
+  TextTable table({"procs", "eight-puzzle", "strips", "cypress"});
+  std::vector<double> best(tasks.size(), 0);
+  for (const uint32_t p : process_counts()) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const double s =
+          speedup_at(tasks[i].nolearn.stats.traces, p, QueuePolicy::Multi);
+      best[i] = std::max(best[i], s);
+      row.push_back(TextTable::num(s, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nMaxima (paper: ~7 for strips/cypress; eight-puzzle lower):\n");
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  %-12s max %.2f\n", tasks[i].name.c_str(), best[i]);
+  }
+  std::printf("\nSingle- vs multi-queue at 13 procs (multi must win):\n");
+  for (const auto& d : tasks) {
+    const double single =
+        speedup_at(d.nolearn.stats.traces, 13, QueuePolicy::Single);
+    const double multi =
+        speedup_at(d.nolearn.stats.traces, 13, QueuePolicy::Multi);
+    std::printf("  %-12s single %.2f  multi %.2f\n", d.name.c_str(), single,
+                multi);
+  }
+  return 0;
+}

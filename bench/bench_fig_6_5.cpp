@@ -1,0 +1,60 @@
+// Figure 6-5: Eight-puzzle — per-cycle speedups as a function of tasks per
+// cycle, with 11 match processes.
+//
+// Paper observations: (1) some *large* cycles (~300 tasks) still show low
+// (~3-fold) speedup — long chains of dependent activations; (2) small cycles
+// show low speedups in general, some below 1 (per-cycle overhead dominates).
+#include <map>
+
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-5",
+               "Eight-puzzle: per-cycle speedups vs tasks/cycle (11 procs)");
+  const TaskData d = collect("eight-puzzle");
+
+  SimOptions opts;
+  opts.policy = QueuePolicy::Multi;
+  opts.processors = 11;
+  const auto run = simulate_run(d.nolearn.stats.traces, opts, true);
+
+  // Bin cycles by tasks/cycle and report min/avg/max speedup per bin.
+  struct Bin {
+    int n = 0;
+    double sum = 0, lo = 1e9, hi = 0;
+  };
+  std::map<uint32_t, Bin> bins;
+  double small_cycle_min = 1e9;
+  double large_cycle_low = 1e9;  // lowest speedup among cycles >= 200 tasks
+  for (const auto& c : run.cycles) {
+    const uint32_t bin = static_cast<uint32_t>(c.tasks / 100) * 100;
+    Bin& b = bins[bin];
+    const double s = c.speedup();
+    ++b.n;
+    b.sum += s;
+    b.lo = std::min(b.lo, s);
+    b.hi = std::max(b.hi, s);
+    if (c.tasks <= 20) small_cycle_min = std::min(small_cycle_min, s);
+    if (c.tasks >= 200) large_cycle_low = std::min(large_cycle_low, s);
+  }
+
+  TextTable table({"tasks/cycle bin", "#cycles", "min speedup", "avg speedup",
+                   "max speedup"});
+  for (const auto& [bin, b] : bins) {
+    table.add_row({std::to_string(bin) + "-" + std::to_string(bin + 99),
+                   std::to_string(b.n), TextTable::num(b.lo, 2),
+                   TextTable::num(b.sum / b.n, 2), TextTable::num(b.hi, 2)});
+  }
+  table.print();
+
+  std::printf("\nSmallest small-cycle (<=20 tasks) speedup: %.2f "
+              "(paper: below 1)\n",
+              small_cycle_min);
+  std::printf("Lowest speedup among large cycles (>=200 tasks): %.2f "
+              "(paper: ~3 — long chains)\n",
+              large_cycle_low);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 6-6: Eight-puzzle — tasks in the system (queued + executing) over
+// time, for a large cycle with low speedup, 11 match processes.
+//
+// Paper: early in the cycle there is plenty of work (peak ~140 tasks around
+// t=100), but past ~200 time units the trace degenerates into a long tail
+// where only a few dependent tasks exist at any moment — a long chain that
+// more processors cannot shorten.
+#include <algorithm>
+
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header(
+      "Figure 6-6",
+      "Eight-puzzle: tasks-in-system over time for a low-speedup cycle");
+  const TaskData d = collect("eight-puzzle");
+
+  // Find a large cycle (>=200 tasks) with the lowest 11-process speedup.
+  SimOptions opts;
+  opts.policy = QueuePolicy::Multi;
+  opts.processors = 11;
+  const CycleTrace* chosen = nullptr;
+  double worst = 1e18;
+  for (const auto& t : d.nolearn.stats.traces) {
+    if (t.task_count() < 200) continue;
+    const auto r = simulate_cycle(t, opts);
+    if (r.speedup() < worst) {
+      worst = r.speedup();
+      chosen = &t;
+    }
+  }
+  if (chosen == nullptr) {
+    std::printf("no cycle with >=200 tasks found\n");
+    return 1;
+  }
+
+  const auto r = simulate_cycle(*chosen, opts, /*record_timeline=*/true);
+  std::printf("Chosen cycle: %zu tasks, speedup %.2f at 11 procs "
+              "(paper's example: ~300 tasks, ~3-fold)\n\n",
+              chosen->task_count(), r.speedup());
+
+  // Print the timeline downsampled to 100-µs buckets, as an ASCII profile
+  // (the paper's plot is tasks-in-system vs time in 100 µs units).
+  const double bucket_us = 100.0;
+  std::vector<uint32_t> profile;
+  for (const auto& [time, level] : r.timeline) {
+    const size_t bucket = static_cast<size_t>(time / bucket_us);
+    if (bucket >= profile.size()) profile.resize(bucket + 1, 0);
+    profile[bucket] = std::max(profile[bucket], level);
+  }
+  std::printf("time(100µs)  tasks-in-system\n");
+  for (size_t i = 0; i < profile.size(); ++i) {
+    if (i > 0 && i + 1 < profile.size() && profile[i] == profile[i - 1] &&
+        profile[i] == profile[i + 1]) {
+      continue;  // compress runs
+    }
+    const uint32_t bar = std::min<uint32_t>(profile[i], 60);
+    std::printf("%8zu     %4u %s\n", i, profile[i],
+                std::string(bar, '#').c_str());
+  }
+
+  // Shape checks: an early hump, then a long low tail.
+  uint32_t peak = 0;
+  size_t peak_at = 0;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    if (profile[i] > peak) {
+      peak = profile[i];
+      peak_at = i;
+    }
+  }
+  size_t tail = 0;
+  for (size_t i = peak_at; i < profile.size(); ++i) {
+    if (profile[i] <= 4) ++tail;
+  }
+  std::printf("\nPeak %u tasks at t=%zu; %zu/%zu buckets after the peak hold "
+              "<=4 tasks (the long-chain tail)\n",
+              peak, peak_at, tail, profile.size() - peak_at);
+  return 0;
+}

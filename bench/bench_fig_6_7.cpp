@@ -1,0 +1,72 @@
+// Figure 6-7: A long chain production.
+//
+// Paper: shows part of Monitor-Strips-State, a Strips chunk with 43 CEs —
+// each CE's match depends on the previous join, so the activation chain is
+// as long as the production. We report the longest-chain productions in the
+// loaded Strips system and in its learned chunks, plus the critical-path
+// share of the worst cycle.
+#include <algorithm>
+
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Figure 6-7", "Long chain productions");
+  const TaskData d = collect("strips");
+
+  // Longest initial productions.
+  {
+    SoarOptions opts;
+    SoarKernel k(opts);
+    k.load_productions(d.task.productions);
+    std::vector<std::pair<int, std::string>> sizes;
+    for (const Production* p : k.engine().productions()) {
+      sizes.emplace_back(p->total_ce_count(),
+                         std::string(k.engine().syms().name(p->name)));
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    std::printf("Longest initial Strips productions (paper's example chain: "
+                "43 CEs):\n");
+    for (size_t i = 0; i < 5 && i < sizes.size(); ++i) {
+      std::printf("  %-28s %d CEs\n", sizes[i].second.c_str(),
+                  sizes[i].first);
+    }
+  }
+
+  // Longest chunks.
+  {
+    int longest = 0;
+    double avg = 0;
+    for (const auto& c : d.during.stats.chunk_costs) {
+      longest = std::max(longest, c.total_ces);
+      avg += c.total_ces;
+    }
+    if (!d.during.stats.chunk_costs.empty()) {
+      avg /= static_cast<double>(d.during.stats.chunk_costs.size());
+    }
+    std::printf("\nStrips chunks: longest %d CEs, average %.1f "
+                "(paper: chains of up to 43 CEs in chunks)\n",
+                longest, avg);
+  }
+
+  // Critical-path share: how much of the worst large cycle is one chain.
+  CostModel cm;
+  double worst_share = 0;
+  uint32_t worst_len = 0;
+  for (const auto& t : d.nolearn.stats.traces) {
+    if (t.task_count() < 100) continue;
+    const auto cp = critical_path(t, cm);
+    const double share = cp.cost_us / cm.serial_us(t);
+    if (share > worst_share) {
+      worst_share = share;
+      worst_len = cp.length;
+    }
+  }
+  std::printf("\nWorst large cycle: critical path of %u dependent activations"
+              " = %.0f%% of the cycle's total work\n(long chains bound the "
+              "parallel completion time no matter how many processes run)\n",
+              worst_len, worst_share * 100);
+  return 0;
+}

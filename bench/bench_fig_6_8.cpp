@@ -1,0 +1,119 @@
+// Figure 6-8: The constrained bilinear network.
+//
+// Paper: reorganizing a 43-CE long-chain production into a constrained
+// bilinear network reduces the chain length to ~15 CEs — the first few CEs
+// constrain the match, the remaining CEs hang off the prefix in groups, and
+// group results are combined. Their compiler could not yet emit this
+// organization; ours can (opt-in), so this bench measures the critical-path
+// reduction and the speedup at 11 virtual processors for both organizations.
+#include <sstream>
+
+#include "engine/engine.h"
+#include "harness.h"
+#include "lang/parser.h"
+#include "rete/bilinear.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+namespace {
+
+/// A Figure 6-7-style production: goal/problem-space/state prefix plus
+/// `groups` independent feature groups (each `gsize` CEs) hanging off the
+/// state — 3 + groups*gsize CEs in total.
+std::string long_chain_production(int groups, int gsize) {
+  std::ostringstream os;
+  os << "(p monitor-strips-state (goal ^ps <p>) (ps ^name strips ^id <p>) "
+        "(goal ^state <s>)";
+  for (int g = 0; g < groups; ++g) {
+    for (int k = 0; k < gsize; ++k) {
+      os << " (feat ^state <s> ^group g" << g << " ^slot " << k << " ^val <v"
+         << g << "_" << k << ">)";
+    }
+  }
+  os << " --> (halt))";
+  return os.str();
+}
+
+void add_wmes(Engine& e, int groups, int gsize) {
+  e.add_wme_text("(goal ^ps p1 ^state s1)");
+  e.add_wme_text("(ps ^name strips ^id p1)");
+  for (int g = 0; g < groups; ++g) {
+    for (int k = 0; k < gsize; ++k) {
+      std::ostringstream w;
+      w << "(feat ^state s1 ^group g" << g << " ^slot " << k << " ^val v" << g
+        << "_" << k << ")";
+      e.add_wme_text(w.str());
+    }
+  }
+}
+
+struct Shape {
+  uint32_t chain_len = 0;
+  double chain_us = 0;
+  double speedup11 = 0;
+  size_t instantiations = 0;
+};
+
+Shape measure(bool bilinear, int groups, int gsize, bool balanced) {
+  Engine e;
+  const std::string src = long_chain_production(groups, gsize);
+  if (bilinear) {
+    RhsArena arena;
+    Parser parser(e.syms(), e.schemas(), arena);
+    // The production AST must outlive the network; park it statically.
+    static std::vector<std::unique_ptr<Production>> keep;
+    keep.push_back(
+        std::make_unique<Production>(parser.parse_production(src)));
+    BilinearOptions opts;
+    opts.prefix_ces = 3;
+    opts.group_size = static_cast<uint32_t>(gsize);
+    opts.balanced_tree = balanced;
+    build_bilinear(e.net(), *keep.back(), opts);
+  } else {
+    e.load(src);
+  }
+  add_wmes(e, groups, gsize);
+  const CycleTrace trace = e.match();
+
+  CostModel cm;
+  const auto cp = critical_path(trace, cm);
+  SimOptions sopts;
+  sopts.policy = QueuePolicy::Multi;
+  sopts.processors = 11;
+  const auto r = simulate_cycle(trace, sopts);
+  return {cp.length, cp.cost_us, r.speedup(), e.cs().size()};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 6-8", "The constrained bilinear network");
+  // 3-CE prefix + 5 groups x 8 CEs = 43 CEs, the paper's chain length.
+  const int groups = 5, gsize = 8;
+  std::printf("Production: 3 prefix CEs + %d groups x %d CEs = %d CEs "
+              "(paper's example: 43 CEs -> bilinear chain of ~15)\n\n",
+              groups, gsize, 3 + groups * gsize);
+
+  const Shape linear = measure(false, groups, gsize, false);
+  const Shape bilinear = measure(true, groups, gsize, false);
+  const Shape tree = measure(true, groups, gsize, true);
+
+  TextTable table({"organization", "instantiations", "critical path (tasks)",
+                   "critical path (ms)", "speedup @11 procs"});
+  auto row = [&](const char* name, const Shape& s) {
+    table.add_row({name, std::to_string(s.instantiations),
+                   std::to_string(s.chain_len),
+                   TextTable::num(s.chain_us / 1000, 2),
+                   TextTable::num(s.speedup11, 2)});
+  };
+  row("linear (paper's current)", linear);
+  row("constrained bilinear", bilinear);
+  row("bilinear + tree combine", tree);
+  table.print();
+
+  std::printf("\nExpected shape: identical instantiation counts; the bilinear"
+              " organizations cut\nthe dependent-activation chain by roughly "
+              "the grouping factor and lift the speedup.\n");
+  return 0;
+}

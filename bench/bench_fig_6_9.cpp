@@ -1,0 +1,124 @@
+// Figure 6-9: Speedups in the update phase (run-time state update of newly
+// added chunks), multiple task queues.
+//
+// Paper: high speedups — updating matches the entire WM against the new
+// production's nodes at once, so there is plenty of parallelism, far more
+// than in ordinary cycles. Uniprocessor update times: Eight-puzzle 16.0 s,
+// Strips 39.9 s, Cypress 85.15 s.
+#include "engine/engine.h"
+#include "harness.h"
+#include "lang/parser.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+namespace {
+
+/// Paper-scale update: the paper's chunks have 34-51 CEs and meet a large
+/// WM, so one §5.2 update is tens of seconds of virtual work. Our task
+/// chunks are smaller and share more, so their updates are tiny; this
+/// synthetic experiment reproduces the paper's conditions — a long chunk
+/// added to a network holding a big WM — to show the mechanism at the
+/// paper's scale ("the entire set of wmes is matched, providing a high
+/// opportunity for parallelism").
+void paper_scale_update() {
+  Engine e;
+  e.load("(p base (c0 ^v <x>) (c1 ^v <x>) --> (halt))");
+  const int kValues = 160, kDepth = 12;
+  for (int level = 0; level < kDepth; ++level) {
+    const Symbol cls = e.syms().intern("c" + std::to_string(level));
+    e.schemas().slot(cls, e.syms().intern("v"));
+    for (int v = 0; v < kValues; ++v) {
+      e.add_wme(cls, {Value(static_cast<int64_t>(v))});
+    }
+  }
+  e.match();
+
+  std::string src = "(p big-chunk";
+  for (int level = 0; level < kDepth; ++level) {
+    src += " (c" + std::to_string(level) + " ^v <x>)";
+  }
+  src += " --> (halt))";
+  RhsArena arena;
+  Parser parser(e.syms(), e.schemas(), arena);
+  auto res = e.add_production_runtime(parser.parse_production(src));
+
+  std::printf("\nPaper-scale update: a %d-CE chunk vs a WM of %d wmes -> "
+              "%llu update tasks\n",
+              kDepth, kValues * kDepth,
+              static_cast<unsigned long long>(res.update_tasks));
+  TextTable table({"procs", "update speedup"});
+  for (const uint32_t p : {1u, 2u, 4u, 6u, 8u, 10u, 11u, 12u, 13u}) {
+    SimOptions opts;
+    opts.policy = QueuePolicy::Multi;
+    opts.processors = p;
+    std::vector<CycleTrace> ab{res.ab}, c{res.c};
+    const double par = simulate_run(ab, opts).parallel_us +
+                       simulate_run(c, opts).parallel_us;
+    SimOptions uni = opts;
+    uni.processors = 1;
+    const double serial = simulate_run(ab, uni).parallel_us +
+                          simulate_run(c, uni).parallel_us;
+    table.add_row({std::to_string(p), TextTable::num(serial / par, 2)});
+  }
+  table.print();
+  std::printf("Expected: near-linear growth (the paper's Figure 6-9 reaches "
+              "~12 at 13 processes).\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 6-9", "Speedups in the update phase, multiple queues");
+  const auto tasks = collect_all();
+
+  std::printf("Update-phase uniprocessor virtual time (paper: 8p 16.0s, "
+              "strips 39.9s, cypress 85.15s):\n");
+  SimOptions base;
+  base.policy = QueuePolicy::Multi;
+  for (const auto& d : tasks) {
+    // ab phases may run concurrently; c follows. Makespan = mk(ab) + mk(c)
+    // per chunk. Uniprocessor time counts everything serially.
+    double uni = uniproc_seconds(d.during.stats.update_ab, base) +
+                 uniproc_seconds(d.during.stats.update_c, base);
+    std::printf("  %-12s %.2f s over %zu chunk updates (%llu update tasks)\n",
+                d.name.c_str(), uni, d.during.stats.update_ab.size(),
+                static_cast<unsigned long long>(
+                    total_tasks(d.during.stats.update_ab) +
+                    total_tasks(d.during.stats.update_c)));
+  }
+
+  TextTable table({"procs", "eight-puzzle", "strips", "cypress"});
+  std::vector<double> at13(tasks.size());
+  for (const uint32_t p : process_counts()) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      SimOptions opts = base;
+      opts.processors = p;
+      const double par =
+          simulate_run(tasks[i].during.stats.update_ab, opts).parallel_us +
+          simulate_run(tasks[i].during.stats.update_c, opts).parallel_us;
+      SimOptions uni = opts;
+      uni.processors = 1;
+      const double serial =
+          simulate_run(tasks[i].during.stats.update_ab, uni).parallel_us +
+          simulate_run(tasks[i].during.stats.update_c, uni).parallel_us;
+      const double s = par > 0 ? serial / par : 1.0;
+      if (p == 13) at13[i] = s;
+      row.push_back(TextTable::num(s, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nNote: our task chunks are far smaller and share far more of "
+              "the network than the\npaper's 34-51 CE chunks, so their "
+              "per-chunk updates (~30-70 activations) cannot\nexhibit "
+              "13-process parallelism. Speedups at 13 procs:\n");
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("  %-12s update %.2f\n", tasks[i].name.c_str(), at13[i]);
+  }
+
+  paper_scale_update();
+  return 0;
+}

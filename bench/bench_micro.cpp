@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) of the core operations: join probes,
+// token operations, queue push/pop, spinlock acquire, wme injection, and
+// run-time production addition.
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "lang/parser.h"
+#include "par/task_queue.h"
+#include "psim/sim.h"
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+void BM_SymbolIntern(benchmark::State& state) {
+  SymbolTable syms;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(syms.intern("symbol-" + std::to_string(i % 512)));
+    ++i;
+  }
+}
+BENCHMARK(BM_SymbolIntern);
+
+void BM_ValueHash(benchmark::State& state) {
+  const Value v(int64_t{123456});
+  for (auto _ : state) benchmark::DoNotOptimize(v.hash());
+}
+BENCHMARK(BM_ValueHash);
+
+void BM_TokenExtend(benchmark::State& state) {
+  Wme w;
+  TokenData t;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) t.push_back(&w);
+  for (auto _ : state) benchmark::DoNotOptimize(token_extend(t, &w));
+}
+BENCHMARK(BM_TokenExtend)->Arg(4)->Arg(16)->Arg(43);
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+  Spinlock lock;
+  for (auto _ : state) {
+    SpinGuard g(lock);
+    benchmark::DoNotOptimize(g.spins());
+  }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  const auto policy = state.range(0) == 0 ? TaskQueueSet::Policy::Single
+                                          : TaskQueueSet::Policy::Multi;
+  TaskQueueSet q(policy, 8);
+  Activation a;
+  for (auto _ : state) {
+    q.push(0, Activation{});
+    benchmark::DoNotOptimize(q.pop(0, a));
+  }
+}
+BENCHMARK(BM_QueuePushPop)->Arg(0)->Arg(1);
+
+void BM_WmeAddRemoveMatch(benchmark::State& state) {
+  Engine e;
+  e.load("(p j (a ^v <x>) (b ^v <x>) --> (halt))");
+  for (int i = 0; i < 32; ++i) {
+    e.add_wme(e.syms().intern("b"), {Value(static_cast<int64_t>(i))});
+  }
+  e.match();
+  int64_t i = 0;
+  for (auto _ : state) {
+    const Wme* w = e.add_wme(e.syms().intern("a"), {Value(i % 32)});
+    e.match();
+    e.remove_wme(w);
+    e.match();
+    ++i;
+  }
+}
+BENCHMARK(BM_WmeAddRemoveMatch);
+
+void BM_AddProductionRuntime(benchmark::State& state) {
+  // Compile-and-update cost of adding one chunk-sized production to a
+  // network holding a realistic WM.
+  Engine e;
+  e.load("(p base (a ^v <x>) (b ^v <x>) --> (halt))");
+  for (int i = 0; i < 64; ++i) {
+    e.add_wme(e.syms().intern("a"), {Value(static_cast<int64_t>(i))});
+    e.add_wme(e.syms().intern("b"), {Value(static_cast<int64_t>(i))});
+  }
+  e.match();
+  RhsArena arena;
+  Parser parser(e.syms(), e.schemas(), arena);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    const std::string name = "bench-chunk-" + std::to_string(n++);
+    Production p = parser.parse_production(
+        "(p " + name + " (a ^v <x>) (b ^v <x>) (a ^v <x>) --> (halt))");
+    benchmark::DoNotOptimize(e.add_production_runtime(std::move(p)));
+  }
+}
+BENCHMARK(BM_AddProductionRuntime)->Iterations(200);
+
+void BM_SimulateCycle(benchmark::State& state) {
+  // Discrete-event scheduling throughput on a mid-size cycle.
+  CycleTrace trace;
+  for (uint32_t i = 0; i < 512; ++i) {
+    TaskRecord r;
+    r.parent = i < 16 ? UINT32_MAX : (i - 16);
+    r.type = NodeType::Join;
+    r.stats.probes = 2;
+    r.stats.emits = 1;
+    trace.tasks.push_back(r);
+  }
+  SimOptions opts;
+  opts.processors = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_cycle(trace, opts));
+  }
+}
+BENCHMARK(BM_SimulateCycle)->Arg(1)->Arg(8)->Arg(13);
+
+}  // namespace
+}  // namespace psme
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 6-1: The granularity of the tasks on the PSM.
+//
+// Paper:
+//   Program       Uniproc time (s)  Total tasks  Avg time/task (µs)
+//   Eight-puzzle       37.7            87,974          428
+//   Strips             43.7            99,611          438
+//   Cypress           172.7           432,390          400
+// (Footnote: individual task times range from ~200 µs to ~800 µs.)
+#include "harness.h"
+
+using namespace psme;
+using namespace psme::bench;
+
+int main() {
+  print_header("Table 6-1", "The granularity of the tasks on the PSM");
+
+  struct PaperRow {
+    const char* task;
+    double uniproc_s;
+    uint64_t tasks;
+    double avg_us;
+  };
+  const PaperRow paper[] = {{"eight-puzzle", 37.7, 87974, 428},
+                            {"strips", 43.7, 99611, 438},
+                            {"cypress", 172.7, 432390, 400}};
+
+  TextTable table({"task", "paper:uniproc(s)", "ours:uniproc(s)",
+                   "paper:#tasks", "ours:#tasks", "paper:avg µs",
+                   "ours:avg µs"});
+  CostModel cm;
+  double min_cost = 1e18, max_cost = 0;
+  for (const PaperRow& row : paper) {
+    const TaskData d = collect(row.task);
+    const auto& traces = d.nolearn.stats.traces;
+    const uint64_t tasks = total_tasks(traces);
+    double serial = 0;
+    for (const auto& t : traces) {
+      for (const auto& r : t.tasks) {
+        const double c = cm.task_cost(r);
+        serial += c;
+        min_cost = std::min(min_cost, c);
+        max_cost = std::max(max_cost, c);
+      }
+    }
+    table.add_row({row.task, TextTable::num(row.uniproc_s, 1),
+                   TextTable::num(serial / 1e6, 1), std::to_string(row.tasks),
+                   std::to_string(tasks), TextTable::num(row.avg_us, 0),
+                   TextTable::num(tasks > 0 ? serial / tasks : 0, 0)});
+  }
+  table.print();
+  std::printf("\nPer-task cost range: %.0f-%.0f µs (paper footnote: ~200-800 "
+              "µs)\n",
+              min_cost, max_cost);
+  return 0;
+}

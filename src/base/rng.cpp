@@ -1,0 +1,31 @@
+#include "base/rng.h"
+
+namespace psme {
+namespace {
+constexpr uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) {
+  // Lemire-style rejection-free enough for our purposes: use 128-bit multiply.
+  return static_cast<uint64_t>((static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+}  // namespace psme

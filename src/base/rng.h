@@ -1,0 +1,43 @@
+// Deterministic PRNG (xoshiro256**) used by workload generators and the cost
+// model. std::mt19937 output differs across standard libraries for
+// distributions; we need bit-identical workloads everywhere, so distributions
+// are hand-rolled here.
+#pragma once
+
+#include <cstdint>
+
+namespace psme {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// True with probability p.
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace psme

@@ -1,0 +1,78 @@
+// Interned symbol table.
+//
+// Every identifier, class name, attribute name and symbolic constant in the
+// production system is interned once and referred to by a 32-bit index.
+// Symbol comparison is therefore a single integer compare, which is what makes
+// constant-test nodes and the join hash function cheap (PSM-E compiled these
+// to immediate compares in machine code; an interned index is the portable
+// equivalent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psme {
+
+/// An interned string. Value-semantic, 4 bytes, totally ordered by intern
+/// index (NOT lexicographic order).
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t raw) : raw_(raw) {}
+
+  [[nodiscard]] constexpr uint32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr bool valid() const { return raw_ != kInvalid; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.raw_ < b.raw_; }
+
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+
+ private:
+  uint32_t raw_ = kInvalid;
+};
+
+/// Intern table. One per engine instance; not thread-safe for interning (all
+/// interning happens at compile/parse time or between cycles, never inside the
+/// parallel match), but lookup by Symbol is immutable-after-publish and safe.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Interns `s`, returning the existing Symbol if already present.
+  Symbol intern(std::string_view s);
+
+  /// Name of an interned symbol. `sym` must come from this table.
+  [[nodiscard]] std::string_view name(Symbol sym) const;
+
+  /// Returns the symbol for `s` if interned, otherwise an invalid Symbol.
+  [[nodiscard]] Symbol find(std::string_view s) const;
+
+  [[nodiscard]] size_t size() const { return names_.size(); }
+
+  /// Generates a fresh symbol of the form `<prefix><n>` guaranteed not to
+  /// collide with any existing symbol. Used for Soar identifiers (g0012,
+  /// o0003, ...) and chunk names.
+  Symbol gensym(std::string_view prefix);
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+  uint64_t gensym_counter_ = 0;
+};
+
+}  // namespace psme
+
+template <>
+struct std::hash<psme::Symbol> {
+  size_t operator()(psme::Symbol s) const noexcept {
+    // Fibonacci scramble: intern indices are small and dense.
+    return static_cast<size_t>(s.raw()) * 0x9e3779b97f4a7c15ull;
+  }
+};

@@ -1,0 +1,24 @@
+#include "base/value.h"
+
+#include <sstream>
+
+namespace psme {
+
+std::string Value::to_string(const SymbolTable& tab) const {
+  switch (kind_) {
+    case Kind::Nil:
+      return "nil";
+    case Kind::Sym:
+      return std::string(tab.name(sym()));
+    case Kind::Int:
+      return std::to_string(i_);
+    case Kind::Float: {
+      std::ostringstream os;
+      os << f_;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace psme

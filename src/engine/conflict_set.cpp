@@ -1,0 +1,131 @@
+#include "engine/conflict_set.h"
+
+#include <algorithm>
+
+namespace psme {
+
+void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
+  SpinGuard g(lock_);
+  Instantiation inst;
+  inst.pnode = &p;
+  inst.token = t;
+  inst.arrival = ++arrival_;
+  items_.push_back(std::move(inst));
+  auto it = std::prev(items_.end());
+  index_.emplace(key_of(p, t), it);
+  ++inserts_;
+}
+
+void ConflictSet::on_retract(const ProdNode& p, const TokenData& t) {
+  SpinGuard g(lock_);
+  auto range = index_.equal_range(key_of(p, t));
+  for (auto ii = range.first; ii != range.second; ++ii) {
+    if (ii->second->pnode == &p && ii->second->token == t) {
+      items_.erase(ii->second);
+      index_.erase(ii);
+      ++retracts_;
+      return;
+    }
+  }
+  // A retract without a matching instantiation can only mean the executor
+  // produced an inconsistent token stream; surface it in tests via counters.
+  ++retracts_;
+}
+
+size_t ConflictSet::size() const {
+  SpinGuard g(lock_);
+  return items_.size();
+}
+
+std::vector<const Instantiation*> ConflictSet::unfired() const {
+  SpinGuard g(lock_);
+  std::vector<const Instantiation*> out;
+  for (const auto& inst : items_) {
+    if (!inst.fired) out.push_back(&inst);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Instantiation* a, const Instantiation* b) {
+              return a->arrival < b->arrival;
+            });
+  return out;
+}
+
+void ConflictSet::mark_fired(const Instantiation* inst) {
+  SpinGuard g(lock_);
+  const_cast<Instantiation*>(inst)->fired = true;
+}
+
+void ConflictSet::remove(const Instantiation* inst) {
+  SpinGuard g(lock_);
+  auto range = index_.equal_range(key_of(*inst->pnode, inst->token));
+  for (auto ii = range.first; ii != range.second; ++ii) {
+    if (&*ii->second == inst) {
+      items_.erase(ii->second);
+      index_.erase(ii);
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Number of tests in a production (LEX specificity).
+int specificity(const Production* p) {
+  int n = 0;
+  for (const Condition& c : p->conditions) {
+    n += static_cast<int>(c.consts.size() + c.disjs.size() + c.vars.size());
+    for (const Condition& inner : c.ncc) {
+      n += static_cast<int>(inner.consts.size() + inner.disjs.size() +
+                            inner.vars.size());
+    }
+  }
+  return n;
+}
+
+/// LEX recency comparison: timetags sorted descending, compared
+/// lexicographically; the instantiation with the more recent tag wins.
+bool lex_less(const Instantiation* a, const Instantiation* b) {
+  std::vector<uint64_t> ta, tb;
+  ta.reserve(a->token.size());
+  tb.reserve(b->token.size());
+  for (const Wme* w : a->token) ta.push_back(w->timetag);
+  for (const Wme* w : b->token) tb.push_back(w->timetag);
+  std::sort(ta.rbegin(), ta.rend());
+  std::sort(tb.rbegin(), tb.rend());
+  if (ta != tb) {
+    return std::lexicographical_compare(ta.begin(), ta.end(), tb.begin(),
+                                        tb.end());
+  }
+  const int sa = specificity(a->pnode->prod);
+  const int sb = specificity(b->pnode->prod);
+  if (sa != sb) return sa < sb;
+  return a->arrival > b->arrival;  // older arrival wins ties
+}
+
+}  // namespace
+
+const Instantiation* ConflictSet::select_lex() const {
+  SpinGuard g(lock_);
+  const Instantiation* best = nullptr;
+  for (const auto& inst : items_) {
+    if (inst.fired) continue;
+    if (best == nullptr || lex_less(best, &inst)) best = &inst;
+  }
+  return best;
+}
+
+std::vector<const Instantiation*> ConflictSet::all() const {
+  SpinGuard g(lock_);
+  std::vector<const Instantiation*> out;
+  out.reserve(items_.size());
+  for (const auto& inst : items_) out.push_back(&inst);
+  return out;
+}
+
+void ConflictSet::clear() {
+  SpinGuard g(lock_);
+  items_.clear();
+  index_.clear();
+}
+
+}  // namespace psme

@@ -1,0 +1,74 @@
+// The conflict set (CS).
+//
+// P-node activations insert/retract instantiations here; the executor may be
+// running them from several threads, so mutation is lock-protected. OPS5
+// mode selects one instantiation per cycle with the LEX strategy; Soar mode
+// fires every unfired instantiation in parallel (§3: "all of the
+// instantiations in the CS are then fired in parallel").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "par/spinlock.h"
+#include "rete/network.h"
+#include "rete/token.h"
+
+namespace psme {
+
+struct Instantiation {
+  const ProdNode* pnode = nullptr;
+  TokenData token;
+  uint64_t arrival = 0;  // insertion order (refraction bookkeeping)
+  bool fired = false;
+};
+
+class ConflictSet final : public MatchSink {
+ public:
+  ConflictSet() = default;
+
+  void on_insert(const ProdNode& p, const TokenData& t) override;
+  void on_retract(const ProdNode& p, const TokenData& t) override;
+
+  [[nodiscard]] size_t size() const;
+
+  /// Unfired instantiations, in arrival order. Soar fires all of these in
+  /// one elaboration cycle; call mark_fired for each afterwards.
+  [[nodiscard]] std::vector<const Instantiation*> unfired() const;
+
+  void mark_fired(const Instantiation* inst);
+
+  /// Removes a fired instantiation (OPS5 fires then discards).
+  void remove(const Instantiation* inst);
+
+  /// OPS5 LEX selection among unfired instantiations: recency of timetags
+  /// (lexicographic over descending-sorted tags), then specificity (test
+  /// count of the production), then arrival order. Returns nullptr if no
+  /// unfired instantiation exists.
+  [[nodiscard]] const Instantiation* select_lex() const;
+
+  /// All current instantiations (tests/diagnostics).
+  [[nodiscard]] std::vector<const Instantiation*> all() const;
+
+  [[nodiscard]] uint64_t total_inserts() const { return inserts_; }
+  [[nodiscard]] uint64_t total_retracts() const { return retracts_; }
+
+  void clear();
+
+ private:
+  using List = std::list<Instantiation>;
+  static size_t key_of(const ProdNode& p, const TokenData& t) {
+    return token_identity_hash(t) ^ (static_cast<size_t>(p.id) * 0x9e3779b9u);
+  }
+
+  mutable Spinlock lock_;
+  List items_;
+  std::unordered_multimap<size_t, List::iterator> index_;
+  uint64_t arrival_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t retracts_ = 0;
+};
+
+}  // namespace psme

@@ -1,0 +1,191 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme {
+namespace {
+
+class CollectCtx final : public ExecContext {
+ public:
+  explicit CollectCtx(std::vector<Activation>& out) : out_(out) {}
+  void emit(Activation&& a) override { out_.push_back(std::move(a)); }
+
+ private:
+  std::vector<Activation>& out_;
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(opts),
+      net_(syms_, schemas_, opts.hash_lines),
+      builder_(net_, opts.builder),
+      rhs_(syms_, schemas_) {
+  net_.set_sink(&cs_);
+}
+
+std::vector<const Production*> Engine::load(std::string_view src) {
+  Parser parser(syms_, schemas_, arena_);
+  auto parsed = parser.parse_file(src);
+  std::vector<const Production*> out;
+  const auto wm_snapshot = wm_.live();
+  for (Production& p : parsed) {
+    const Production* adopted = store_.adopt(std::move(p));
+    CompiledProduction cp = builder_.add_production(*adopted);
+    if (!wm_snapshot.empty()) {
+      run_update_serial(net_, cp, wm_snapshot);
+    }
+    records_.emplace(adopted, AddRecord{adopted, std::move(cp)});
+    productions_.push_back(adopted);
+    out.push_back(adopted);
+  }
+  return out;
+}
+
+const AddRecord& Engine::record(const Production* p) const {
+  auto it = records_.find(p);
+  if (it == records_.end()) {
+    throw std::out_of_range("Engine::record: unknown production");
+  }
+  return it->second;
+}
+
+Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
+  RuntimeAddResult res;
+  const Production* p = store_.adopt(std::move(ast));
+  CompiledProduction cp = builder_.add_production(*p);
+  res.prod = p;
+  res.compile_seconds = cp.compile_seconds;
+  res.code_bytes = cp.code_bytes();
+
+  TraceExecutor ex(net_, opts_.record_traces);
+  ex.update_mode = true;
+  ex.min_node_id = cp.first_new_id;
+  const auto wm_snapshot = wm_.live();
+
+  ex.suppress_alpha_left = true;
+  res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
+  ex.suppress_alpha_left = false;
+  res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
+  res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
+  res.update_tasks = ex.executed();
+
+  records_.emplace(p, AddRecord{p, std::move(cp)});
+  productions_.push_back(p);
+  return res;
+}
+
+const Wme* Engine::add_wme(Symbol cls, std::vector<Value> fields) {
+  const Wme* w = wm_.add(cls, std::move(fields));
+  pending_adds_.push_back(w);
+  return w;
+}
+
+const Wme* Engine::add_wme_text(std::string_view text) {
+  const auto toks = lex(text);
+  size_t i = 0;
+  auto expect = [&](Tok k, const char* what) {
+    if (toks[i].kind != k) {
+      throw ParseError(std::string("wme literal: expected ") + what,
+                       toks[i].line);
+    }
+    return toks[i++];
+  };
+  expect(Tok::LParen, "'('");
+  const Token cls_tok = expect(Tok::Sym, "class name");
+  const Symbol cls = syms_.intern(cls_tok.text);
+  std::vector<Value> fields(static_cast<size_t>(schemas_.arity(cls)));
+  while (toks[i].kind == Tok::Hat) {
+    const Symbol attr = syms_.intern(toks[i++].text);
+    const int slot = schemas_.slot(cls, attr);
+    if (slot >= static_cast<int>(fields.size())) {
+      fields.resize(static_cast<size_t>(slot) + 1);
+    }
+    Value v;
+    switch (toks[i].kind) {
+      case Tok::Sym: v = Value(syms_.intern(toks[i].text)); break;
+      case Tok::Int: v = Value(toks[i].int_val); break;
+      case Tok::Float: v = Value(toks[i].float_val); break;
+      default:
+        throw ParseError("wme literal: expected constant value", toks[i].line);
+    }
+    ++i;
+    fields[static_cast<size_t>(slot)] = v;
+  }
+  expect(Tok::RParen, "')'");
+  return add_wme(cls, std::move(fields));
+}
+
+void Engine::remove_wme(const Wme* w) {
+  if (!wm_.remove(w)) return;
+  // A wme added and removed within the same batch never reaches the network:
+  // cancel the pending add instead of queuing a retraction that would be
+  // injected before the add.
+  auto it = std::find(pending_adds_.begin(), pending_adds_.end(), w);
+  if (it != pending_adds_.end()) {
+    pending_adds_.erase(it);
+    return;
+  }
+  pending_removes_.push_back(w);
+}
+
+CycleTrace Engine::match() {
+  std::vector<Activation> seeds;
+  CollectCtx cc(seeds);
+  for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
+  for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+  pending_removes_.clear();
+  pending_adds_.clear();
+  TraceExecutor ex(net_, opts_.record_traces);
+  CycleTrace trace = ex.run_to_quiescence(std::move(seeds));
+  wm_.end_cycle();
+  return trace;
+}
+
+void Engine::apply_delta(const WmeDelta& delta, bool dedup_adds) {
+  for (const auto& add : delta.adds) {
+    if (dedup_adds && wm_.find(add.cls, add.fields) != nullptr) continue;
+    add_wme(add.cls, add.fields);
+  }
+  for (const Wme* w : delta.removes) remove_wme(w);
+  for (const auto& s : delta.writes) output_.push_back(s);
+}
+
+WmeDelta Engine::evaluate(const Instantiation* inst) {
+  const CompiledProduction& cp = record(inst->pnode->prod).compiled;
+  WmeDelta delta;
+  rhs_.fire(cp, inst->token, delta);
+  return delta;
+}
+
+bool Engine::fire(const Instantiation* inst, bool remove_after_fire,
+                  bool dedup_adds) {
+  const CompiledProduction& cp = record(inst->pnode->prod).compiled;
+  WmeDelta delta;
+  rhs_.fire(cp, inst->token, delta);
+  cs_.mark_fired(inst);
+  if (remove_after_fire) cs_.remove(inst);
+  apply_delta(delta, dedup_adds);
+  return delta.halt;
+}
+
+Engine::RunResult Engine::run(uint64_t max_cycles) {
+  RunResult res;
+  match();
+  while (res.cycles < max_cycles) {
+    const Instantiation* inst = cs_.select_lex();
+    if (inst == nullptr) break;
+    ++res.cycles;
+    const bool halted = fire(inst, /*remove_after_fire=*/true,
+                             /*dedup_adds=*/false);
+    if (halted) {
+      res.halted = true;
+      break;
+    }
+    match();
+  }
+  return res;
+}
+
+}  // namespace psme

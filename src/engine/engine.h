@@ -1,0 +1,136 @@
+// The production-system engine: owns the symbol table, schemas, working
+// memory, network, conflict set and production store, and provides the
+// match/select/fire loop (OPS5 mode) plus the primitives the Soar kernel
+// drives (batched wme changes, match-to-quiescence, fire-all, run-time
+// production addition with the §5.2 state update).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/conflict_set.h"
+#include "engine/rhs.h"
+#include "engine/trace.h"
+#include "engine/working_memory.h"
+#include "lang/parser.h"
+#include "rete/add_production.h"
+#include "rete/builder.h"
+#include "rete/network.h"
+#include "rete/update.h"
+
+namespace psme {
+
+struct EngineOptions {
+  size_t hash_lines = 4096;
+  BuilderOptions builder;
+  bool record_traces = true;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SymbolTable& syms() { return syms_; }
+  ClassSchemas& schemas() { return schemas_; }
+  Network& net() { return net_; }
+  WorkingMemory& wm() { return wm_; }
+  ConflictSet& cs() { return cs_; }
+  Builder& builder() { return builder_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+  /// Parses and compiles a source string (literalize forms + productions).
+  /// If working memory is non-empty, each production's memories are updated
+  /// via the §5.2 algorithm. Returns the adopted productions.
+  std::vector<const Production*> load(std::string_view src);
+
+  /// Compilation record of a loaded production.
+  [[nodiscard]] const AddRecord& record(const Production* p) const;
+  [[nodiscard]] const std::vector<const Production*>& productions() const {
+    return productions_;
+  }
+
+  /// Run-time addition (chunking path): compiles `ast` into the live network
+  /// and updates its memories from current WM. Returns the traces of the
+  /// update phases (`ab`: alpha+right fill, which may run concurrently;
+  /// `c`: the last-shared-node replay, which must follow).
+  struct RuntimeAddResult {
+    const Production* prod = nullptr;
+    CycleTrace ab, c;
+    double compile_seconds = 0;
+    size_t code_bytes = 0;
+    uint64_t update_tasks = 0;
+  };
+  RuntimeAddResult add_production_runtime(Production&& ast);
+
+  /// Creates a wme now (visible in wm()) and queues its add for the next
+  /// match().
+  const Wme* add_wme(Symbol cls, std::vector<Value> fields);
+
+  /// Convenience: parses a wme literal like "(block ^name b1 ^size 3)".
+  const Wme* add_wme_text(std::string_view text);
+
+  /// Removes `w` from WM now and queues its retraction for the next match().
+  void remove_wme(const Wme* w);
+
+  /// Injects all queued changes and runs the match to quiescence. One call
+  /// is one "cycle" in the paper's corrected regime: all wme changes of the
+  /// cycle are complete before matching starts.
+  CycleTrace match();
+
+  /// Fires one instantiation: evaluates its RHS, applies the delta (queues
+  /// wme changes), marks it fired. With `remove_after_fire` the
+  /// instantiation leaves the CS (OPS5). Returns true if a halt executed.
+  bool fire(const Instantiation* inst, bool remove_after_fire,
+            bool dedup_adds);
+
+  /// Evaluates an instantiation's RHS without applying anything (the Soar
+  /// kernel applies the delta itself to record provenance and levels).
+  WmeDelta evaluate(const Instantiation* inst);
+
+  /// See RhsExecutor::set_gensym_hook.
+  void set_gensym_hook(std::function<void(Symbol)> fn) {
+    rhs_.set_gensym_hook(std::move(fn));
+  }
+
+  /// OPS5 top level: match, select (LEX), fire, repeat.
+  struct RunResult {
+    uint64_t cycles = 0;
+    bool halted = false;
+  };
+  RunResult run(uint64_t max_cycles);
+
+  /// Everything `write` actions printed, in firing order.
+  [[nodiscard]] const std::vector<std::string>& output() const {
+    return output_;
+  }
+
+  [[nodiscard]] bool has_pending_changes() const {
+    return !pending_adds_.empty() || !pending_removes_.empty();
+  }
+
+ private:
+  void apply_delta(const WmeDelta& delta, bool dedup_adds);
+
+  EngineOptions opts_;
+  SymbolTable syms_;
+  ClassSchemas schemas_;
+  RhsArena arena_;
+  Network net_;
+  Builder builder_;
+  WorkingMemory wm_;
+  ConflictSet cs_;
+  RhsExecutor rhs_;
+  ProductionStore store_;
+  std::vector<const Production*> productions_;
+  std::unordered_map<const Production*, AddRecord> records_;
+  std::vector<const Wme*> pending_adds_;
+  std::vector<const Wme*> pending_removes_;
+  std::vector<std::string> output_;
+};
+
+}  // namespace psme

@@ -1,0 +1,115 @@
+#include "engine/rhs.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace psme {
+
+Value RhsExecutor::eval(const RhsValue& v, const CompiledProduction& cp,
+                        const TokenData& token, std::vector<Value>& locals) {
+  switch (v.kind) {
+    case RhsValue::Kind::Const:
+      return v.constant;
+    case RhsValue::Kind::Var: {
+      if (!locals[v.var].is_nil()) return locals[v.var];
+      const auto& site = cp.bindings[v.var];
+      if (site.ce < 0) {
+        throw std::runtime_error("RHS references unbound variable in '" +
+                                 std::string(syms_.name(cp.ast->name)) + "'");
+      }
+      return token[static_cast<size_t>(site.ce)]->field(site.slot);
+    }
+    case RhsValue::Kind::Gensym: {
+      const Symbol s = syms_.gensym(syms_.name(v.gensym_prefix));
+      if (gensym_hook_) gensym_hook_(s);
+      return Value(s);
+    }
+    case RhsValue::Kind::Compute: {
+      const Value a = eval(*v.arith.lhs, cp, token, locals);
+      const Value b = eval(*v.arith.rhs, cp, token, locals);
+      if (!a.is_num() || !b.is_num()) {
+        throw std::runtime_error("compute on non-numeric values");
+      }
+      const bool both_int =
+          a.kind() == Value::Kind::Int && b.kind() == Value::Kind::Int;
+      const double x = a.num();
+      const double y = b.num();
+      double r = 0;
+      switch (v.arith.op) {
+        case '+': r = x + y; break;
+        case '-': r = x - y; break;
+        case '*': r = x * y; break;
+        case '/':
+          if (y == 0) throw std::runtime_error("compute: division by zero");
+          r = x / y;
+          break;
+        default: throw std::runtime_error("compute: bad operator");
+      }
+      if (both_int && v.arith.op != '/') {
+        return Value(static_cast<int64_t>(r));
+      }
+      return Value(r);
+    }
+  }
+  return Value();
+}
+
+void RhsExecutor::fire(const CompiledProduction& cp, const TokenData& token,
+                       WmeDelta& delta) {
+  const Production& p = *cp.ast;
+  std::vector<Value> locals(p.num_vars);  // `bind` results
+  for (const Action& a : p.actions) {
+    switch (a.kind) {
+      case Action::Kind::Make: {
+        WmeDelta::Add add;
+        add.cls = a.cls;
+        add.fields.assign(static_cast<size_t>(schemas_.arity(a.cls)), Value());
+        for (const RhsAssignment& asg : a.sets) {
+          if (asg.slot >= static_cast<int>(add.fields.size())) {
+            add.fields.resize(static_cast<size_t>(asg.slot) + 1);
+          }
+          add.fields[static_cast<size_t>(asg.slot)] =
+              eval(asg.value, cp, token, locals);
+        }
+        delta.adds.push_back(std::move(add));
+        break;
+      }
+      case Action::Kind::Modify: {
+        const Wme* old = token[static_cast<size_t>(a.ce_index - 1)];
+        WmeDelta::Add add;
+        add.cls = old->cls;
+        add.fields = old->fields;
+        for (const RhsAssignment& asg : a.sets) {
+          if (asg.slot >= static_cast<int>(add.fields.size())) {
+            add.fields.resize(static_cast<size_t>(asg.slot) + 1);
+          }
+          add.fields[static_cast<size_t>(asg.slot)] =
+              eval(asg.value, cp, token, locals);
+        }
+        delta.removes.push_back(old);
+        delta.adds.push_back(std::move(add));
+        break;
+      }
+      case Action::Kind::Remove:
+        delta.removes.push_back(token[static_cast<size_t>(a.ce_index - 1)]);
+        break;
+      case Action::Kind::Write: {
+        std::ostringstream os;
+        for (size_t i = 0; i < a.write_args.size(); ++i) {
+          if (i) os << ' ';
+          os << eval(a.write_args[i], cp, token, locals).to_string(syms_);
+        }
+        delta.writes.push_back(os.str());
+        break;
+      }
+      case Action::Kind::Bind:
+        locals[a.bind_var] = eval(a.bind_value, cp, token, locals);
+        break;
+      case Action::Kind::Halt:
+        delta.halt = true;
+        break;
+    }
+  }
+}
+
+}  // namespace psme

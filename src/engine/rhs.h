@@ -1,0 +1,53 @@
+// Right-hand-side execution: evaluates a fired instantiation's actions into
+// a batch of wme changes. The engine applies the batch and re-matches; this
+// module never touches the network.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/symbol.h"
+#include "lang/ast.h"
+#include "rete/builder.h"
+#include "rete/token.h"
+
+namespace psme {
+
+struct WmeDelta {
+  struct Add {
+    Symbol cls;
+    std::vector<Value> fields;
+  };
+  std::vector<Add> adds;
+  std::vector<const Wme*> removes;
+  std::vector<std::string> writes;
+  bool halt = false;
+};
+
+class RhsExecutor {
+ public:
+  RhsExecutor(SymbolTable& syms, ClassSchemas& schemas)
+      : syms_(syms), schemas_(schemas) {}
+
+  /// Evaluates `cp.ast`'s actions in the context of `token`, appending the
+  /// results to `delta`. Throws std::runtime_error on unbound-variable use.
+  void fire(const CompiledProduction& cp, const TokenData& token,
+            WmeDelta& delta);
+
+  /// Observes every symbol minted by a (genatom) during fire(); the Soar
+  /// kernel uses this to register new identifiers at the firing goal level.
+  void set_gensym_hook(std::function<void(Symbol)> fn) {
+    gensym_hook_ = std::move(fn);
+  }
+
+ private:
+  Value eval(const RhsValue& v, const CompiledProduction& cp,
+             const TokenData& token, std::vector<Value>& locals);
+
+  SymbolTable& syms_;
+  ClassSchemas& schemas_;
+  std::function<void(Symbol)> gensym_hook_;
+};
+
+}  // namespace psme

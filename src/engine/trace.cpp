@@ -1,0 +1,48 @@
+#include "engine/trace.h"
+
+namespace psme {
+
+void CycleTrace::append(CycleTrace&& other) {
+  const uint32_t base = static_cast<uint32_t>(tasks.size());
+  for (TaskRecord& r : other.tasks) {
+    if (r.parent != UINT32_MAX) r.parent += base;
+    tasks.push_back(std::move(r));
+  }
+  for (auto& la : other.line_accesses) line_accesses.push_back(la);
+}
+
+void TraceExecutor::emit(Activation&& a) {
+  queue_.emplace_back(std::move(a), current_parent_);
+}
+
+CycleTrace TraceExecutor::run_to_quiescence(std::vector<Activation> seeds) {
+  trace_ = CycleTrace{};
+  current_parent_ = UINT32_MAX;
+  for (auto& s : seeds) emit(std::move(s));
+  while (!queue_.empty()) {
+    auto [act, parent] = std::move(queue_.front());
+    queue_.pop_front();
+    if (!net_.should_execute(act, *this)) continue;
+    ++executed_;
+    uint32_t index = UINT32_MAX;
+    if (record_) {
+      index = static_cast<uint32_t>(trace_.tasks.size());
+      TaskRecord r;
+      r.parent = parent;
+      r.node = act.node;
+      r.type = net_.node(act.node)->type;
+      r.side = act.side;
+      r.add = act.add;
+      trace_.tasks.push_back(std::move(r));
+    }
+    stats.reset();
+    current_parent_ = index;
+    net_.execute(act, *this);
+    if (record_) trace_.tasks[index].stats = stats;
+  }
+  current_parent_ = UINT32_MAX;
+  trace_.line_accesses = net_.tables().harvest_cycle_accesses();
+  return std::move(trace_);
+}
+
+}  // namespace psme

@@ -1,0 +1,64 @@
+// Serial executor and task-trace recorder.
+//
+// This is the reference executor: it drains node activations in FIFO order
+// (like PSM-E's shared task queue, minus the other processes) and records,
+// for every task, which task spawned it and how much raw work it did. That
+// trace is the exact task DAG of the cycle; the virtual multiprocessor
+// (src/psim) schedules it on P processors to produce the paper's speedup
+// figures, and the threaded matcher's results are checked against this
+// executor's for equivalence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rete/hash_tables.h"
+#include "rete/network.h"
+
+namespace psme {
+
+struct TaskRecord {
+  uint32_t parent = UINT32_MAX;  // index of the spawning task; UINT32_MAX = seed
+  uint32_t node = 0;
+  NodeType type = NodeType::Const;
+  Side side = Side::Left;
+  bool add = true;
+  TaskStats stats;
+};
+
+struct CycleTrace {
+  std::vector<TaskRecord> tasks;
+  std::vector<PairedHashTables::LineAccess> line_accesses;
+
+  [[nodiscard]] size_t task_count() const { return tasks.size(); }
+
+  /// Appends another trace's tasks (parents re-based); used to merge the
+  /// update phases that may run concurrently.
+  void append(CycleTrace&& other);
+};
+
+class TraceExecutor final : public ExecContext {
+ public:
+  explicit TraceExecutor(Network& net, bool record_tasks = true)
+      : net_(net), record_(record_tasks) {}
+
+  void emit(Activation&& a) override;
+
+  /// Drains `seeds` and everything they spawn; returns the recorded trace
+  /// (empty task list when recording is off — task_count is still correct
+  /// via executed()).
+  CycleTrace run_to_quiescence(std::vector<Activation> seeds);
+
+  [[nodiscard]] uint64_t executed() const { return executed_; }
+
+ private:
+  Network& net_;
+  bool record_;
+  uint64_t executed_ = 0;
+  uint32_t current_parent_ = UINT32_MAX;
+  std::deque<std::pair<Activation, uint32_t>> queue_;
+  CycleTrace trace_;
+};
+
+}  // namespace psme

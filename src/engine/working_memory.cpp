@@ -1,0 +1,55 @@
+#include "engine/working_memory.h"
+
+#include <algorithm>
+
+namespace psme {
+
+const Wme* WorkingMemory::add(Symbol cls, std::vector<Value> fields) {
+  auto w = std::make_unique<Wme>();
+  w->cls = cls;
+  w->fields = std::move(fields);
+  w->timetag = ++timetag_;
+  const Wme* ptr = w.get();
+  by_content_.emplace(ptr->contents_hash(), ptr);
+  live_.emplace(ptr, std::move(w));
+  return ptr;
+}
+
+bool WorkingMemory::remove(const Wme* w) {
+  auto it = live_.find(w);
+  if (it == live_.end()) return false;
+  auto range = by_content_.equal_range(w->contents_hash());
+  for (auto bi = range.first; bi != range.second; ++bi) {
+    if (bi->second == w) {
+      by_content_.erase(bi);
+      break;
+    }
+  }
+  limbo_.push_back(std::move(it->second));
+  live_.erase(it);
+  return true;
+}
+
+const Wme* WorkingMemory::find(Symbol cls,
+                               const std::vector<Value>& fields) const {
+  Wme probe;
+  probe.cls = cls;
+  probe.fields = fields;
+  auto range = by_content_.equal_range(probe.contents_hash());
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second->same_contents(probe)) return it->second;
+  }
+  return nullptr;
+}
+
+std::vector<const Wme*> WorkingMemory::live() const {
+  std::vector<const Wme*> out;
+  out.reserve(live_.size());
+  for (const auto& [ptr, owned] : live_) out.push_back(ptr);
+  std::sort(out.begin(), out.end(), [](const Wme* a, const Wme* b) {
+    return a->timetag < b->timetag;
+  });
+  return out;
+}
+
+}  // namespace psme

@@ -1,0 +1,58 @@
+// Working memory: owns all wmes, assigns timetags, provides structural
+// lookup (Soar-mode deduplication), and defers freeing removed wmes until
+// the end of the match cycle (delete tokens still reference them while they
+// traverse the network).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rete/wme.h"
+
+namespace psme {
+
+class WorkingMemory {
+ public:
+  WorkingMemory() = default;
+  WorkingMemory(const WorkingMemory&) = delete;
+  WorkingMemory& operator=(const WorkingMemory&) = delete;
+
+  const Wme* add(Symbol cls, std::vector<Value> fields);
+
+  /// Marks `w` removed. It stays allocated (in limbo) until end_cycle().
+  /// Returns false if `w` is not live.
+  bool remove(const Wme* w);
+
+  /// Structural lookup among live wmes.
+  [[nodiscard]] const Wme* find(Symbol cls,
+                                const std::vector<Value>& fields) const;
+
+  [[nodiscard]] bool is_live(const Wme* w) const { return live_.count(w) != 0; }
+
+  /// Snapshot of live wmes ordered by timetag.
+  [[nodiscard]] std::vector<const Wme*> live() const;
+
+  [[nodiscard]] size_t size() const { return live_.size(); }
+
+  /// Frees wmes removed during the cycle. Call only at quiescence. With
+  /// retain_removed set, removed wmes stay allocated (the Soar kernel keeps
+  /// them so chunking's provenance records remain readable after garbage
+  /// collection).
+  void end_cycle() {
+    if (!retain_removed_) limbo_.clear();
+  }
+
+  void set_retain_removed(bool retain) { retain_removed_ = retain; }
+
+  [[nodiscard]] uint64_t timetags_issued() const { return timetag_; }
+
+ private:
+  std::unordered_map<const Wme*, std::unique_ptr<Wme>> live_;
+  std::unordered_multimap<size_t, const Wme*> by_content_;
+  std::vector<std::unique_ptr<Wme>> limbo_;
+  uint64_t timetag_ = 0;
+  bool retain_removed_ = false;
+};
+
+}  // namespace psme

@@ -1,0 +1,101 @@
+#include "lang/ast.h"
+
+namespace psme {
+
+const char* pred_name(Pred p) {
+  switch (p) {
+    case Pred::Eq: return "=";
+    case Pred::Ne: return "<>";
+    case Pred::Lt: return "<";
+    case Pred::Le: return "<=";
+    case Pred::Gt: return ">";
+    case Pred::Ge: return ">=";
+    case Pred::SameType: return "<=>";
+  }
+  return "?";
+}
+
+bool eval_pred(Pred p, const Value& lhs, const Value& rhs) {
+  switch (p) {
+    case Pred::Eq:
+      return lhs == rhs;
+    case Pred::Ne:
+      return lhs != rhs;
+    case Pred::SameType:
+      return lhs.same_type(rhs);
+    default:
+      break;
+  }
+  if (!lhs.is_num() || !rhs.is_num()) return false;
+  const double a = lhs.num();
+  const double b = rhs.num();
+  switch (p) {
+    case Pred::Lt: return a < b;
+    case Pred::Le: return a <= b;
+    case Pred::Gt: return a > b;
+    case Pred::Ge: return a >= b;
+    default: return false;
+  }
+}
+
+int ClassSchemas::slot(Symbol cls, Symbol attr) {
+  PerClass& pc = classes_[cls];
+  auto it = pc.index.find(attr);
+  if (it != pc.index.end()) return it->second;
+  const int s = static_cast<int>(pc.attrs.size());
+  pc.attrs.push_back(attr);
+  pc.index.emplace(attr, s);
+  return s;
+}
+
+int ClassSchemas::find_slot(Symbol cls, Symbol attr) const {
+  auto c = classes_.find(cls);
+  if (c == classes_.end()) return -1;
+  auto it = c->second.index.find(attr);
+  return it == c->second.index.end() ? -1 : it->second;
+}
+
+int ClassSchemas::arity(Symbol cls) const {
+  auto c = classes_.find(cls);
+  return c == classes_.end() ? 0 : static_cast<int>(c->second.attrs.size());
+}
+
+Symbol ClassSchemas::attr_name(Symbol cls, int slot) const {
+  auto c = classes_.find(cls);
+  if (c == classes_.end() || slot < 0 ||
+      slot >= static_cast<int>(c->second.attrs.size()))
+    return Symbol();
+  return c->second.attrs[static_cast<size_t>(slot)];
+}
+
+std::vector<Symbol> ClassSchemas::classes() const {
+  std::vector<Symbol> out;
+  out.reserve(classes_.size());
+  for (const auto& [cls, pc] : classes_) out.push_back(cls);
+  return out;
+}
+
+int Production::positive_ce_count() const {
+  int n = 0;
+  for (const auto& c : conditions)
+    if (!c.negated && !c.is_ncc()) ++n;
+  return n;
+}
+
+namespace {
+int count_all(const std::vector<Condition>& cs) {
+  int n = 0;
+  for (const auto& c : cs) {
+    if (c.is_ncc()) {
+      n += count_all(c.ncc);
+    } else {
+      ++n;
+    }
+  }
+  return n;
+}
+}  // namespace
+
+int Production::total_ce_count() const { return count_all(conditions); }
+
+}  // namespace psme

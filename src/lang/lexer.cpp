@@ -1,0 +1,98 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "lang/parser.h"
+
+namespace psme {
+namespace {
+
+bool is_delim(char c) {
+  return c == '(' || c == ')' || c == '{' || c == '}' || c == ';' ||
+         std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Classifies a bare atom into the fixed operator spellings, a variable, a
+/// number, or a plain symbol.
+Token classify(std::string_view a, int line) {
+  Token t;
+  t.line = line;
+  t.text = std::string(a);
+  if (a == "-->") { t.kind = Tok::Arrow; return t; }
+  if (a == "-")   { t.kind = Tok::Dash; return t; }
+  if (a == "<<")  { t.kind = Tok::LDisj; return t; }
+  if (a == ">>")  { t.kind = Tok::RDisj; return t; }
+  if (a == "=")   { t.kind = Tok::PredEq; return t; }
+  if (a == "<>")  { t.kind = Tok::PredNe; return t; }
+  if (a == "<=>") { t.kind = Tok::PredSame; return t; }
+  if (a == "<=")  { t.kind = Tok::PredLe; return t; }
+  if (a == ">=")  { t.kind = Tok::PredGe; return t; }
+  if (a == "<")   { t.kind = Tok::PredLt; return t; }
+  if (a == ">")   { t.kind = Tok::PredGt; return t; }
+
+  if (a.size() >= 3 && a.front() == '<' && a.back() == '>') {
+    t.kind = Tok::Variable;
+    return t;
+  }
+  if (a.front() == '^') {
+    if (a.size() < 2) throw ParseError("bare '^' is not an attribute", line);
+    t.kind = Tok::Hat;
+    t.text = std::string(a.substr(1));
+    return t;
+  }
+
+  // Number?
+  const char* begin = a.data();
+  const char* end = a.data() + a.size();
+  {
+    int64_t iv = 0;
+    auto [p, ec] = std::from_chars(begin, end, iv);
+    if (ec == std::errc() && p == end) {
+      t.kind = Tok::Int;
+      t.int_val = iv;
+      return t;
+    }
+  }
+  {
+    double dv = 0;
+    auto [p, ec] = std::from_chars(begin, end, dv);
+    if (ec == std::errc() && p == end) {
+      t.kind = Tok::Float;
+      t.float_val = dv;
+      return t;
+    }
+  }
+  t.kind = Tok::Sym;
+  return t;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) { ++i; continue; }
+    if (c == ';') {  // comment to end of line
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') { out.push_back({Tok::LParen, "(", 0, 0, line}); ++i; continue; }
+    if (c == ')') { out.push_back({Tok::RParen, ")", 0, 0, line}); ++i; continue; }
+    if (c == '{') { out.push_back({Tok::LBrace, "{", 0, 0, line}); ++i; continue; }
+    if (c == '}') { out.push_back({Tok::RBrace, "}", 0, 0, line}); ++i; continue; }
+    size_t j = i;
+    while (j < n && !is_delim(src[j])) ++j;
+    out.push_back(classify(src.substr(i, j - i), line));
+    i = j;
+  }
+  out.push_back({Tok::End, "", 0, 0, line});
+  return out;
+}
+
+}  // namespace psme

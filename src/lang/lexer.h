@@ -1,0 +1,50 @@
+// Tokenizer for the OPS5-dialect production language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psme {
+
+enum class Tok : uint8_t {
+  LParen,   // (
+  RParen,   // )
+  LBrace,   // {   (conjunctive test group / NCC body opener)
+  RBrace,   // }
+  Arrow,    // -->
+  Dash,     // -   (CE negation)
+  LDisj,    // <<
+  RDisj,    // >>
+  Hat,      // ^attr   (text() is the attribute name, without the ^)
+  Variable, // <x>     (text() is the name including brackets)
+  Sym,      // bare atom
+  Int,
+  Float,
+  PredEq,   // =
+  PredNe,   // <>
+  PredLt,   // <
+  PredLe,   // <=
+  PredGt,   // >
+  PredGe,   // >=
+  PredSame, // <=>
+  End,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     // symbol/attr/variable spelling
+  int64_t int_val = 0;
+  double float_val = 0;
+  int line = 0;
+
+  [[nodiscard]] bool is_pred() const {
+    return kind >= Tok::PredEq && kind <= Tok::PredSame;
+  }
+};
+
+/// Tokenizes `src`. Throws ParseError (see parser.h) on malformed input.
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace psme

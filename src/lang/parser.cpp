@@ -1,0 +1,336 @@
+#include "lang/parser.h"
+
+namespace psme {
+namespace {
+
+Pred pred_of(Tok t) {
+  switch (t) {
+    case Tok::PredEq: return Pred::Eq;
+    case Tok::PredNe: return Pred::Ne;
+    case Tok::PredLt: return Pred::Lt;
+    case Tok::PredLe: return Pred::Le;
+    case Tok::PredGt: return Pred::Gt;
+    case Tok::PredGe: return Pred::Ge;
+    case Tok::PredSame: return Pred::SameType;
+    default: throw std::logic_error("pred_of: not a predicate token");
+  }
+}
+
+}  // namespace
+
+void Parser::expect(Cursor& c, Tok kind, const char* what) {
+  if (c.peek().kind != kind)
+    throw ParseError(std::string("expected ") + what + ", got '" +
+                         c.peek().text + "'",
+                     c.peek().line);
+  c.next();
+}
+
+Value Parser::const_value(const Token& t) {
+  switch (t.kind) {
+    case Tok::Sym: return Value(syms_.intern(t.text));
+    case Tok::Int: return Value(t.int_val);
+    case Tok::Float: return Value(t.float_val);
+    default:
+      throw ParseError("expected a constant, got '" + t.text + "'", t.line);
+  }
+}
+
+uint32_t Parser::var_id(const std::string& name, Production& p,
+                        std::vector<std::string>& var_names) {
+  for (uint32_t i = 0; i < var_names.size(); ++i)
+    if (var_names[i] == name) return i;
+  var_names.push_back(name);
+  p.num_vars = static_cast<uint32_t>(var_names.size());
+  return p.num_vars - 1;
+}
+
+std::vector<Production> Parser::parse_file(std::string_view src) {
+  const auto toks = lex(src);
+  Cursor c{&toks};
+  std::vector<Production> out;
+  while (c.peek().kind != Tok::End) {
+    expect(c, Tok::LParen, "'('");
+    const Token& head = c.peek();
+    if (head.kind != Tok::Sym)
+      throw ParseError("expected 'p' or 'literalize'", head.line);
+    if (head.text == "p") {
+      c.next();
+      out.push_back(parse_p(c));
+    } else if (head.text == "literalize") {
+      c.next();
+      parse_literalize(c);
+    } else {
+      throw ParseError("unknown top-level form '" + head.text + "'", head.line);
+    }
+  }
+  return out;
+}
+
+Production Parser::parse_production(std::string_view src) {
+  auto all = parse_file(src);
+  if (all.size() != 1)
+    throw ParseError("expected exactly one production", 1);
+  return std::move(all.front());
+}
+
+void Parser::parse_literalize(Cursor& c) {
+  const Token& cls_tok = c.peek();
+  if (cls_tok.kind != Tok::Sym)
+    throw ParseError("literalize: expected class name", cls_tok.line);
+  const Symbol cls = syms_.intern(c.next().text);
+  while (c.peek().kind == Tok::Sym) {
+    schemas_.slot(cls, syms_.intern(c.next().text));
+  }
+  expect(c, Tok::RParen, "')' after literalize");
+}
+
+Production Parser::parse_p(Cursor& c) {
+  Production p;
+  const Token& name_tok = c.peek();
+  if (name_tok.kind != Tok::Sym)
+    throw ParseError("expected production name", name_tok.line);
+  p.name = syms_.intern(c.next().text);
+
+  std::vector<std::string> var_names;
+  // Conditions until -->
+  while (c.peek().kind != Tok::Arrow) {
+    if (c.peek().kind == Tok::End)
+      throw ParseError("unterminated production '" +
+                           std::string(syms_.name(p.name)) + "'",
+                       c.peek().line);
+    p.conditions.push_back(parse_ce(c, p, var_names));
+  }
+  c.next();  // -->
+  if (p.conditions.empty())
+    throw ParseError("production has no conditions", name_tok.line);
+  if (p.conditions.front().negated || p.conditions.front().is_ncc())
+    throw ParseError("first condition element must be positive", name_tok.line);
+
+  while (c.peek().kind == Tok::LParen) {
+    p.actions.push_back(parse_action(c, p, var_names));
+  }
+  expect(c, Tok::RParen, "')' closing production");
+  p.var_names = std::move(var_names);
+  return p;
+}
+
+Condition Parser::parse_ce(Cursor& c, Production& p,
+                           std::vector<std::string>& var_names) {
+  bool negated = false;
+  if (c.peek().kind == Tok::Dash) {
+    negated = true;
+    c.next();
+    if (c.peek().kind == Tok::LBrace) {
+      // Conjunctive negation: -{ CE+ }
+      c.next();
+      Condition group;
+      while (c.peek().kind != Tok::RBrace) {
+        if (c.peek().kind == Tok::End)
+          throw ParseError("unterminated '-{'", c.peek().line);
+        Condition inner = parse_ce(c, p, var_names);
+        if (inner.negated || inner.is_ncc())
+          throw ParseError("conditions inside -{ } must be positive",
+                           c.peek().line);
+        group.ncc.push_back(std::move(inner));
+      }
+      c.next();  // }
+      if (group.ncc.empty())
+        throw ParseError("empty conjunctive negation", c.peek().line);
+      return group;
+    }
+  }
+  expect(c, Tok::LParen, "'(' starting a condition element");
+  const Token& cls_tok = c.peek();
+  if (cls_tok.kind != Tok::Sym)
+    throw ParseError("expected class name in condition", cls_tok.line);
+  Condition ce;
+  ce.cls = syms_.intern(c.next().text);
+  ce.negated = negated;
+  parse_attr_tests(c, ce.cls, ce, p, var_names);
+  expect(c, Tok::RParen, "')' closing condition");
+  return ce;
+}
+
+void Parser::parse_attr_tests(Cursor& c, Symbol cls, Condition& ce,
+                              Production& p,
+                              std::vector<std::string>& var_names) {
+  while (c.peek().kind == Tok::Hat) {
+    const Symbol attr = syms_.intern(c.next().text);
+    const int slot = schemas_.slot(cls, attr);
+    if (c.peek().kind == Tok::LBrace) {
+      c.next();
+      while (c.peek().kind != Tok::RBrace) {
+        if (c.peek().kind == Tok::End)
+          throw ParseError("unterminated '{' test group", c.peek().line);
+        parse_one_test(c, cls, slot, ce, p, var_names);
+      }
+      c.next();  // }
+    } else {
+      parse_one_test(c, cls, slot, ce, p, var_names);
+    }
+  }
+}
+
+void Parser::parse_one_test(Cursor& c, Symbol /*cls*/, int slot, Condition& ce,
+                            Production& p,
+                            std::vector<std::string>& var_names) {
+  const Token& t = c.peek();
+  if (t.is_pred()) {
+    const Pred pr = pred_of(c.next().kind);
+    const Token& operand = c.next();
+    if (operand.kind == Tok::Variable) {
+      ce.vars.push_back({slot, pr, var_id(operand.text, p, var_names)});
+    } else {
+      ce.consts.push_back({slot, pr, const_value(operand)});
+    }
+    return;
+  }
+  if (t.kind == Tok::Variable) {
+    ce.vars.push_back({slot, Pred::Eq, var_id(c.next().text, p, var_names)});
+    return;
+  }
+  if (t.kind == Tok::LDisj) {
+    c.next();
+    DisjTest d;
+    d.slot = slot;
+    while (c.peek().kind != Tok::RDisj) {
+      if (c.peek().kind == Tok::End)
+        throw ParseError("unterminated '<<'", c.peek().line);
+      d.options.push_back(const_value(c.next()));
+    }
+    c.next();  // >>
+    if (d.options.empty())
+      throw ParseError("empty disjunction '<< >>'", t.line);
+    ce.disjs.push_back(std::move(d));
+    return;
+  }
+  ce.consts.push_back({slot, Pred::Eq, const_value(c.next())});
+}
+
+RhsValue Parser::parse_rhs_value(Cursor& c, Production& p,
+                                 std::vector<std::string>& var_names) {
+  RhsValue v;
+  const Token& t = c.peek();
+  if (t.kind == Tok::Variable) {
+    v.kind = RhsValue::Kind::Var;
+    v.var = var_id(c.next().text, p, var_names);
+    return v;
+  }
+  if (t.kind == Tok::LParen) {
+    c.next();
+    const Token& head = c.peek();
+    if (head.kind == Tok::Sym && head.text == "genatom") {
+      c.next();
+      v.kind = RhsValue::Kind::Gensym;
+      if (c.peek().kind == Tok::Sym)
+        v.gensym_prefix = syms_.intern(c.next().text);
+      else
+        v.gensym_prefix = syms_.intern("a");
+      expect(c, Tok::RParen, "')' after genatom");
+      return v;
+    }
+    if (head.kind == Tok::Sym && head.text == "compute") {
+      c.next();
+      v.kind = RhsValue::Kind::Compute;
+      v.arith.lhs = arena_.make();
+      *v.arith.lhs = parse_rhs_value(c, p, var_names);
+      const Token& op = c.next();
+      if (op.kind == Tok::Dash) {
+        v.arith.op = '-';
+      } else if (op.kind == Tok::Sym &&
+                 (op.text == "+" || op.text == "-" || op.text == "*" ||
+                  op.text == "/")) {
+        v.arith.op = op.text[0];
+      } else {
+        throw ParseError("compute: expected + - * /, got '" + op.text + "'",
+                         op.line);
+      }
+      v.arith.rhs = arena_.make();
+      *v.arith.rhs = parse_rhs_value(c, p, var_names);
+      expect(c, Tok::RParen, "')' after compute");
+      return v;
+    }
+    throw ParseError("unknown RHS value form '" + head.text + "'", head.line);
+  }
+  v.kind = RhsValue::Kind::Const;
+  v.constant = const_value(c.next());
+  return v;
+}
+
+Action Parser::parse_action(Cursor& c, Production& p,
+                            std::vector<std::string>& var_names) {
+  expect(c, Tok::LParen, "'(' starting an action");
+  const Token& head = c.peek();
+  if (head.kind != Tok::Sym)
+    throw ParseError("expected action keyword", head.line);
+  Action a;
+  const std::string kw = c.next().text;
+  if (kw == "make") {
+    a.kind = Action::Kind::Make;
+    const Token& cls_tok = c.peek();
+    if (cls_tok.kind != Tok::Sym)
+      throw ParseError("make: expected class name", cls_tok.line);
+    a.cls = syms_.intern(c.next().text);
+    while (c.peek().kind == Tok::Hat) {
+      const Symbol attr = syms_.intern(c.next().text);
+      RhsAssignment asg;
+      asg.slot = schemas_.slot(a.cls, attr);
+      asg.value = parse_rhs_value(c, p, var_names);
+      a.sets.push_back(std::move(asg));
+    }
+  } else if (kw == "modify") {
+    a.kind = Action::Kind::Modify;
+    const Token& idx = c.next();
+    if (idx.kind != Tok::Int)
+      throw ParseError("modify: expected CE index", idx.line);
+    a.ce_index = static_cast<int>(idx.int_val);
+    // Slots are resolved against the class of the referenced CE.
+    const int pos = a.ce_index;
+    int seen = 0;
+    Symbol cls;
+    for (const auto& ce : p.conditions) {
+      if (!ce.negated && !ce.is_ncc() && ++seen == pos) {
+        cls = ce.cls;
+        break;
+      }
+    }
+    if (!cls.valid())
+      throw ParseError("modify: CE index out of range", idx.line);
+    while (c.peek().kind == Tok::Hat) {
+      const Symbol attr = syms_.intern(c.next().text);
+      RhsAssignment asg;
+      asg.slot = schemas_.slot(cls, attr);
+      asg.value = parse_rhs_value(c, p, var_names);
+      a.sets.push_back(std::move(asg));
+    }
+  } else if (kw == "remove") {
+    a.kind = Action::Kind::Remove;
+    const Token& idx = c.next();
+    if (idx.kind != Tok::Int)
+      throw ParseError("remove: expected CE index", idx.line);
+    a.ce_index = static_cast<int>(idx.int_val);
+  } else if (kw == "write") {
+    a.kind = Action::Kind::Write;
+    while (c.peek().kind != Tok::RParen) {
+      if (c.peek().kind == Tok::End)
+        throw ParseError("unterminated write", c.peek().line);
+      a.write_args.push_back(parse_rhs_value(c, p, var_names));
+    }
+  } else if (kw == "bind") {
+    a.kind = Action::Kind::Bind;
+    const Token& var = c.peek();
+    if (var.kind != Tok::Variable)
+      throw ParseError("bind: expected variable", var.line);
+    a.bind_var = var_id(c.next().text, p, var_names);
+    a.bind_value = parse_rhs_value(c, p, var_names);
+  } else if (kw == "halt") {
+    a.kind = Action::Kind::Halt;
+  } else {
+    throw ParseError("unknown action '" + kw + "'", head.line);
+  }
+  expect(c, Tok::RParen, "')' closing action");
+  return a;
+}
+
+}  // namespace psme

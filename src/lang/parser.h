@@ -1,0 +1,75 @@
+// Recursive-descent parser for the production language.
+//
+// Top-level forms:
+//   (literalize class attr1 attr2 ...)   ; pin a class's slot layout
+//   (p name CE+ --> action*)             ; a production
+//
+// See lang/ast.h for the shape of the result.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/symbol.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace psme {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line)
+      : std::runtime_error("parse error (line " + std::to_string(line) + "): " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+class Parser {
+ public:
+  Parser(SymbolTable& syms, ClassSchemas& schemas, RhsArena& arena)
+      : syms_(syms), schemas_(schemas), arena_(arena) {}
+
+  /// Parses a whole source string: any number of literalize forms and
+  /// productions. Returns the productions in source order.
+  std::vector<Production> parse_file(std::string_view src);
+
+  /// Parses exactly one production.
+  Production parse_production(std::string_view src);
+
+ private:
+  struct Cursor {
+    const std::vector<Token>* toks;
+    size_t pos = 0;
+    [[nodiscard]] const Token& peek() const { return (*toks)[pos]; }
+    const Token& next() { return (*toks)[pos++]; }
+  };
+
+  Production parse_p(Cursor& c);
+  void parse_literalize(Cursor& c);
+  Condition parse_ce(Cursor& c, Production& p,
+                     std::vector<std::string>& var_names);
+  void parse_attr_tests(Cursor& c, Symbol cls, Condition& ce, Production& p,
+                        std::vector<std::string>& var_names);
+  void parse_one_test(Cursor& c, Symbol cls, int slot, Condition& ce,
+                      Production& p, std::vector<std::string>& var_names);
+  Action parse_action(Cursor& c, Production& p,
+                      std::vector<std::string>& var_names);
+  RhsValue parse_rhs_value(Cursor& c, Production& p,
+                           std::vector<std::string>& var_names);
+  uint32_t var_id(const std::string& name, Production& p,
+                  std::vector<std::string>& var_names);
+  Value const_value(const Token& t);
+
+  void expect(Cursor& c, Tok kind, const char* what);
+
+  SymbolTable& syms_;
+  ClassSchemas& schemas_;
+  RhsArena& arena_;
+};
+
+}  // namespace psme

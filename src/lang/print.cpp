@@ -1,0 +1,162 @@
+#include "lang/print.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace psme {
+namespace {
+
+struct Printer {
+  const SymbolTable& syms;
+  const ClassSchemas& schemas;
+  const Production& p;
+  std::ostringstream os;
+
+  std::string var_name(uint32_t v) const {
+    if (v < p.var_names.size() && !p.var_names[v].empty()) {
+      return p.var_names[v];
+    }
+    return "<v" + std::to_string(v) + ">";
+  }
+
+  void value(const Value& v) { os << v.to_string(syms); }
+
+  void attr(Symbol cls, int slot) {
+    const Symbol a = schemas.attr_name(cls, slot);
+    os << " ^" << (a.valid() ? std::string(syms.name(a))
+                             : "slot" + std::to_string(slot));
+  }
+
+  void condition(const Condition& ce) {
+    if (ce.is_ncc()) {
+      os << "-{ ";
+      for (const Condition& inner : ce.ncc) condition(inner);
+      os << "} ";
+      return;
+    }
+    if (ce.negated) os << '-';
+    os << '(' << syms.name(ce.cls);
+    // Group all tests by slot to emit { ... } groups where needed.
+    std::map<int, std::vector<std::string>> by_slot;
+    for (const auto& t : ce.consts) {
+      std::ostringstream s;
+      if (t.pred != Pred::Eq) s << pred_name(t.pred) << ' ';
+      s << t.value.to_string(syms);
+      by_slot[t.slot].push_back(s.str());
+    }
+    for (const auto& t : ce.disjs) {
+      std::ostringstream s;
+      s << "<< ";
+      for (const Value& v : t.options) s << v.to_string(syms) << ' ';
+      s << ">>";
+      by_slot[t.slot].push_back(s.str());
+    }
+    for (const auto& t : ce.vars) {
+      std::ostringstream s;
+      if (t.pred != Pred::Eq) s << pred_name(t.pred) << ' ';
+      s << var_name(t.var);
+      by_slot[t.slot].push_back(s.str());
+    }
+    for (const auto& [slot, tests] : by_slot) {
+      attr(ce.cls, slot);
+      if (tests.size() == 1) {
+        os << ' ' << tests.front();
+      } else {
+        os << " { ";
+        for (const auto& t : tests) os << t << ' ';
+        os << '}';
+      }
+    }
+    os << ") ";
+  }
+
+  void rhs_value(const RhsValue& v) {
+    switch (v.kind) {
+      case RhsValue::Kind::Const:
+        value(v.constant);
+        break;
+      case RhsValue::Kind::Var:
+        os << var_name(v.var);
+        break;
+      case RhsValue::Kind::Gensym:
+        os << "(genatom " << syms.name(v.gensym_prefix) << ')';
+        break;
+      case RhsValue::Kind::Compute:
+        os << "(compute ";
+        rhs_value(*v.arith.lhs);
+        os << ' ' << v.arith.op << ' ';
+        rhs_value(*v.arith.rhs);
+        os << ')';
+        break;
+    }
+  }
+
+  void action(const Action& a) {
+    switch (a.kind) {
+      case Action::Kind::Make:
+        os << "(make " << syms.name(a.cls);
+        for (const auto& asg : a.sets) {
+          attr(a.cls, asg.slot);
+          os << ' ';
+          rhs_value(asg.value);
+        }
+        os << ") ";
+        break;
+      case Action::Kind::Modify:
+        os << "(modify " << a.ce_index;
+        {
+          // Resolve the class of the referenced positive CE for attr names.
+          int seen = 0;
+          Symbol cls;
+          for (const auto& ce : p.conditions) {
+            if (!ce.negated && !ce.is_ncc() && ++seen == a.ce_index) {
+              cls = ce.cls;
+              break;
+            }
+          }
+          for (const auto& asg : a.sets) {
+            attr(cls, asg.slot);
+            os << ' ';
+            rhs_value(asg.value);
+          }
+        }
+        os << ") ";
+        break;
+      case Action::Kind::Remove:
+        os << "(remove " << a.ce_index << ") ";
+        break;
+      case Action::Kind::Write:
+        os << "(write";
+        for (const auto& w : a.write_args) {
+          os << ' ';
+          rhs_value(w);
+        }
+        os << ") ";
+        break;
+      case Action::Kind::Bind:
+        os << "(bind " << var_name(a.bind_var) << ' ';
+        rhs_value(a.bind_value);
+        os << ") ";
+        break;
+      case Action::Kind::Halt:
+        os << "(halt) ";
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::string production_to_text(const Production& p, const SymbolTable& syms,
+                               const ClassSchemas& schemas) {
+  Printer pr{syms, schemas, p, {}};
+  pr.os << "(p " << syms.name(p.name) << "\n  ";
+  for (const Condition& ce : p.conditions) pr.condition(ce);
+  pr.os << "\n  -->\n  ";
+  for (const Action& a : p.actions) pr.action(a);
+  pr.os << ")\n";
+  return pr.os.str();
+}
+
+}  // namespace psme

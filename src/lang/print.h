@@ -1,0 +1,15 @@
+// Pretty-printer: Production AST back to parseable source text. Used to
+// carry chunks from a during-chunking run into a fresh kernel (after-chunking
+// runs) and for diagnostics.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace psme {
+
+std::string production_to_text(const Production& p, const SymbolTable& syms,
+                               const ClassSchemas& schemas);
+
+}  // namespace psme

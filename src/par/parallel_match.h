@@ -1,0 +1,45 @@
+// The threaded match executor: N match processes pull node activations from
+// the task queues and execute them against the shared network, exactly the
+// PSM-E organization (§2.3/§4). Cycle termination is detected with an
+// outstanding-task counter: a task is counted before it is pushed and
+// uncounted after its execution completes, so the counter can only reach
+// zero at true quiescence.
+//
+// On this container (1 CPU) the threads interleave rather than run in
+// parallel; the executor is still exercised for *correctness* (its final
+// match state must equal the serial executor's) and for real lock/queue
+// statistics. Speedup *curves* come from the virtual multiprocessor
+// (src/psim), which schedules recorded task DAGs on P virtual processors.
+#pragma once
+
+#include <cstdint>
+
+#include "par/task_queue.h"
+#include "rete/network.h"
+
+namespace psme {
+
+struct ParallelStats {
+  uint64_t tasks = 0;
+  uint64_t failed_pops = 0;
+  uint64_t queue_lock_spins = 0;
+  uint64_t queue_lock_acquires = 0;
+  double wall_seconds = 0;
+};
+
+class ParallelMatcher {
+ public:
+  ParallelMatcher(Network& net, size_t n_workers, TaskQueueSet::Policy policy)
+      : net_(net), n_workers_(n_workers == 0 ? 1 : n_workers), policy_(policy) {}
+
+  /// Drains `seeds` and everything they spawn across all workers; returns
+  /// when the match is quiescent.
+  ParallelStats run_cycle(std::vector<Activation> seeds);
+
+ private:
+  Network& net_;
+  size_t n_workers_;
+  TaskQueueSet::Policy policy_;
+};
+
+}  // namespace psme

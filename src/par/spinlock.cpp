@@ -1,0 +1,7 @@
+// Spinlock is header-only; this TU exists so the target has a symbol anchor
+// and so future out-of-line additions have a home.
+#include "par/spinlock.h"
+
+namespace psme {
+static_assert(sizeof(Spinlock) <= 64, "Spinlock should stay within a cache line");
+}  // namespace psme

@@ -1,0 +1,73 @@
+// Instrumented test-and-test-and-set spinlock.
+//
+// The paper measures contention as "spins before the lock is acquired"
+// (spins/access for hash-bucket lines, spins/task for the task queue), so the
+// lock counts its own spins. Counters are relaxed atomics: they are
+// diagnostics, not synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace psme {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  /// Acquires the lock; returns the number of spins (failed acquisition
+  /// attempts) performed while waiting.
+  uint64_t lock() {
+    uint64_t spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
+      ++spins;
+      // Test loop: wait for the lock to look free before retrying the RMW.
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+    total_spins_.fetch_add(spins, std::memory_order_relaxed);
+    total_acquires_.fetch_add(1, std::memory_order_relaxed);
+    return spins;
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+  [[nodiscard]] uint64_t total_spins() const {
+    return total_spins_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t total_acquires() const {
+    return total_acquires_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() {
+    total_spins_.store(0, std::memory_order_relaxed);
+    total_acquires_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<uint64_t> total_spins_{0};
+  std::atomic<uint64_t> total_acquires_{0};
+};
+
+/// RAII guard.
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) : lock_(l) { spins_ = lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+  [[nodiscard]] uint64_t spins() const { return spins_; }
+
+ private:
+  Spinlock& lock_;
+  uint64_t spins_ = 0;
+};
+
+}  // namespace psme

@@ -1,0 +1,48 @@
+#include "par/task_queue.h"
+
+namespace psme {
+
+TaskQueueSet::TaskQueueSet(Policy policy, size_t n_workers)
+    : policy_(policy),
+      queues_(policy == Policy::Single ? 1 : (n_workers == 0 ? 1 : n_workers)) {}
+
+void TaskQueueSet::push(size_t worker, Activation&& a) {
+  Q& q = queues_[home_queue(worker)];
+  SpinGuard g(q.lock);
+  q.items.push_back(std::move(a));
+}
+
+bool TaskQueueSet::pop(size_t worker, Activation& out) {
+  const size_t n = queues_.size();
+  const size_t home = home_queue(worker);
+  for (size_t k = 0; k < n; ++k) {
+    Q& q = queues_[(home + k) % n];
+    SpinGuard g(q.lock);
+    if (!q.items.empty()) {
+      out = std::move(q.items.front());
+      q.items.pop_front();
+      return true;
+    }
+    failed_pops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+uint64_t TaskQueueSet::lock_spins() const {
+  uint64_t n = 0;
+  for (const Q& q : queues_) n += q.lock.total_spins();
+  return n;
+}
+
+uint64_t TaskQueueSet::lock_acquires() const {
+  uint64_t n = 0;
+  for (const Q& q : queues_) n += q.lock.total_acquires();
+  return n;
+}
+
+void TaskQueueSet::reset_stats() {
+  failed_pops_.store(0, std::memory_order_relaxed);
+  for (Q& q : queues_) const_cast<Spinlock&>(q.lock).reset_stats();
+}
+
+}  // namespace psme

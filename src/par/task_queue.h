@@ -1,0 +1,64 @@
+// Shared task queues holding node activations (§2.3).
+//
+// Two policies, matching the paper's two configurations:
+//   Single — one shared queue, one lock (Figure 6-1/6-3 configuration);
+//   Multi  — one queue per match process; a process pushes and pops its own
+//            queue and, when it runs dry, cycles through the other queues
+//            looking for work (Figure 6-4 configuration).
+//
+// The queue counts its own contention (lock spins) and *failed pops*: "when a
+// task is pushed into a queue, all the idle processes try to access that
+// task [...] the efficient way of informing other processes about the empty
+// queue is to let them lock the queue and find the empty queue for
+// themselves" — those wasted lock-and-look operations are what bends the
+// speedup curve down at 13 processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "par/spinlock.h"
+#include "rete/network.h"
+
+namespace psme {
+
+class TaskQueueSet {
+ public:
+  enum class Policy { Single, Multi };
+
+  TaskQueueSet(Policy policy, size_t n_workers);
+
+  void push(size_t worker, Activation&& a);
+
+  /// Pops a task for `worker`. Returns false if every queue it tried was
+  /// empty (each empty look is counted as a failed pop).
+  bool pop(size_t worker, Activation& out);
+
+  [[nodiscard]] Policy policy() const { return policy_; }
+  [[nodiscard]] size_t queue_count() const { return queues_.size(); }
+
+  [[nodiscard]] uint64_t failed_pops() const {
+    return failed_pops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t lock_spins() const;
+  [[nodiscard]] uint64_t lock_acquires() const;
+  void reset_stats();
+
+ private:
+  struct Q {
+    Spinlock lock;
+    std::deque<Activation> items;
+  };
+
+  [[nodiscard]] size_t home_queue(size_t worker) const {
+    return policy_ == Policy::Single ? 0 : worker % queues_.size();
+  }
+
+  Policy policy_;
+  std::vector<Q> queues_;
+  std::atomic<uint64_t> failed_pops_{0};
+};
+
+}  // namespace psme

@@ -1,0 +1,32 @@
+#include "par/worker_pool.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psme {
+
+void run_workers(size_t n, const std::function<void(size_t)>& fn) {
+  if (n <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace psme

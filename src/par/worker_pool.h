@@ -1,0 +1,15 @@
+// Minimal fork-join helper: runs `n` copies of a worker function on
+// std::thread and joins them all. Exceptions in workers are rethrown on the
+// caller thread (first one wins).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace psme {
+
+/// fn(worker_index) is called once per worker, concurrently.
+void run_workers(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace psme

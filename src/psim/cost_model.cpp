@@ -1,0 +1,39 @@
+#include "psim/cost_model.h"
+
+namespace psme {
+
+double CostModel::task_cost(const TaskRecord& r) const {
+  double base = 0;
+  switch (r.type) {
+    case NodeType::Const:
+    case NodeType::Disj:
+    case NodeType::Intra:
+      base = base_const;
+      break;
+    case NodeType::AlphaMem:
+      base = base_alpha;
+      break;
+    case NodeType::Join:
+    case NodeType::Not:
+    case NodeType::BJoin:
+      base = base_two;
+      break;
+    case NodeType::Ncc:
+    case NodeType::NccPartner:
+      base = base_ncc;
+      break;
+    case NodeType::Prod:
+      base = base_prod;
+      break;
+  }
+  return base + per_test * r.stats.tests + per_probe * r.stats.probes +
+         per_insert * r.stats.inserts + per_emit * r.stats.emits;
+}
+
+double CostModel::serial_us(const CycleTrace& t) const {
+  double s = 0;
+  for (const TaskRecord& r : t.tasks) s += task_cost(r);
+  return s;
+}
+
+}  // namespace psme

@@ -1,0 +1,36 @@
+// Task cost model: converts a recorded task's real work counters into
+// virtual microseconds on the paper's machine (Encore Multimax, NS32032 at
+// ~0.75 MIPS).
+//
+// Calibration target is Table 6-1: tasks average ~400 µs with a 200–800 µs
+// range, constant-test activations at the cheap end (their cost is mostly
+// task dispatch), two-input activations at the expensive end (memory probe
+// plus consistency tests), and ~90% of total match time in the two-input
+// nodes. bench_table_6_1 prints the resulting averages next to the paper's.
+#pragma once
+
+#include "engine/trace.h"
+
+namespace psme {
+
+struct CostModel {
+  // Fixed cost per activation by node kind (dispatch + node body), in µs.
+  double base_const = 170;
+  double base_alpha = 230;
+  double base_two = 260;    // join/not/bjoin
+  double base_ncc = 260;    // ncc owner/partner
+  double base_prod = 250;
+
+  // Work-proportional costs, in µs.
+  double per_test = 14;
+  double per_probe = 26;
+  double per_insert = 32;
+  double per_emit = 36;
+
+  [[nodiscard]] double task_cost(const TaskRecord& r) const;
+
+  /// Sum of task costs: the virtual uniprocessor time of a trace.
+  [[nodiscard]] double serial_us(const CycleTrace& t) const;
+};
+
+}  // namespace psme

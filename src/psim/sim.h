@@ -1,0 +1,101 @@
+// Virtual-time multiprocessor: schedules a recorded task DAG on P virtual
+// match processes with the paper's queueing policies and a spin-lock
+// contention model.
+//
+// Mechanisms modeled (all from §6):
+//   * task-queue lock: every push, pop and *failed pop* (lock, see empty,
+//     unlock) holds the queue lock exclusively; waiting time is converted to
+//     spins (spins/task, Figure 6-3) and the failed-pop traffic of idle
+//     processes is what bends the 13-process curve down (Figure 6-1);
+//   * single vs. per-process queues with cyclic scanning (Figures 6-1/6-4);
+//   * dependency chains: a child activation becomes available only when its
+//     parent finishes, so long chains bound the cycle makespan no matter how
+//     many processors are available (Figures 6-5/6-6);
+//   * per-cycle overhead: processes must notice quiescence and report to the
+//     control process, which penalizes very small cycles;
+//   * hash-bucket line locks (§6.1/Figure 6-2): the memory insert+probe part
+//     of a two-input activation holds its line's lock exclusively, so
+//     activations hitting the same bucket line serialize. The critical
+//     section length comes from each task's real probe/insert counters.
+//
+// The simulator is deterministic: same trace + options => same result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/trace.h"
+#include "psim/cost_model.h"
+
+namespace psme {
+
+enum class QueuePolicy : uint8_t { Single, Multi };
+
+struct SimOptions {
+  uint32_t processors = 8;
+  QueuePolicy policy = QueuePolicy::Multi;
+  CostModel cost;
+
+  double queue_hold_us = 52;   // lock hold for one push/pop critical section
+  double empty_hold_us = 26;   // lock hold for a failed pop (lock-and-look)
+  double spin_us = 25;         // one test-and-test-and-set iteration
+  double poll_interval_us = 45;  // idle back-off between scan rounds
+  double cycle_overhead_us = 450;  // quiescence detection + control handoff
+  double per_proc_overhead_us = 75;  // each process checks queues + reports
+  bool model_line_locks = true;  // hash-bucket line serialization
+
+  [[nodiscard]] double overhead_at(uint32_t procs) const {
+    return cycle_overhead_us + per_proc_overhead_us * procs;
+  }
+};
+
+struct SimCycleResult {
+  double serial_us = 0;    // uniprocessor virtual time of the cycle
+  double makespan_us = 0;  // parallel completion time incl. cycle overhead
+  uint64_t tasks = 0;
+  uint64_t spins = 0;          // queue-lock spins
+  uint64_t bucket_spins = 0;   // hash-line lock spins
+  uint64_t failed_pops = 0;
+  uint64_t pops = 0;
+
+  [[nodiscard]] double speedup() const {
+    return makespan_us > 0 ? serial_us / makespan_us : 1.0;
+  }
+  [[nodiscard]] double spins_per_task() const {
+    return tasks > 0 ? static_cast<double>(spins) / static_cast<double>(tasks)
+                     : 0.0;
+  }
+
+  /// (time_us, tasks-in-system) samples: queued + executing (Figure 6-6).
+  std::vector<std::pair<double, uint32_t>> timeline;
+};
+
+/// Simulates one cycle's task DAG. `record_timeline` retains the
+/// tasks-in-system samples (costs memory; off by default).
+SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
+                              bool record_timeline = false);
+
+struct SimRunResult {
+  double serial_us = 0;
+  double parallel_us = 0;
+  uint64_t tasks = 0;
+  uint64_t spins = 0;
+  uint64_t bucket_spins = 0;
+  uint64_t failed_pops = 0;
+  uint64_t pops = 0;
+  std::vector<SimCycleResult> cycles;  // filled when keep_cycles
+
+  [[nodiscard]] double speedup() const {
+    return parallel_us > 0 ? serial_us / parallel_us : 1.0;
+  }
+  [[nodiscard]] double spins_per_task() const {
+    return tasks > 0 ? static_cast<double>(spins) / static_cast<double>(tasks)
+                     : 0.0;
+  }
+};
+
+/// Simulates a whole run (sequence of synchronous cycles).
+SimRunResult simulate_run(const std::vector<CycleTrace>& traces,
+                          const SimOptions& opts, bool keep_cycles = false);
+
+}  // namespace psme

@@ -1,0 +1,6 @@
+// ProductionStore is header-only; anchor TU.
+#include "rete/add_production.h"
+
+namespace psme {
+static_assert(sizeof(AddRecord) > 0);
+}  // namespace psme

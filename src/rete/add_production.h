@@ -1,0 +1,41 @@
+// Production storage and the run-time add facade.
+//
+// Production ASTs must outlive the network (P-nodes point at them), so the
+// engine adopts parsed productions into a ProductionStore. AddRecord couples
+// an AST with its compilation result; the engine and the Soar kernel keep one
+// per production, including chunks added at run time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rete/builder.h"
+
+namespace psme {
+
+class ProductionStore {
+ public:
+  ProductionStore() = default;
+  ProductionStore(const ProductionStore&) = delete;
+  ProductionStore& operator=(const ProductionStore&) = delete;
+
+  const Production* adopt(Production&& p) {
+    owned_.push_back(std::make_unique<Production>(std::move(p)));
+    return owned_.back().get();
+  }
+
+  [[nodiscard]] size_t size() const { return owned_.size(); }
+  [[nodiscard]] const Production* at(size_t i) const { return owned_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Production>> owned_;
+};
+
+/// One production as known to the engine.
+struct AddRecord {
+  const Production* ast = nullptr;
+  CompiledProduction compiled;
+};
+
+}  // namespace psme

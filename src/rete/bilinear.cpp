@@ -1,0 +1,214 @@
+#include "rete/bilinear.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psme {
+namespace {
+
+struct Site {
+  int ce = -1;  // global CE index of the binding occurrence
+  int slot = 0;
+};
+
+Pred mirror(Pred p) {
+  switch (p) {
+    case Pred::Lt: return Pred::Gt;
+    case Pred::Le: return Pred::Ge;
+    case Pred::Gt: return Pred::Lt;
+    case Pred::Ge: return Pred::Le;
+    default: return p;
+  }
+}
+
+/// Builds a non-shared alpha chain (const tests only) for one CE.
+uint32_t build_plain_alpha(Network& net, const Condition& ce,
+                           std::vector<uint32_t>& created) {
+  uint32_t cur_slot = net.root_slot(ce.cls);
+  for (const ConstTest& t : ce.consts) {
+    auto* n = net.make_node<ConstNode>();
+    n->test = t;
+    net.jumptable().add(cur_slot, SuccessorRef{n->id, Side::Left});
+    created.push_back(n->id);
+    cur_slot = n->jt_slot;
+  }
+  auto* am = net.make_node<AlphaMemNode>();
+  net.jumptable().add(cur_slot, SuccessorRef{am->id, Side::Left});
+  created.push_back(am->id);
+  return am->id;
+}
+
+}  // namespace
+
+BilinearResult build_bilinear(Network& net, const Production& p,
+                              const BilinearOptions& opts) {
+  const size_t n_ces = p.conditions.size();
+  for (const Condition& ce : p.conditions) {
+    if (ce.negated || ce.is_ncc()) {
+      throw std::runtime_error(
+          "build_bilinear: only positive CEs are supported");
+    }
+    if (!ce.disjs.empty()) {
+      throw std::runtime_error("build_bilinear: disjunction tests unsupported");
+    }
+  }
+  const uint32_t prefix = std::min<uint32_t>(
+      opts.prefix_ces, static_cast<uint32_t>(n_ces > 1 ? n_ces - 1 : 1));
+
+  // Global binding sites (first Eq occurrence in CE order).
+  std::vector<Site> sites(p.num_vars);
+  for (size_t c = 0; c < n_ces; ++c) {
+    for (const VarTest& vt : p.conditions[c].vars) {
+      if (vt.pred == Pred::Eq && sites[vt.var].ce == -1) {
+        sites[vt.var].ce = static_cast<int>(c);
+        sites[vt.var].slot = vt.slot;
+      }
+    }
+  }
+
+  // Group id per CE: prefix CEs -> -1, others chunked.
+  auto group_of = [&](int ce) -> int {
+    if (ce < static_cast<int>(prefix)) return -1;
+    return (ce - static_cast<int>(prefix)) / static_cast<int>(opts.group_size);
+  };
+
+  // Validate: a non-prefix variable must not cross group boundaries.
+  for (size_t c = prefix; c < n_ces; ++c) {
+    for (const VarTest& vt : p.conditions[c].vars) {
+      const Site& s = sites[vt.var];
+      if (s.ce == -1 || group_of(s.ce) == -1) continue;  // wildcard or prefix
+      if (group_of(s.ce) != group_of(static_cast<int>(c))) {
+        throw std::runtime_error(
+            "build_bilinear: variable crosses group boundary");
+      }
+    }
+  }
+
+  BilinearResult res;
+
+  // Alpha memories, one per CE (deliberately unshared: this builder makes
+  // standalone benchmark networks).
+  std::vector<uint32_t> amems(n_ces);
+  for (size_t c = 0; c < n_ces; ++c) {
+    amems[c] = build_plain_alpha(net, p.conditions[c], res.nodes);
+  }
+
+  // Builds one linear chain over CE indices `ces`, whose token layout is
+  // `layout` (global CE index per token position, prefix first).
+  auto build_chain = [&](uint32_t start_pred, uint32_t start_arity,
+                         const std::vector<int>& layout,
+                         const std::vector<size_t>& ces) -> uint32_t {
+    uint32_t pred = start_pred;
+    uint32_t arity = start_arity;
+    for (const size_t c : ces) {
+      std::vector<JoinTest> eq, rest;
+      for (const VarTest& vt : p.conditions[c].vars) {
+        const Site& s = sites[vt.var];
+        if (s.ce == -1) continue;
+        if (s.ce == static_cast<int>(c)) continue;  // binding occurrence
+        // Locate the binding CE in this chain's token layout.
+        const auto it = std::find(layout.begin(), layout.end(), s.ce);
+        if (it == layout.end()) {
+          throw std::runtime_error("build_bilinear: binding outside chain");
+        }
+        JoinTest jt;
+        jt.left_ce = static_cast<uint16_t>(it - layout.begin());
+        jt.left_slot = static_cast<uint16_t>(s.slot);
+        jt.right_slot = static_cast<uint16_t>(vt.slot);
+        jt.pred = mirror(vt.pred);
+        (jt.pred == Pred::Eq ? eq : rest).push_back(jt);
+      }
+      const uint16_t n_eq = static_cast<uint16_t>(eq.size());
+      eq.insert(eq.end(), rest.begin(), rest.end());
+      auto* j = net.make_node<JoinNode>();
+      j->tests = std::move(eq);
+      j->n_eq = n_eq;
+      j->left_arity = arity;
+      j->left_pred = pred;
+      j->alpha_mem = amems[c];
+      net.jumptable().add(net.node(pred)->jt_slot, SuccessorRef{j->id, Side::Left});
+      net.jumptable().add(net.node(amems[c])->jt_slot,
+                          SuccessorRef{j->id, Side::Right});
+      res.nodes.push_back(j->id);
+      pred = j->id;
+      ++arity;
+    }
+    return pred;
+  };
+
+  // Prefix chain.
+  std::vector<int> prefix_layout;
+  for (uint32_t c = 0; c < prefix; ++c) prefix_layout.push_back(static_cast<int>(c));
+  std::vector<size_t> prefix_ces;
+  for (uint32_t c = 1; c < prefix; ++c) prefix_ces.push_back(c);
+  const uint32_t prefix_bottom =
+      build_chain(amems[0], 1, prefix_layout, prefix_ces);
+
+  // Group chains, each hanging off the prefix bottom.
+  struct GroupOut {
+    uint32_t bottom;
+    std::vector<int> layout;  // token layout of this group's output
+  };
+  std::vector<GroupOut> groups;
+  for (size_t c = prefix; c < n_ces; c += opts.group_size) {
+    std::vector<size_t> ces;
+    std::vector<int> layout = prefix_layout;
+    for (size_t k = c; k < std::min(n_ces, c + opts.group_size); ++k) {
+      ces.push_back(k);
+      layout.push_back(static_cast<int>(k));
+    }
+    GroupOut g;
+    g.layout = layout;
+    g.bottom = build_chain(prefix_bottom, prefix, layout, ces);
+    groups.push_back(std::move(g));
+  }
+
+  // Combine group outputs with token-x-token joins on the shared prefix.
+  auto combine = [&](const GroupOut& a, const GroupOut& b) -> GroupOut {
+    auto* bj = net.make_node<BJoinNode>();
+    bj->prefix_len = prefix;
+    net.jumptable().add(net.node(a.bottom)->jt_slot,
+                        SuccessorRef{bj->id, Side::Left});
+    net.jumptable().add(net.node(b.bottom)->jt_slot,
+                        SuccessorRef{bj->id, Side::Right});
+    res.nodes.push_back(bj->id);
+    GroupOut out;
+    out.bottom = bj->id;
+    out.layout = a.layout;
+    out.layout.insert(out.layout.end(), b.layout.begin() + prefix,
+                      b.layout.end());
+    return out;
+  };
+
+  uint32_t final_pred = prefix_bottom;
+  if (!groups.empty()) {
+    if (opts.balanced_tree) {
+      std::vector<GroupOut> level = std::move(groups);
+      while (level.size() > 1) {
+        std::vector<GroupOut> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+          next.push_back(combine(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+        level = std::move(next);
+      }
+      final_pred = level.front().bottom;
+    } else {
+      GroupOut acc = std::move(groups.front());
+      for (size_t i = 1; i < groups.size(); ++i) {
+        acc = combine(acc, groups[i]);
+      }
+      final_pred = acc.bottom;
+    }
+  }
+
+  auto* pn = net.make_node<ProdNode>();
+  pn->prod = &p;
+  net.jumptable().add(net.node(final_pred)->jt_slot,
+                      SuccessorRef{pn->id, Side::Left});
+  res.nodes.push_back(pn->id);
+  res.pnode = pn->id;
+  return res;
+}
+
+}  // namespace psme

@@ -1,0 +1,43 @@
+// Constrained bilinear network organization (§6.2, Figure 6-8).
+//
+// Long-chain productions (Figure 6-7: a Strips chunk with 43 CEs) serialize
+// the match: each join depends on the previous one, so no amount of
+// processors shortens the chain. The constrained bilinear organization
+// matches the first few CEs (the constraint prefix) linearly, hangs each
+// *group* of the remaining CEs off the prefix as an independent short chain,
+// and combines group results with token-x-token joins. The constraint
+// prevents the combinatorial explosion an unconstrained bilinear split would
+// cause.
+//
+// The paper's compiler could not yet emit this organization ("we plan to
+// develop the compiler technology"); here it is implemented as an opt-in
+// builder used by the Figure 6-8 ablation bench. It supports match-only
+// productions whose non-prefix variables do not cross group boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rete/network.h"
+
+namespace psme {
+
+struct BilinearOptions {
+  uint32_t prefix_ces = 3;   // length of the constraint prefix chain
+  uint32_t group_size = 8;   // CEs per hanging group
+  bool balanced_tree = false;  // combine groups pairwise instead of linearly
+};
+
+struct BilinearResult {
+  uint32_t pnode = 0;
+  std::vector<uint32_t> nodes;
+};
+
+/// Compiles `p` with the constrained bilinear organization. Throws
+/// std::runtime_error if `p` has non-positive CEs or variables that cross
+/// group boundaries (other than through the prefix).
+BilinearResult build_bilinear(Network& net, const Production& p,
+                              const BilinearOptions& opts);
+
+}  // namespace psme

@@ -1,0 +1,26 @@
+// Run-time code generation emulation.
+//
+// PSM-E's run-time compiler emitted OPS83-style machine code directly into
+// shared memory (§5.1). We cannot emit NS32032 code, so the portable
+// equivalent "generates" a byte image per node whose size follows the paper's
+// reported inline-expansion footprints (~250 bytes per two-input node,
+// Table 5-1). Generation writes every byte, so generation *time* scales with
+// generated size the way the real compiler's did — that relationship is what
+// Table 5-2 measures (shared compile time < unshared, because sharing
+// generates less code even after paying for the sharing search).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rete/nodes.h"
+
+namespace psme {
+
+/// Modeled machine-code bytes for `n`.
+[[nodiscard]] size_t modeled_node_bytes(const Node& n);
+
+/// Appends the modeled code image for `n` to `image` (deterministic bytes).
+void generate_code(const Node& n, std::vector<uint8_t>& image);
+
+}  // namespace psme

@@ -1,0 +1,49 @@
+#include "rete/hash_tables.h"
+
+namespace psme {
+namespace {
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+PairedHashTables::PairedHashTables(size_t line_count)
+    : lines_(round_up_pow2(line_count == 0 ? 1 : line_count)),
+      mask_(lines_.size() - 1) {}
+
+std::vector<PairedHashTables::LineAccess>
+PairedHashTables::harvest_cycle_accesses() {
+  std::vector<LineAccess> out;
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    Line& ln = lines_[i];
+    if (ln.left_accesses_cycle != 0 || ln.right_accesses_cycle != 0) {
+      out.push_back({static_cast<uint32_t>(i), ln.left_accesses_cycle,
+                     ln.right_accesses_cycle});
+      ln.left_accesses_cycle = 0;
+      ln.right_accesses_cycle = 0;
+    }
+  }
+  return out;
+}
+
+size_t PairedHashTables::total_left_entries() const {
+  size_t n = 0;
+  for (const auto& ln : lines_) n += ln.left.size();
+  return n;
+}
+
+size_t PairedHashTables::total_right_entries() const {
+  size_t n = 0;
+  for (const auto& ln : lines_) n += ln.right.size();
+  return n;
+}
+
+uint64_t PairedHashTables::total_lock_spins() const {
+  uint64_t n = 0;
+  for (const auto& ln : lines_) n += ln.lock.total_spins();
+  return n;
+}
+
+}  // namespace psme

@@ -1,0 +1,106 @@
+// The two global hash tables that hold all two-input-node memory state.
+//
+// Following PSM-E (§6.1 of the paper):
+//   * one table holds every *left* memory entry (partial-instantiation tokens
+//     waiting at a two-input node's left input, plus the not/NCC counters),
+//   * the second table holds every *right* memory entry (wmes specialized to
+//     a two-input node's right input),
+//   * the hash function covers (1) the variable bindings tested for equality
+//     at the destination two-input node and (2) that node's unique id,
+//   * a *line* is the pair of corresponding left/right buckets; one lock
+//     guards a line.
+//
+// Because a left token and a right wme that can pass the node's equality
+// tests hash identically, insert-then-probe under the single line lock is
+// atomic: concurrent left/right arrivals serialize on the line and cannot
+// miss each other. This is the property the paper's locking design exists to
+// provide, and it is why the parallel matcher needs no other match-state
+// locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "par/spinlock.h"
+#include "rete/token.h"
+
+namespace psme {
+
+struct LeftEntry {
+  uint64_t full_hash = 0;   // binding hash incl. node id (pre-modulo)
+  uint32_t node_id = 0;     // destination two-input node
+  int32_t neg_count = 0;    // Not: matching right wmes; Ncc: subnetwork matches
+  bool ncc_present = false; // Ncc: left token has arrived and not been deleted
+  bool ncc_emitted = false; // Ncc: an add has been sent downstream
+  uint8_t tag = 0;          // BJoin: 1 = left-side token, 2 = right-side token
+  TokenData token;
+};
+
+struct RightEntry {
+  uint64_t full_hash = 0;
+  uint32_t node_id = 0;
+  const Wme* wme = nullptr;
+};
+
+class PairedHashTables {
+ public:
+  struct Line {
+    Spinlock lock;
+    std::vector<LeftEntry> left;
+    std::vector<RightEntry> right;
+    // Per-cycle access counts, maintained under the line lock; harvested by
+    // the trace recorder for the Figure 6-2 contention histogram.
+    uint32_t left_accesses_cycle = 0;
+    uint32_t right_accesses_cycle = 0;
+  };
+
+  /// `line_count` is rounded up to a power of two.
+  explicit PairedHashTables(size_t line_count = 4096);
+
+  [[nodiscard]] size_t line_count() const { return lines_.size(); }
+
+  [[nodiscard]] size_t line_index(uint64_t hash) const {
+    return (hash ^ (hash >> 21)) & mask_;
+  }
+
+  Line& line_at(size_t index) { return lines_[index]; }
+  Line& line_for(uint64_t hash) { return lines_[line_index(hash)]; }
+
+  /// Collects nonzero (left, right) per-cycle access counts and resets them.
+  struct LineAccess {
+    uint32_t line;
+    uint32_t left;
+    uint32_t right;
+  };
+  std::vector<LineAccess> harvest_cycle_accesses();
+
+  /// Total entries (diagnostics / tests).
+  [[nodiscard]] size_t total_left_entries() const;
+  [[nodiscard]] size_t total_right_entries() const;
+
+  /// Sum of spins over all line locks (diagnostics for the threaded matcher).
+  [[nodiscard]] uint64_t total_lock_spins() const;
+
+  /// Enumerates left entries belonging to `node_id`. Not synchronized with
+  /// concurrent match; callers use it only between cycles (the §5.2 update
+  /// runs when match is quiescent).
+  template <typename Fn>
+  void for_each_left_of(uint32_t node_id, Fn&& fn) const {
+    for (const auto& ln : lines_)
+      for (const auto& e : ln.left)
+        if (e.node_id == node_id) fn(e);
+  }
+
+  template <typename Fn>
+  void for_each_right_of(uint32_t node_id, Fn&& fn) const {
+    for (const auto& ln : lines_)
+      for (const auto& e : ln.right)
+        if (e.node_id == node_id) fn(e);
+  }
+
+ private:
+  std::vector<Line> lines_;
+  size_t mask_ = 0;
+};
+
+}  // namespace psme

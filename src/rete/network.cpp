@@ -1,0 +1,486 @@
+#include "rete/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psme {
+
+Network::Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines)
+    : syms_(syms), schemas_(schemas), tables_(hash_lines) {}
+
+uint32_t Network::root_slot(Symbol cls) {
+  auto it = roots_.find(cls);
+  if (it != roots_.end()) return it->second;
+  const uint32_t slot = jt_.new_slot();
+  roots_.emplace(cls, slot);
+  return slot;
+}
+
+bool Network::has_root(Symbol cls) const { return roots_.count(cls) != 0; }
+
+void Network::inject(const Wme* w, bool add, ExecContext& ctx) {
+  auto it = roots_.find(w->cls);
+  if (it == roots_.end()) return;  // no production tests this class
+  for (const SuccessorRef& s : jt_.succs(it->second)) {
+    ctx.emit(Activation{s.node, s.side, add, TokenData{w}});
+  }
+}
+
+void Network::emit_succs(uint32_t jt_slot, const TokenData& token, bool add,
+                         ExecContext& ctx, bool from_alpha) {
+  for (const SuccessorRef& s : jt_.succs(jt_slot)) {
+    if (from_alpha && ctx.suppress_alpha_left && s.side == Side::Left) continue;
+    ++ctx.stats.emits;
+    ctx.emit(Activation{s.node, s.side, add, token});
+  }
+}
+
+void Network::execute(const Activation& act, ExecContext& ctx) {
+  Node* n = nodes_[act.node].get();
+  switch (n->type) {
+    case NodeType::Const:
+      exec_const(static_cast<const ConstNode&>(*n), act, ctx);
+      break;
+    case NodeType::Disj:
+      exec_disj(static_cast<const DisjNode&>(*n), act, ctx);
+      break;
+    case NodeType::Intra:
+      exec_intra(static_cast<const IntraNode&>(*n), act, ctx);
+      break;
+    case NodeType::BJoin:
+      exec_bjoin(static_cast<const BJoinNode&>(*n), act, ctx);
+      break;
+    case NodeType::AlphaMem:
+      exec_alpha(static_cast<AlphaMemNode&>(*n), act, ctx);
+      break;
+    case NodeType::Join:
+      exec_join(static_cast<const JoinNode&>(*n), act, ctx);
+      break;
+    case NodeType::Not:
+      exec_not(static_cast<const NotNode&>(*n), act, ctx);
+      break;
+    case NodeType::Ncc:
+      exec_ncc(static_cast<const NccNode&>(*n), act, ctx);
+      break;
+    case NodeType::NccPartner:
+      exec_partner(static_cast<const NccPartnerNode&>(*n), act, ctx);
+      break;
+    case NodeType::Prod:
+      exec_prod(static_cast<const ProdNode&>(*n), act, ctx);
+      break;
+  }
+}
+
+void Network::exec_const(const ConstNode& n, const Activation& a,
+                         ExecContext& ctx) {
+  ++ctx.stats.tests;
+  const Wme* w = a.token.front();
+  if (eval_pred(n.test.pred, w->field(n.test.slot), n.test.value)) {
+    emit_succs(n.jt_slot, a.token, a.add, ctx);
+  }
+}
+
+void Network::exec_disj(const DisjNode& n, const Activation& a,
+                        ExecContext& ctx) {
+  const Wme* w = a.token.front();
+  const Value v = w->field(n.test.slot);
+  for (const Value& opt : n.test.options) {
+    ++ctx.stats.tests;
+    if (v == opt) {
+      emit_succs(n.jt_slot, a.token, a.add, ctx);
+      return;
+    }
+  }
+}
+
+void Network::exec_intra(const IntraNode& n, const Activation& a,
+                         ExecContext& ctx) {
+  ++ctx.stats.tests;
+  const Wme* w = a.token.front();
+  if (eval_pred(n.pred, w->field(n.slot_a), w->field(n.slot_b))) {
+    emit_succs(n.jt_slot, a.token, a.add, ctx);
+  }
+}
+
+void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
+                         ExecContext& ctx) {
+  // Side encodes which sub-result the token comes from. Both sides store in
+  // the left table under the shared-prefix identity hash; a child token is
+  // left ++ right[prefix_len:], and the two sides agree on the prefix by
+  // construction (identical wme pointers).
+  const uint64_t h = n.hash_prefix(a.token);
+  const size_t li = tables_.line_index(h);
+  auto& line = tables_.line_at(li);
+  const uint8_t my_tag = a.side == Side::Left ? 1 : 2;
+  const uint8_t other_tag = a.side == Side::Left ? 2 : 1;
+  std::vector<TokenData> children;
+  {
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = a.side;
+    if (a.side == Side::Left) {
+      ++line.left_accesses_cycle;
+    } else {
+      ++line.right_accesses_cycle;
+    }
+    ++ctx.stats.inserts;
+    if (a.add) {
+      line.left.push_back(LeftEntry{h, n.id, 0, false, false, my_tag, a.token});
+    } else {
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->tag == my_tag && it->full_hash == h &&
+            it->token == a.token) {
+          line.left.erase(it);
+          break;
+        }
+      }
+    }
+    for (const LeftEntry& e : line.left) {
+      ++ctx.stats.probes;
+      if (e.node_id != n.id || e.tag != other_tag || e.full_hash != h) continue;
+      // Verify the shared prefix is identical (hash collisions).
+      bool same = true;
+      for (uint32_t i = 0; i < n.prefix_len; ++i) {
+        ++ctx.stats.tests;
+        if (e.token[i] != a.token[i]) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) continue;
+      const TokenData& l = a.side == Side::Left ? a.token : e.token;
+      const TokenData& r = a.side == Side::Left ? e.token : a.token;
+      TokenData child = l;
+      child.insert(child.end(), r.begin() + n.prefix_len, r.end());
+      children.push_back(std::move(child));
+    }
+  }
+  for (auto& c : children) emit_succs(n.jt_slot, c, a.add, ctx);
+}
+
+void Network::exec_alpha(AlphaMemNode& n, const Activation& a,
+                         ExecContext& ctx) {
+  const Wme* w = a.token.front();
+  {
+    SpinGuard g(n.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ++ctx.stats.inserts;
+    if (a.add) {
+      n.wmes.push_back(w);
+    } else {
+      auto it = std::find(n.wmes.begin(), n.wmes.end(), w);
+      if (it != n.wmes.end()) n.wmes.erase(it);
+    }
+  }
+  emit_succs(n.jt_slot, a.token, a.add, ctx, /*from_alpha=*/true);
+}
+
+void Network::exec_join(const JoinNode& n, const Activation& a,
+                        ExecContext& ctx) {
+  std::vector<TokenData> children;
+  if (a.side == Side::Left) {
+    const uint64_t h = n.hash_left(a.token);
+    const size_t li = tables_.line_index(h);
+    auto& line = tables_.line_at(li);
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Left;
+    ++line.left_accesses_cycle;
+    ++ctx.stats.inserts;
+    if (a.add) {
+      line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+    } else {
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->full_hash == h && it->token == a.token) {
+          line.left.erase(it);
+          break;
+        }
+      }
+    }
+    for (const RightEntry& r : line.right) {
+      ++ctx.stats.probes;
+      if (r.node_id != n.id || r.full_hash != h) continue;
+      if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) {
+        children.push_back(token_extend(a.token, r.wme));
+      }
+    }
+  } else {
+    const Wme* w = a.token.front();
+    const uint64_t h = n.hash_right(w);
+    const size_t li = tables_.line_index(h);
+    auto& line = tables_.line_at(li);
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Right;
+    ++line.right_accesses_cycle;
+    ++ctx.stats.inserts;
+    if (a.add) {
+      line.right.push_back(RightEntry{h, n.id, w});
+    } else {
+      for (auto it = line.right.begin(); it != line.right.end(); ++it) {
+        if (it->node_id == n.id && it->wme == w) {
+          line.right.erase(it);
+          break;
+        }
+      }
+    }
+    for (const LeftEntry& l : line.left) {
+      ++ctx.stats.probes;
+      if (l.node_id != n.id || l.full_hash != h) continue;
+      if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
+        children.push_back(token_extend(l.token, w));
+      }
+    }
+  }
+  // Emit outside the line lock: children go to other nodes' lines.
+  for (auto& c : children) emit_succs(n.jt_slot, c, a.add, ctx);
+}
+
+void Network::exec_not(const NotNode& n, const Activation& a,
+                       ExecContext& ctx) {
+  // A not-node passes its left token through unchanged iff no right wme
+  // matches it. Counts live in the left entries.
+  std::vector<std::pair<TokenData, bool>> emissions;  // (token, add)
+  if (a.side == Side::Left) {
+    const uint64_t h = n.hash_left(a.token);
+    const size_t li = tables_.line_index(h);
+    auto& line = tables_.line_at(li);
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Left;
+    ++line.left_accesses_cycle;
+    ++ctx.stats.inserts;
+    if (a.add) {
+      int32_t count = 0;
+      for (const RightEntry& r : line.right) {
+        ++ctx.stats.probes;
+        if (r.node_id != n.id || r.full_hash != h) continue;
+        if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) ++count;
+      }
+      line.left.push_back(LeftEntry{h, n.id, count, false, false, 0, a.token});
+      if (count == 0) emissions.emplace_back(a.token, true);
+    } else {
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->full_hash == h && it->token == a.token) {
+          if (it->neg_count == 0) emissions.emplace_back(a.token, false);
+          line.left.erase(it);
+          break;
+        }
+      }
+    }
+  } else {
+    const Wme* w = a.token.front();
+    const uint64_t h = n.hash_right(w);
+    const size_t li = tables_.line_index(h);
+    auto& line = tables_.line_at(li);
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Right;
+    ++line.right_accesses_cycle;
+    ++ctx.stats.inserts;
+    if (a.add) {
+      line.right.push_back(RightEntry{h, n.id, w});
+      for (LeftEntry& l : line.left) {
+        ++ctx.stats.probes;
+        if (l.node_id != n.id || l.full_hash != h) continue;
+        if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
+          if (++l.neg_count == 1) emissions.emplace_back(l.token, false);
+        }
+      }
+    } else {
+      for (auto it = line.right.begin(); it != line.right.end(); ++it) {
+        if (it->node_id == n.id && it->wme == w) {
+          line.right.erase(it);
+          break;
+        }
+      }
+      for (LeftEntry& l : line.left) {
+        ++ctx.stats.probes;
+        if (l.node_id != n.id || l.full_hash != h) continue;
+        if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
+          if (--l.neg_count == 0) emissions.emplace_back(l.token, true);
+        }
+      }
+    }
+  }
+  for (auto& [tok, add] : emissions) emit_succs(n.jt_slot, tok, add, ctx);
+}
+
+void Network::exec_ncc(const NccNode& n, const Activation& a,
+                       ExecContext& ctx) {
+  const uint64_t h = n.hash_prefix(a.token);
+  const size_t li = tables_.line_index(h);
+  auto& line = tables_.line_at(li);
+  std::vector<std::pair<TokenData, bool>> emissions;
+  {
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Left;
+    ++line.left_accesses_cycle;
+    ++ctx.stats.inserts;
+    LeftEntry* entry = nullptr;
+    for (LeftEntry& e : line.left) {
+      ++ctx.stats.probes;
+      if (e.node_id == n.id && e.full_hash == h && e.token == a.token) {
+        entry = &e;
+        break;
+      }
+    }
+    if (a.add) {
+      if (entry == nullptr) {
+        line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+        entry = &line.left.back();
+      }
+      entry->ncc_present = true;
+      if (entry->neg_count == 0 && !entry->ncc_emitted) {
+        entry->ncc_emitted = true;
+        emissions.emplace_back(a.token, true);
+      }
+    } else if (entry != nullptr) {
+      entry->ncc_present = false;
+      if (entry->ncc_emitted) {
+        entry->ncc_emitted = false;
+        emissions.emplace_back(a.token, false);
+      }
+      if (entry->neg_count == 0) {
+        line.left.erase(line.left.begin() + (entry - line.left.data()));
+      }
+    }
+  }
+  for (auto& [tok, add] : emissions) emit_succs(n.jt_slot, tok, add, ctx);
+}
+
+void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
+                           ExecContext& ctx) {
+  const NccNode& owner = static_cast<const NccNode&>(*nodes_[n.owner]);
+  TokenData prefix(a.token.begin(), a.token.begin() + n.prefix_len);
+  const uint64_t h = owner.hash_prefix(prefix);
+  const size_t li = tables_.line_index(h);
+  auto& line = tables_.line_at(li);
+  std::vector<std::pair<TokenData, bool>> emissions;
+  {
+    SpinGuard g(line.lock);
+    ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
+    ctx.stats.touched_line = true;
+    ctx.stats.line = static_cast<uint32_t>(li);
+    ctx.stats.line_side = Side::Left;
+    ++line.left_accesses_cycle;
+    ++ctx.stats.inserts;
+    LeftEntry* entry = nullptr;
+    for (LeftEntry& e : line.left) {
+      ++ctx.stats.probes;
+      if (e.node_id == owner.id && e.full_hash == h && e.token == prefix) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      // Subnetwork result arrived before the owner's left activation.
+      line.left.push_back(LeftEntry{h, owner.id, 0, false, false, 0, prefix});
+      entry = &line.left.back();
+    }
+    if (a.add) {
+      ++entry->neg_count;
+      if (entry->ncc_present && entry->neg_count == 1 && entry->ncc_emitted) {
+        entry->ncc_emitted = false;
+        emissions.emplace_back(prefix, false);
+      }
+    } else {
+      --entry->neg_count;
+      if (entry->neg_count == 0) {
+        if (entry->ncc_present && !entry->ncc_emitted) {
+          entry->ncc_emitted = true;
+          emissions.emplace_back(prefix, true);
+        } else if (!entry->ncc_present) {
+          line.left.erase(line.left.begin() + (entry - line.left.data()));
+        }
+      }
+    }
+  }
+  // Emissions flow from the owner NCC node's successors.
+  for (auto& [tok, add] : emissions) emit_succs(owner.jt_slot, tok, add, ctx);
+}
+
+void Network::exec_prod(const ProdNode& n, const Activation& a,
+                        ExecContext& ctx) {
+  (void)ctx;
+  if (sink_ == nullptr) return;
+  if (a.add) {
+    sink_->on_insert(n, a.token);
+  } else {
+    sink_->on_retract(n, a.token);
+  }
+}
+
+std::vector<TokenData> Network::node_outputs(uint32_t node_id) const {
+  const Node* n = nodes_[node_id].get();
+  std::vector<TokenData> out;
+  switch (n->type) {
+    case NodeType::AlphaMem: {
+      const auto& am = static_cast<const AlphaMemNode&>(*n);
+      out.reserve(am.wmes.size());
+      for (const Wme* w : am.wmes) out.push_back(TokenData{w});
+      break;
+    }
+    case NodeType::Join: {
+      const auto& j = static_cast<const JoinNode&>(*n);
+      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+        tables_.for_each_right_of(n->id, [&](const RightEntry& r) {
+          if (l.full_hash == r.full_hash && j.tests_pass(l.token, r.wme)) {
+            out.push_back(token_extend(l.token, r.wme));
+          }
+        });
+      });
+      break;
+    }
+    case NodeType::Not: {
+      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+        if (l.neg_count == 0) out.push_back(l.token);
+      });
+      break;
+    }
+    case NodeType::Ncc: {
+      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+        if (l.ncc_present && l.neg_count == 0) out.push_back(l.token);
+      });
+      break;
+    }
+    default:
+      assert(false && "node_outputs: not a share-point node type");
+      break;
+  }
+  return out;
+}
+
+Network::Census Network::census() const {
+  Census c;
+  for (const auto& n : nodes_) {
+    switch (n->type) {
+      case NodeType::Const: ++c.consts; break;
+      case NodeType::Disj: ++c.disjs; break;
+      case NodeType::Intra: ++c.intras; break;
+      case NodeType::BJoin: ++c.bjoins; break;
+      case NodeType::AlphaMem: ++c.alpha_mems; break;
+      case NodeType::Join: ++c.joins; break;
+      case NodeType::Not: ++c.nots; break;
+      case NodeType::Ncc: ++c.nccs; break;
+      case NodeType::NccPartner: ++c.partners; break;
+      case NodeType::Prod: ++c.prods; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace psme

@@ -1,0 +1,165 @@
+// The Rete network: node storage, the jumptable, the paired hash tables, and
+// the node-activation interpreter.
+//
+// The unit of work is the *activation* — "the address of the code for a node
+// in the RETE network and an input token for that node" (§2.3). Executors
+// (serial trace recorder, threaded worker pool) pop activations, call
+// Network::execute, and push whatever child activations execute() emits into
+// their ExecContext. The network itself never schedules anything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/symbol.h"
+#include "lang/ast.h"
+#include "rete/hash_tables.h"
+#include "rete/nodes.h"
+
+namespace psme {
+
+struct Activation {
+  uint32_t node = 0;
+  Side side = Side::Left;
+  bool add = true;
+  TokenData token;  // right-side activations carry a single wme
+};
+
+/// Per-task work counters, filled by execute(). These are the raw material
+/// for the psim cost model and for the paper's contention figures.
+struct TaskStats {
+  uint32_t tests = 0;        // consistency/constant tests evaluated
+  uint32_t probes = 0;       // memory entries scanned
+  uint32_t inserts = 0;      // memory insertions/removals
+  uint32_t emits = 0;        // successor activations emitted
+  uint32_t lock_spins = 0;   // spins on the line lock
+  uint32_t line = UINT32_MAX;     // hash line touched (if any)
+  bool touched_line = false;
+  Side line_side = Side::Left;
+
+  void reset() { *this = TaskStats{}; }
+};
+
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void on_insert(const ProdNode& p, const TokenData& t) = 0;
+  virtual void on_retract(const ProdNode& p, const TokenData& t) = 0;
+};
+
+/// Execution context handed to execute(). Concrete executors implement emit()
+/// to enqueue child activations. The update-mode fields implement the §5.2
+/// task filter.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+  virtual void emit(Activation&& a) = 0;
+
+  TaskStats stats;
+
+  // §5.2 run-time state update: when update_mode is set, activations of
+  // stateful nodes with id < min_node_id are ignored, and alpha memories do
+  // not emit to their Left-side successors (left seeding happens in the
+  // explicit replay phase).
+  bool update_mode = false;
+  uint32_t min_node_id = 0;
+  bool suppress_alpha_left = false;
+};
+
+class Network {
+ public:
+  Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines = 4096);
+
+  SymbolTable& syms() { return syms_; }
+  ClassSchemas& schemas() { return schemas_; }
+  Jumptable& jumptable() { return jt_; }
+  [[nodiscard]] const Jumptable& jumptable() const { return jt_; }
+  PairedHashTables& tables() { return tables_; }
+  [[nodiscard]] const PairedHashTables& tables() const { return tables_; }
+
+  void set_sink(MatchSink* sink) { sink_ = sink; }
+  [[nodiscard]] MatchSink* sink() const { return sink_; }
+
+  /// Creates a node of type T; assigns the next node id and a fresh
+  /// jumptable slot. New nodes always get ids greater than all existing
+  /// nodes — the invariant the §5.2 update filter relies on.
+  template <typename T>
+  T* make_node() {
+    auto owned = std::make_unique<T>();
+    T* n = owned.get();
+    n->id = static_cast<uint32_t>(nodes_.size());
+    n->jt_slot = jt_.new_slot();
+    nodes_.push_back(std::move(owned));
+    return n;
+  }
+
+  [[nodiscard]] Node* node(uint32_t id) { return nodes_[id].get(); }
+  [[nodiscard]] const Node* node(uint32_t id) const { return nodes_[id].get(); }
+  [[nodiscard]] uint32_t node_count() const {
+    return static_cast<uint32_t>(nodes_.size());
+  }
+
+  /// Jumptable slot holding the entry nodes for wmes of class `cls`.
+  uint32_t root_slot(Symbol cls);
+  [[nodiscard]] bool has_root(Symbol cls) const;
+
+  /// Entry point for a wme change: queues the class-root activations.
+  void inject(const Wme* w, bool add, ExecContext& ctx);
+
+  /// Executes one node activation; emits child activations through ctx.
+  void execute(const Activation& act, ExecContext& ctx);
+
+  /// The §5.2 task filter, applied by executors (or by emit paths).
+  [[nodiscard]] bool should_execute(const Activation& a,
+                                    const ExecContext& ctx) const {
+    if (!ctx.update_mode) return true;
+    const Node* n = nodes_[a.node].get();
+    return is_stateless(n->type) || n->id >= ctx.min_node_id;
+  }
+
+  /// All output tokens a node would pass downstream, regenerated from its
+  /// stored state. Only meaningful between cycles; used by the §5.2 replay
+  /// ("the last shared node must be specially executed in order to pass down
+  /// all of the PIs that it has stored as state").
+  [[nodiscard]] std::vector<TokenData> node_outputs(uint32_t node_id) const;
+
+  /// Node census for diagnostics and the code-size model.
+  struct Census {
+    uint32_t consts = 0, disjs = 0, intras = 0, alpha_mems = 0, joins = 0,
+             nots = 0, nccs = 0, partners = 0, bjoins = 0, prods = 0;
+    [[nodiscard]] uint32_t two_input() const { return joins + nots + bjoins; }
+    [[nodiscard]] uint32_t total() const {
+      return consts + disjs + intras + alpha_mems + joins + nots + nccs +
+             partners + bjoins + prods;
+    }
+  };
+  [[nodiscard]] Census census() const;
+
+ private:
+  void emit_succs(uint32_t jt_slot, const TokenData& token, bool add,
+                  ExecContext& ctx, bool from_alpha = false);
+
+  void exec_const(const ConstNode& n, const Activation& a, ExecContext& ctx);
+  void exec_disj(const DisjNode& n, const Activation& a, ExecContext& ctx);
+  void exec_intra(const IntraNode& n, const Activation& a, ExecContext& ctx);
+  void exec_bjoin(const BJoinNode& n, const Activation& a, ExecContext& ctx);
+  void exec_alpha(AlphaMemNode& n, const Activation& a, ExecContext& ctx);
+  void exec_join(const JoinNode& n, const Activation& a, ExecContext& ctx);
+  void exec_not(const NotNode& n, const Activation& a, ExecContext& ctx);
+  void exec_ncc(const NccNode& n, const Activation& a, ExecContext& ctx);
+  void exec_partner(const NccPartnerNode& n, const Activation& a,
+                    ExecContext& ctx);
+  void exec_prod(const ProdNode& n, const Activation& a, ExecContext& ctx);
+
+  SymbolTable& syms_;
+  ClassSchemas& schemas_;
+  Jumptable jt_;
+  PairedHashTables tables_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<Symbol, uint32_t> roots_;  // class -> jumptable slot
+  MatchSink* sink_ = nullptr;
+};
+
+}  // namespace psme

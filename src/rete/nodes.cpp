@@ -1,0 +1,80 @@
+#include "rete/nodes.h"
+
+namespace psme {
+
+const char* node_type_name(NodeType t) {
+  switch (t) {
+    case NodeType::Const: return "const";
+    case NodeType::Disj: return "disj";
+    case NodeType::Intra: return "intra";
+    case NodeType::BJoin: return "bjoin";
+    case NodeType::AlphaMem: return "alpha-mem";
+    case NodeType::Join: return "and";
+    case NodeType::Not: return "not";
+    case NodeType::Ncc: return "ncc";
+    case NodeType::NccPartner: return "ncc-partner";
+    case NodeType::Prod: return "p-node";
+  }
+  return "?";
+}
+
+namespace {
+constexpr uint64_t kSeed = 0x2545f4914f6cdd1dull;
+
+uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+uint64_t TwoInputNode::hash_left(const TokenData& t) const {
+  uint64_t h = mix(kSeed, id);
+  for (uint16_t i = 0; i < n_eq; ++i) {
+    const JoinTest& jt = tests[i];
+    h = mix(h, t[jt.left_ce]->field(jt.left_slot).hash());
+  }
+  return h;
+}
+
+uint64_t TwoInputNode::hash_right(const Wme* w) const {
+  uint64_t h = mix(kSeed, id);
+  for (uint16_t i = 0; i < n_eq; ++i) {
+    h = mix(h, w->field(tests[i].right_slot).hash());
+  }
+  return h;
+}
+
+bool TwoInputNode::tests_pass(const TokenData& t, const Wme* w,
+                              uint32_t* tests_run) const {
+  uint32_t n = 0;
+  bool ok = true;
+  for (const JoinTest& jt : tests) {
+    ++n;
+    if (!eval_pred(jt.pred, t[jt.left_ce]->field(jt.left_slot),
+                   w->field(jt.right_slot))) {
+      ok = false;
+      break;
+    }
+  }
+  if (tests_run != nullptr) *tests_run += n;
+  return ok;
+}
+
+uint64_t BJoinNode::hash_prefix(const TokenData& t) const {
+  uint64_t h = mix(kSeed ^ 0x5151ull, id);
+  for (uint32_t i = 0; i < prefix_len && i < t.size(); ++i) {
+    h = mix(h, t[i]->timetag);
+  }
+  return h;
+}
+
+uint64_t NccNode::hash_prefix(const TokenData& t) const {
+  uint64_t h = mix(kSeed ^ 0xabcdefull, id);
+  // Identity of the prefix (wme timetags), independent of binding values.
+  for (uint32_t i = 0; i < left_arity && i < t.size(); ++i) {
+    h = mix(h, t[i]->timetag);
+  }
+  return h;
+}
+
+}  // namespace psme

@@ -1,0 +1,46 @@
+// Tokens: partial instantiations (PIs).
+//
+// Following the paper, a token is simply "a list of wmes, matching CEs".
+// We keep tokens *flat* (a vector of wme pointers) rather than parent-linked:
+// flat PIs can be compared for equality structurally, which is what delete-
+// flag tokens need when they re-traverse the network and remove state from
+// memory nodes. Flat tokens also cross thread boundaries without shared
+// ownership headaches; wmes themselves are owned by working memory and are
+// never freed in the middle of a match cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rete/wme.h"
+
+namespace psme {
+
+using TokenData = std::vector<const Wme*>;
+
+/// Identity hash of a PI (combines the wme timetags). Used for NCC prefix
+/// keying and conflict-set indexing — NOT for join-memory placement, which
+/// hashes the *bindings* tested at the destination node instead (see
+/// JoinNode::hash_left/hash_right).
+[[nodiscard]] inline size_t token_identity_hash(const TokenData& t) {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Wme* w : t) {
+    h ^= static_cast<size_t>(w->timetag) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+[[nodiscard]] inline TokenData token_extend(const TokenData& t, const Wme* w) {
+  TokenData out;
+  out.reserve(t.size() + 1);
+  out = t;
+  out.push_back(w);
+  return out;
+}
+
+[[nodiscard]] std::string token_to_string(const TokenData& t,
+                                          const SymbolTable& syms,
+                                          const ClassSchemas& schemas);
+
+}  // namespace psme

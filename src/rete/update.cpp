@@ -1,0 +1,115 @@
+#include "rete/update.h"
+
+#include <deque>
+
+namespace psme {
+namespace {
+
+bool prefix_passes(const AlphaFrontier& f, const Wme* w) {
+  for (const ConstTest& t : f.prefix_consts) {
+    if (!eval_pred(t.pred, w->field(t.slot), t.value)) return false;
+  }
+  for (const DisjTest& t : f.prefix_disjs) {
+    bool any = false;
+    for (const Value& opt : t.options) any |= w->field(t.slot) == opt;
+    if (!any) return false;
+  }
+  for (const IntraTestSpec& t : f.prefix_intras) {
+    if (!eval_pred(t.pred, w->field(t.slot_a), w->field(t.slot_b))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Activation> update_alpha_seeds(Network& net,
+                                           const CompiledProduction& cp,
+                                           const std::vector<const Wme*>& wm) {
+  (void)net;
+  std::vector<Activation> seeds;
+  for (const AlphaFrontier& f : cp.alpha_frontiers) {
+    for (const Wme* w : wm) {
+      if (w->cls != f.cls) continue;
+      if (!prefix_passes(f, w)) continue;
+      seeds.push_back(Activation{f.entry_node, Side::Left, true, TokenData{w}});
+    }
+  }
+  return seeds;
+}
+
+std::vector<Activation> update_right_seeds(Network& net,
+                                           const CompiledProduction& cp) {
+  std::vector<Activation> seeds;
+  for (const uint32_t id : cp.new_nodes) {
+    const Node* n = net.node(id);
+    if (n->type != NodeType::Join && n->type != NodeType::Not) continue;
+    const auto* t = static_cast<const TwoInputNode*>(n);
+    if (t->alpha_mem >= cp.first_new_id) continue;  // new amem: phase A fed it
+    const auto* am = static_cast<const AlphaMemNode*>(net.node(t->alpha_mem));
+    for (const Wme* w : am->wmes) {
+      seeds.push_back(Activation{id, Side::Right, true, TokenData{w}});
+    }
+  }
+  return seeds;
+}
+
+std::vector<Activation> update_left_seeds(Network& net,
+                                          const CompiledProduction& cp) {
+  std::vector<Activation> seeds;
+  const auto outputs = net.node_outputs(cp.share_point);
+  const uint32_t slot = net.node(cp.share_point)->jt_slot;
+  for (const SuccessorRef& s : net.jumptable().peek(slot)) {
+    if (s.side != Side::Left || s.node < cp.first_new_id) continue;
+    for (const TokenData& t : outputs) {
+      seeds.push_back(Activation{s.node, Side::Left, true, t});
+    }
+  }
+  return seeds;
+}
+
+namespace {
+
+class DrainCtx final : public ExecContext {
+ public:
+  explicit DrainCtx(Network& net) : net_(net) {}
+
+  void emit(Activation&& a) override {
+    if (net_.should_execute(a, *this)) queue_.push_back(std::move(a));
+  }
+
+  uint64_t drain(std::vector<Activation> seeds) {
+    uint64_t n = 0;
+    for (auto& s : seeds) emit(std::move(s));
+    while (!queue_.empty()) {
+      Activation a = std::move(queue_.front());
+      queue_.pop_front();
+      ++n;
+      net_.execute(a, *this);
+    }
+    return n;
+  }
+
+ private:
+  Network& net_;
+  std::deque<Activation> queue_;
+};
+
+}  // namespace
+
+uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+                           const std::vector<const Wme*>& wm) {
+  uint64_t tasks = 0;
+  DrainCtx ctx(net);
+  ctx.update_mode = true;
+  ctx.min_node_id = cp.first_new_id;
+  ctx.suppress_alpha_left = true;
+  tasks += ctx.drain(update_alpha_seeds(net, cp, wm));
+  ctx.suppress_alpha_left = false;
+  tasks += ctx.drain(update_right_seeds(net, cp));
+  tasks += ctx.drain(update_left_seeds(net, cp));
+  return tasks;
+}
+
+}  // namespace psme

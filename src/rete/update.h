@@ -1,0 +1,51 @@
+// Run-time update of state for a newly added production (§5.2).
+//
+// The update re-runs working memory through the normal network under the
+// task filter (activations of stateful nodes older than the first new node
+// are ignored; see Network::should_execute), then specially executes the
+// last shared node, replaying the partial instantiations it stores down to
+// the new nodes only. Because it reuses the ordinary task machinery, the
+// full parallelism of the match is available to the update — this is what
+// Figure 6-9 measures.
+//
+// Phase order matters and is the caller's contract:
+//   A. alpha_seeds, drained with suppress_alpha_left set: fills new alpha
+//      memories and the right memories of new two-input nodes fed by them.
+//   B. right_seeds, drained: fills right memories of new two-input nodes fed
+//      by *old* (shared) alpha memories.
+//   C. left_seeds (computed only after A and B have drained), drained: the
+//      last-shared-node replay. Left tokens now meet fully-populated right
+//      memories, so no match can be missed and no duplicate state is added.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rete/builder.h"
+#include "rete/network.h"
+
+namespace psme {
+
+/// Phase A seeds: for each new alpha-network chain, every wme of the right
+/// class that passes the shared prefix tests is seeded at the chain's entry
+/// node. Evaluating the prefix synthetically is the run-time equivalent of
+/// the paper's queue filter, under which activations of pre-existing nodes
+/// are never executed ("the task queues are changed to ignore tasks with IDs
+/// less than the first new node").
+std::vector<Activation> update_alpha_seeds(Network& net,
+                                           const CompiledProduction& cp,
+                                           const std::vector<const Wme*>& wm);
+
+std::vector<Activation> update_right_seeds(Network& net,
+                                           const CompiledProduction& cp);
+
+/// Must be called after phases A and B have fully drained.
+std::vector<Activation> update_left_seeds(Network& net,
+                                          const CompiledProduction& cp);
+
+/// Serial convenience used by tests and the incremental-vs-rebuild property
+/// checks. Returns the number of tasks executed.
+uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+                           const std::vector<const Wme*>& wm);
+
+}  // namespace psme

@@ -1,0 +1,21 @@
+#include "rete/wme.h"
+
+#include <sstream>
+
+namespace psme {
+
+std::string Wme::to_string(const SymbolTable& syms,
+                           const ClassSchemas& schemas) const {
+  std::ostringstream os;
+  os << '(' << syms.name(cls);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].is_nil()) continue;
+    const Symbol attr = schemas.attr_name(cls, static_cast<int>(i));
+    os << " ^" << (attr.valid() ? syms.name(attr) : "?") << ' '
+       << fields[i].to_string(syms);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace psme

@@ -1,0 +1,45 @@
+// Working memory elements.
+//
+// A wme is a record: a class symbol plus a dense vector of attribute values
+// (slot layout per class comes from ClassSchemas). Each wme carries the OPS5
+// timetag — a monotonically increasing creation stamp used by conflict
+// resolution and by token hashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/symbol.h"
+#include "base/value.h"
+#include "lang/ast.h"
+
+namespace psme {
+
+struct Wme {
+  Symbol cls;
+  std::vector<Value> fields;
+  uint64_t timetag = 0;
+
+  [[nodiscard]] Value field(int slot) const {
+    return slot < static_cast<int>(fields.size()) ? fields[static_cast<size_t>(slot)]
+                                                  : Value();
+  }
+
+  /// Structural equality ignoring the timetag (used by WM dedup in Soar mode,
+  /// where re-deriving an existing wme must not create a duplicate).
+  [[nodiscard]] bool same_contents(const Wme& o) const {
+    return cls == o.cls && fields == o.fields;
+  }
+
+  [[nodiscard]] size_t contents_hash() const {
+    size_t h = std::hash<Symbol>()(cls);
+    for (const auto& v : fields) h = h * 0x100000001b3ull ^ v.hash();
+    return h;
+  }
+
+  [[nodiscard]] std::string to_string(const SymbolTable& syms,
+                                      const ClassSchemas& schemas) const;
+};
+
+}  // namespace psme

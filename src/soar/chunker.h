@@ -1,0 +1,49 @@
+// Chunking: builds a new production from the dependency trace of a result.
+//
+// "Chunking works by recording the wmes of each instantiation and the wmes
+// created by firing that instantiation. [...] Chunking performs a dependency
+// analysis by searching backward through the instantiation records to find
+// the wmes that existed before the result context that were used to generate
+// this result. It then constructs a new production whose LHS is based on
+// these wmes and whose RHS reconstructs the result." (§3)
+//
+// Negated conditions of traced productions ARE transferred: each negated CE
+// is re-instantiated against the firing's bindings (identifiers variablized
+// consistently with the positive conditions, everything else grounded to the
+// matched constants) and appended to the chunk. A chunk is abandoned when a
+// negation cannot be resolved soundly (it references a subgoal-local
+// identifier, or a local variable repeats within the negated CE).
+//
+// Simplifications vs. full Soar chunking (documented in DESIGN.md §6):
+// architectural wmes (subgoal scaffolding, which has no creating
+// instantiation) terminate the backtrace and contribute no conditions, and
+// traced conjunctive negations abandon the chunk. Chunks whose conditions
+// fail to mention the result's anchor identifier are discarded as
+// over-general.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lang/ast.h"
+#include "rete/wme.h"
+
+namespace psme {
+
+class SoarKernel;
+
+class Chunker {
+ public:
+  explicit Chunker(SoarKernel& kernel) : k_(kernel) {}
+
+  /// Builds a chunk for `result` (a wme created in a subgoal but attached at
+  /// `result_level`). Returns nullopt when no useful chunk can be formed.
+  /// On success `signature` receives a canonical string for deduplication.
+  std::optional<Production> build_chunk(const Wme* result, int result_level,
+                                        std::string* signature);
+
+ private:
+  SoarKernel& k_;
+};
+
+}  // namespace psme

@@ -1,0 +1,348 @@
+#include "soar/kernel.h"
+
+#include <algorithm>
+
+#include "lang/print.h"
+#include "soar/chunker.h"
+
+namespace psme {
+
+SoarKernel::SoarKernel(SoarOptions opts) : opts_(opts), engine_(opts.engine) {
+  SymbolTable& syms = engine_.syms();
+  ClassSchemas& sch = engine_.schemas();
+  cls_wme_ = syms.intern("wme");
+  cls_pref_ = syms.intern("pref");
+  attr_id_ = syms.intern("id");
+  attr_attr_ = syms.intern("attr");
+  attr_value_ = syms.intern("value");
+  attr_gid_ = syms.intern("gid");
+  attr_sid_ = syms.intern("sid");
+  attr_role_ = syms.intern("role");
+  attr_kind_ = syms.intern("kind");
+  attr_ref_ = syms.intern("ref");
+  // Pin slot layouts: (wme id attr value), (pref gid sid role value kind ref).
+  sch.slot(cls_wme_, attr_id_);
+  sch.slot(cls_wme_, attr_attr_);
+  sch.slot(cls_wme_, attr_value_);
+  sch.slot(cls_pref_, attr_gid_);
+  sch.slot(cls_pref_, attr_sid_);
+  sch.slot(cls_pref_, attr_role_);
+  sch.slot(cls_pref_, attr_value_);
+  sch.slot(cls_pref_, attr_kind_);
+  sch.slot(cls_pref_, attr_ref_);
+
+  sym_ps_ = syms.intern("problem-space");
+  sym_state_ = syms.intern("state");
+  sym_op_ = syms.intern("operator");
+  sym_acceptable_ = syms.intern("acceptable");
+  sym_best_ = syms.intern("best");
+  sym_reject_ = syms.intern("reject");
+  sym_better_ = syms.intern("better");
+  sym_indiff_ = syms.intern("indifferent");
+  sym_tie_ = syms.intern("tie");
+  sym_nochange_ = syms.intern("no-change");
+  sym_done_ = syms.intern("done");
+  sym_yes_ = syms.intern("yes");
+  sym_prev_ = syms.intern("prev");
+
+  engine_.set_gensym_hook(
+      [this](Symbol s) { register_id(s, current_fire_level_); });
+  // Removed wmes stay allocated: chunking's provenance records may still
+  // point at garbage-collected wmes (their contents are patterns, not live
+  // state).
+  engine_.wm().set_retain_removed(true);
+}
+
+void SoarKernel::load_productions(std::string_view src) {
+  engine_.load(src);
+}
+
+Symbol SoarKernel::make_id(std::string_view prefix, int level) {
+  const Symbol s = engine_.syms().gensym(prefix);
+  register_id(s, level);
+  return s;
+}
+
+void SoarKernel::register_id(Symbol s, int level) {
+  id_level_.emplace(s, level);
+}
+
+int SoarKernel::id_level(Symbol s) const {
+  auto it = id_level_.find(s);
+  return it == id_level_.end() ? 0 : it->second;
+}
+
+int SoarKernel::wme_level(const Wme* w) const {
+  auto it = wme_level_.find(w);
+  return it == wme_level_.end() ? 1 : it->second;
+}
+
+const Wme* SoarKernel::add_triple(Symbol id, std::string_view attr, Value v) {
+  return add_triple(id, engine_.syms().intern(attr), v);
+}
+
+const Wme* SoarKernel::add_triple(Symbol id, Symbol attr, Value v) {
+  std::vector<Value> fields{Value(id), Value(attr), v};
+  if (const Wme* existing = engine_.wm().find(cls_wme_, fields)) {
+    return existing;
+  }
+  const Wme* w = engine_.add_wme(cls_wme_, std::move(fields));
+  const int lvl = id_level(id);
+  wme_level_[w] = lvl > 0 ? lvl : 1;
+  return w;
+}
+
+void SoarKernel::remove_triple(Symbol id, Symbol attr, Value v) {
+  const Wme* w = engine_.wm().find(cls_wme_, {Value(id), Value(attr), v});
+  if (w == nullptr) return;
+  provenance_.erase(w);
+  wme_level_.erase(w);
+  engine_.remove_wme(w);
+}
+
+Symbol SoarKernel::create_top_goal(Symbol problem_space, Symbol initial_state) {
+  const Symbol g = make_id("g", 1);
+  GoalEntry e;
+  e.id = g;
+  e.level = 1;
+  e.problem_space = problem_space;
+  e.state = initial_state;
+  stack_.push_back(e);
+  add_triple(g, sym_ps_, Value(problem_space));
+  add_triple(g, sym_state_, Value(initial_state));
+  return g;
+}
+
+bool SoarKernel::has_triple_attr(std::string_view attr,
+                                 std::string_view value) {
+  const Symbol a = engine_.syms().find(attr);
+  const Symbol v = engine_.syms().find(value);
+  if (!a.valid() || !v.valid()) return false;
+  for (const Wme* w : engine_.wm().live()) {
+    if (w->cls == cls_wme_ && w->field(1) == Value(a) &&
+        w->field(2) == Value(v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int SoarKernel::instantiation_level(const TokenData& token) const {
+  int lvl = 1;
+  for (const Wme* w : token) {
+    for (const Value& v : w->fields) {
+      if (v.is_sym()) lvl = std::max(lvl, id_level(v.sym()));
+    }
+  }
+  return lvl;
+}
+
+void SoarKernel::apply_fire_delta(const Instantiation* inst,
+                                  SoarRunStats& stats) {
+  (void)stats;
+  const Production* prod = inst->pnode->prod;
+  const int lvl = instantiation_level(inst->token);
+  current_fire_level_ = lvl;
+  WmeDelta delta = engine_.evaluate(inst);
+  engine_.cs().mark_fired(inst);
+
+  for (const auto& add : delta.adds) {
+    if (engine_.wm().find(add.cls, add.fields) != nullptr) continue;  // dedup
+    const Wme* w = engine_.add_wme(add.cls, add.fields);
+    int wl = lvl;
+    if (!add.fields.empty() && add.fields[0].is_sym()) {
+      const int l0 = id_level(add.fields[0].sym());
+      if (l0 > 0) wl = l0;
+    }
+    wme_level_[w] = wl;
+    provenance_[w] = Provenance{prod, inst->token, lvl};
+    if (opts_.learning && lvl > 1 && wl < lvl) {
+      // Indifference results are deliberately not chunked: an over-general
+      // indifference chunk would fire at the top level and mask the tie
+      // impasse in situations where deliberate evaluation would have found a
+      // best candidate — the classic over-general-chunk hazard ("Why Some
+      // Chunks Are Expensive" discusses related pathologies). Only
+      // substantive evaluations (best / reject / better) become chunks.
+      const bool indifferent_pref =
+          w->cls == cls_pref_ && w->field(4) == Value(sym_indiff_);
+      if (!indifferent_pref) pending_results_.push_back({w, wl});
+    }
+  }
+  for (const Wme* rm : delta.removes) {
+    provenance_.erase(rm);
+    wme_level_.erase(rm);
+    engine_.remove_wme(rm);
+  }
+}
+
+void SoarKernel::flush_chunks(SoarRunStats& stats) {
+  if (pending_results_.empty()) return;
+  if (!opts_.learning) {
+    pending_results_.clear();
+    return;
+  }
+  Chunker chunker(*this);
+  for (const PendingResult& pr : pending_results_) {
+    if (!engine_.wm().is_live(pr.wme)) continue;
+    std::string sig;
+    auto chunk = chunker.build_chunk(pr.wme, pr.result_level, &sig);
+    if (!chunk) continue;
+    if (std::find(chunk_signatures_.begin(), chunk_signatures_.end(), sig) !=
+        chunk_signatures_.end()) {
+      continue;
+    }
+    chunk_signatures_.push_back(sig);
+    stats.chunk_texts.push_back(
+        production_to_text(*chunk, engine_.syms(), engine_.schemas()));
+    auto res = engine_.add_production_runtime(std::move(*chunk));
+    ++stats.chunks_built;
+    SoarRunStats::ChunkCost cost;
+    cost.compile_seconds = res.compile_seconds;
+    cost.code_bytes = res.code_bytes;
+    cost.total_ces = res.prod->total_ce_count();
+    const CompiledProduction& cp = engine_.record(res.prod).compiled;
+    for (const uint32_t id : cp.new_nodes) {
+      const NodeType t = engine_.net().node(id)->type;
+      if (t == NodeType::Join || t == NodeType::Not) ++cost.new_two_input_nodes;
+    }
+    stats.chunk_costs.push_back(cost);
+    stats.update_ab.push_back(std::move(res.ab));
+    stats.update_c.push_back(std::move(res.c));
+  }
+  pending_results_.clear();
+}
+
+void SoarKernel::elaborate(SoarRunStats& stats) {
+  uint64_t guard = 0;
+  for (;;) {
+    if (++guard > opts_.max_elab_cycles) break;
+    if (engine_.has_pending_changes()) {
+      stats.traces.push_back(engine_.match());
+      ++stats.elab_cycles;
+    }
+    // The match is quiescent and WM is consistent with the network: chunks
+    // created by the previous firing batch are compiled and updated now
+    // ("Soar adds chunks only at the end of an elaboration cycle").
+    flush_chunks(stats);
+    const auto insts = engine_.cs().unfired();
+    if (insts.empty()) {
+      if (!engine_.has_pending_changes()) break;
+      continue;
+    }
+    for (const Instantiation* inst : insts) {
+      apply_fire_delta(inst, stats);
+    }
+  }
+}
+
+SoarRunStats SoarKernel::run() {
+  SoarRunStats stats;
+  for (;;) {
+    elaborate(stats);
+    if (goal_test_ && goal_test_(*this)) {
+      stats.goal_achieved = true;
+      break;
+    }
+    if (stats.decisions >= opts_.max_decisions) {
+      stats.halted_on_limit = true;
+      break;
+    }
+    ++stats.decisions;
+    const bool changed = decide(stats);
+    if (changed) gc_unreachable();
+    if (on_decision_) on_decision_(*this);
+    if (!changed) break;  // fully quiescent: nothing can change
+  }
+  return stats;
+}
+
+void SoarKernel::pop_goals_below(int level) {
+  if (stack_.empty() || stack_.back().level <= level) return;
+  gc_wmes_above(level);
+  while (!stack_.empty() && stack_.back().level > level) stack_.pop_back();
+}
+
+void SoarKernel::gc_unreachable() {
+  // Reachable identifiers: start from the context stack (goal ids and slot
+  // values), follow wme triples id -> value, and let preferences scoped to a
+  // *current* state keep their operator objects alive.
+  std::unordered_map<Symbol, bool> reachable;
+  auto mark = [&](Symbol s) -> bool {
+    if (id_level_.count(s) == 0) return false;  // constants need no marking
+    auto [it, inserted] = reachable.emplace(s, true);
+    return inserted;
+  };
+  for (const GoalEntry& g : stack_) {
+    mark(g.id);
+    if (g.problem_space.valid()) mark(g.problem_space);
+    if (g.state.valid()) mark(g.state);
+    if (g.op.valid()) mark(g.op);
+  }
+  const auto live = engine_.wm().live();
+  auto current_state = [&](const Value& sid) {
+    if (sid.is_nil()) return true;
+    if (!sid.is_sym()) return false;
+    for (const GoalEntry& g : stack_) {
+      if (g.state == sid.sym()) return true;
+    }
+    return false;
+  };
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Wme* w : live) {
+      if (w->cls == cls_wme_) {
+        // ^prev links are weak references (a state's pointer to the state it
+        // was derived from); following them would keep every superseded
+        // state alive forever.
+        if (w->field(1) == Value(sym_prev_)) continue;
+        const Value id = w->field(0);
+        const Value v = w->field(2);
+        if (id.is_sym() && reachable.count(id.sym()) != 0 && v.is_sym()) {
+          grew |= mark(v.sym());
+        }
+      } else if (w->cls == cls_pref_) {
+        const Value gid = w->field(0);
+        if (gid.is_sym() && reachable.count(gid.sym()) != 0 &&
+            current_state(w->field(1))) {
+          if (w->field(3).is_sym()) grew |= mark(w->field(3).sym());
+          if (w->field(5).is_sym()) grew |= mark(w->field(5).sym());
+        }
+      }
+    }
+  }
+  // Retract everything inaccessible from the context stack.
+  for (const Wme* w : live) {
+    bool keep = true;
+    if (w->cls == cls_wme_) {
+      const Value id = w->field(0);
+      keep = !id.is_sym() || id_level_.count(id.sym()) == 0 ||
+             reachable.count(id.sym()) != 0;
+    } else if (w->cls == cls_pref_) {
+      keep = current_state(w->field(1));
+      if (keep && w->field(3).is_sym() &&
+          id_level_.count(w->field(3).sym()) != 0) {
+        keep = reachable.count(w->field(3).sym()) != 0;
+      }
+    }
+    if (!keep) {
+      provenance_.erase(w);
+      wme_level_.erase(w);
+      engine_.remove_wme(w);
+    }
+  }
+}
+
+void SoarKernel::gc_wmes_above(int level) {
+  for (const Wme* w : engine_.wm().live()) {
+    auto it = wme_level_.find(w);
+    const int wl = it == wme_level_.end() ? 1 : it->second;
+    if (wl > level) {
+      provenance_.erase(w);
+      wme_level_.erase(w);
+      engine_.remove_wme(w);
+    }
+  }
+}
+
+}  // namespace psme

@@ -1,0 +1,209 @@
+// Soar kernel: the Decide module (universal subgoaling), the synchronous
+// elaboration phase, chunking, and working-memory garbage collection by
+// context reachability (§3 of the paper).
+//
+// Representation (Soar-style triples, cf. "Soar systems use collections of
+// smaller wmes"):
+//   (wme  ^id <i> ^attr <a> ^value <v>)                      task state
+//   (pref ^gid <g> ^sid <s> ^role <slot> ^value <v> ^kind <k> ^ref <v2>)
+//     preferences for the context slots; kind is acceptable, best, reject,
+//     better (with ^ref), or indifferent; ^sid scopes operator/state
+//     preferences to the state they were proposed for.
+//
+// Context slots per goal: problem-space, state, operator — "each goal entry
+// in the context stack is represented using three wmes". Decide fills them
+// from preferences after each elaboration phase reaches quiescence; an
+// unresolvable slot raises a tie or no-change impasse and pushes a subgoal.
+//
+// Chunking: every wme created by a production firing records its creating
+// instantiation. When a firing in a subgoal creates a wme attached to a
+// less-deep goal (a *result*), the chunker backtraces through subgoal-level
+// wmes to the supergoal wmes that produced it, variablizes identifiers, and
+// emits a new production, which is compiled into the live Rete at the end of
+// the elaboration cycle (§5).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace psme {
+
+struct SoarOptions {
+  bool learning = true;
+  uint64_t max_decisions = 200;
+  uint64_t max_elab_cycles = 100000;
+  EngineOptions engine;
+};
+
+/// Provenance of one wme: the instantiation whose firing created it.
+struct Provenance {
+  const Production* prod = nullptr;
+  TokenData token;
+  int level = 0;  // goal level of the creating instantiation
+};
+
+struct SoarRunStats {
+  uint64_t decisions = 0;
+  uint64_t elab_cycles = 0;
+  uint64_t impasses = 0;
+  uint64_t chunks_built = 0;
+  bool goal_achieved = false;
+  bool halted_on_limit = false;
+
+  /// One trace per elaboration cycle (the match workload of the run).
+  std::vector<CycleTrace> traces;
+  /// Traces of the §5.2 update phases for every chunk added at run time.
+  std::vector<CycleTrace> update_ab, update_c;
+  /// Compile cost per chunk (Table 5-1/5-2 raw data).
+  struct ChunkCost {
+    double compile_seconds = 0;
+    size_t code_bytes = 0;
+    int total_ces = 0;
+    uint32_t new_two_input_nodes = 0;
+  };
+  std::vector<ChunkCost> chunk_costs;
+  /// Source text of the chunks built, parseable by a fresh kernel (used to
+  /// seed after-chunking runs).
+  std::vector<std::string> chunk_texts;
+};
+
+class SoarKernel {
+ public:
+  explicit SoarKernel(SoarOptions opts = {});
+
+  Engine& engine() { return engine_; }
+  [[nodiscard]] const SoarOptions& options() const { return opts_; }
+
+  /// Loads task productions (initial production memory).
+  void load_productions(std::string_view src);
+
+  // ---- identifiers -------------------------------------------------------
+  /// Creates and registers a fresh identifier at `level`.
+  Symbol make_id(std::string_view prefix, int level);
+  void register_id(Symbol s, int level);
+  /// Goal level of an identifier; 0 if `s` is not a registered identifier.
+  [[nodiscard]] int id_level(Symbol s) const;
+
+  // ---- task setup --------------------------------------------------------
+  /// Adds a task triple (wme ^id ^attr ^value); architectural (no creator).
+  const Wme* add_triple(Symbol id, std::string_view attr, Value v);
+  const Wme* add_triple(Symbol id, Symbol attr, Value v);
+
+  /// Removes the live triple (id ^attr value) if present.
+  void remove_triple(Symbol id, Symbol attr, Value v);
+
+  /// Creates the top goal with the given problem space and initial state
+  /// identifiers installed in its context. Must be called exactly once.
+  Symbol create_top_goal(Symbol problem_space, Symbol initial_state);
+
+  /// The run halts with goal_achieved when this returns true (checked after
+  /// each decision). Typical tasks test for a wme like (<s> ^task-done yes).
+  void set_goal_test(std::function<bool(SoarKernel&)> fn) {
+    goal_test_ = std::move(fn);
+  }
+
+  /// Observer called after every decision (tracing, examples, debugging).
+  void set_decision_listener(std::function<void(SoarKernel&)> fn) {
+    on_decision_ = std::move(fn);
+  }
+
+  /// Convenience goal test helper: does any live triple (id ^attr value)
+  /// exist?
+  [[nodiscard]] bool has_triple_attr(std::string_view attr,
+                                     std::string_view value);
+
+  // ---- main loop ---------------------------------------------------------
+  SoarRunStats run();
+
+  // ---- introspection (tests/benches) --------------------------------------
+  struct GoalEntry {
+    Symbol id;
+    int level = 1;
+    Symbol problem_space, state, op;
+    Symbol impasse_role;  // role of the impasse this goal was created for
+    Symbol impasse_type;
+  };
+  [[nodiscard]] const std::vector<GoalEntry>& goal_stack() const {
+    return stack_;
+  }
+  [[nodiscard]] int wme_level(const Wme* w) const;
+
+  struct Candidate {
+    Symbol value;
+    bool best = false;
+    bool indifferent = false;
+  };
+
+ private:
+  friend class Chunker;
+
+  // Elaboration phase: fire all unfired instantiations, match, repeat until
+  // quiescence. Appends traces to `stats`.
+  void elaborate(SoarRunStats& stats);
+
+  // One decision: fills a slot, replaces a state, or raises an impasse.
+  // Returns false when nothing at all can change (system quiescent).
+  bool decide(SoarRunStats& stats);
+
+  std::vector<Candidate> slot_candidates(const GoalEntry& g, Symbol role);
+
+  void install(GoalEntry& g, Symbol role, Symbol value);
+  void push_subgoal(GoalEntry& g, Symbol role, Symbol type,
+                    const std::vector<Candidate>& items, SoarRunStats& stats);
+  void pop_goals_below(int level);
+  void gc_wmes_above(int level);
+
+  // Context-reachability garbage collection (§3: "The decision module keeps
+  // track of which wmes are accessible from the context stack, and
+  // automatically garbage collects inaccessible wmes"). Runs after every
+  // decision; superseded states, their substructure and their stale
+  // preferences are retracted from the match.
+  void gc_unreachable();
+
+  // Fire bookkeeping: applies a delta with provenance recording.
+  void apply_fire_delta(const Instantiation* inst, SoarRunStats& stats);
+  int instantiation_level(const TokenData& token) const;
+
+  // Builds and installs chunks for the pending results (end of elaboration
+  // cycle; WM is consistent with the network at this point).
+  void flush_chunks(SoarRunStats& stats);
+
+  [[nodiscard]] bool subgoal_exists_for(size_t gi, Symbol role) const;
+
+  SoarOptions opts_;
+  Engine engine_;
+  std::function<bool(SoarKernel&)> goal_test_;
+  std::function<void(SoarKernel&)> on_decision_;
+
+  Symbol cls_wme_, cls_pref_;
+  Symbol attr_id_, attr_attr_, attr_value_;
+  Symbol attr_gid_, attr_sid_, attr_role_, attr_kind_, attr_ref_;
+  Symbol sym_ps_, sym_state_, sym_op_;
+  Symbol sym_acceptable_, sym_best_, sym_reject_, sym_better_, sym_indiff_;
+  Symbol sym_tie_, sym_nochange_;
+  Symbol sym_done_, sym_yes_, sym_prev_;
+
+  std::unordered_map<Symbol, int> id_level_;
+  std::unordered_map<const Wme*, Provenance> provenance_;
+  std::unordered_map<const Wme*, int> wme_level_;
+  std::vector<GoalEntry> stack_;
+
+  // Results awaiting chunking at the end of the current elaboration cycle.
+  struct PendingResult {
+    const Wme* wme;
+    int result_level;
+  };
+  std::vector<PendingResult> pending_results_;
+  std::vector<std::string> chunk_signatures_;  // dedup
+  int current_fire_level_ = 1;
+
+  friend struct SoarAccess;
+};
+
+}  // namespace psme

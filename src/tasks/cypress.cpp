@@ -1,0 +1,289 @@
+// Cypress surrogate: 196 productions.
+//
+// Cypress-Soar (Steier 1987) designed sorting algorithms by heuristic search
+// over a derivation space; the system itself was never released. This
+// surrogate reproduces its *match-load profile* as reported in the paper:
+// 196 productions, unusually large initial productions (~26 CEs on average —
+// mostly long monitor chains), deep dependent node-activation chains, a
+// monotonic derivation state, and ~26 chunks added during learning.
+//
+// The task: expand a derivation tree from a root design node. Each node has
+// a type (t0..t7); grammar rules expand a node into two typed children up to
+// depth 3. Rule selection ties are resolved in subgoals whose evaluations
+// prefer the designated "divide-and-conquer" rule for each type — those
+// preferences become chunks. Operators mark themselves done (the state
+// object is never replaced), exercising the kernel's monotonic-operator
+// path.
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+constexpr int kTypes = 8;
+constexpr int kMaxDepth = 3;  // nodes at depth <= 3 may expand (leaves at 4)
+
+struct Rule {
+  int type;     // applies to nodes of type t<type>
+  int variant;  // rule-<type>-<variant>
+  int child_a, child_b, child_c;
+};
+
+std::vector<Rule> grammar() {
+  std::vector<Rule> rules;
+  for (int t = 0; t < kTypes; ++t) {
+    rules.push_back(
+        {t, 0, (t + 1) % kTypes, (t + 2) % kTypes, (t + 3) % kTypes});
+    rules.push_back(
+        {t, 1, (t + 3) % kTypes, (t + 4) % kTypes, (t + 5) % kTypes});
+    if (t % 2 == 0) {
+      rules.push_back(
+          {t, 2, (t + 5) % kTypes, (t + 6) % kTypes, (t + 7) % kTypes});
+    }
+  }
+  return rules;  // 20 rules
+}
+
+constexpr const char* kCtx =
+    "  (wme ^id <g> ^attr problem-space ^value cypress)\n"
+    "  (wme ^id <g> ^attr state ^value <s>)\n";
+
+constexpr const char* kEvalCtx =
+    "  (wme ^id <sg> ^attr impasse ^value tie)\n"
+    "  (wme ^id <sg> ^attr object ^value <g>)\n"
+    "  (wme ^id <sg> ^attr item ^value <o>)\n"
+    "  (wme ^id <g> ^attr state ^value <s>)\n"
+    "  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable)\n";
+
+void rule_productions(std::ostringstream& os, int& count) {
+  for (const Rule& r : grammar()) {
+    // Proposal: expandable node of the rule's type.
+    os << "(p propose-rule-" << r.type << "-" << r.variant << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr node ^value <n>)\n"
+          "  (wme ^id <n> ^attr type ^value t"
+       << r.type
+       << ")\n"
+          "  (wme ^id <n> ^attr depth ^value { <k> <= "
+       << kMaxDepth
+       << " })\n"
+          "  -(wme ^id <n> ^attr expanded ^value yes)\n"
+          "  -->\n"
+          "  (bind <o> (genatom o))\n"
+          "  (make wme ^id <o> ^attr name ^value expand)\n"
+          "  (make wme ^id <o> ^attr node ^value <n>)\n"
+          "  (make wme ^id <o> ^attr rule ^value rule-"
+       << r.type << "-" << r.variant
+       << ")\n"
+          "  (make wme ^id <o> ^attr for-state ^value <s>)\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable))\n";
+    ++count;
+
+    // Application: two typed children, node marked expanded, operator done.
+    os << "(p apply-rule-" << r.type << "-" << r.variant << "\n"
+       << "  (wme ^id <g> ^attr operator ^value <o>)\n"
+          "  (wme ^id <g> ^attr state ^value <s>)\n"
+          "  (wme ^id <o> ^attr for-state ^value <s>)\n"
+          "  (wme ^id <o> ^attr rule ^value rule-"
+       << r.type << "-" << r.variant
+       << ")\n"
+          "  (wme ^id <o> ^attr node ^value <n>)\n"
+          "  (wme ^id <n> ^attr depth ^value <k>)\n"
+          "  -->\n"
+          "  (bind <ca> (genatom n))\n"
+          "  (bind <cb> (genatom n))\n"
+          "  (bind <cc> (genatom n))\n"
+          "  (make wme ^id <s> ^attr node ^value <ca>)\n"
+          "  (make wme ^id <ca> ^attr type ^value t"
+       << r.child_a
+       << ")\n"
+          "  (make wme ^id <ca> ^attr depth ^value (compute <k> + 1))\n"
+          "  (make wme ^id <n> ^attr child ^value <ca>)\n"
+          "  (make wme ^id <s> ^attr node ^value <cb>)\n"
+          "  (make wme ^id <cb> ^attr type ^value t"
+       << r.child_b
+       << ")\n"
+          "  (make wme ^id <cb> ^attr depth ^value (compute <k> + 1))\n"
+          "  (make wme ^id <n> ^attr child ^value <cb>)\n"
+          "  (make wme ^id <s> ^attr node ^value <cc>)\n"
+          "  (make wme ^id <cc> ^attr type ^value t"
+       << r.child_c
+       << ")\n"
+          "  (make wme ^id <cc> ^attr depth ^value (compute <k> + 1))\n"
+          "  (make wme ^id <n> ^attr child ^value <cc>)\n"
+          "  (make wme ^id <n> ^attr expanded ^value yes)\n"
+          "  (make wme ^id <n> ^attr by-rule ^value rule-"
+       << r.type << "-" << r.variant
+       << ")\n"
+          "  (make wme ^id <o> ^attr done ^value yes))\n";
+    ++count;
+  }
+}
+
+void eval_productions(std::ostringstream& os, int& count) {
+  // Default indifference, specific to the node's type, depth and rule
+  // (type and rule symbols and the depth number stay constant in chunks, so
+  // each evaluated expansion situation contributes its own chunk — this is
+  // what drives the chunk count to the paper's ~26 for Cypress).
+  os << "(p eval-default\n"
+     << kEvalCtx
+     << "  (wme ^id <o> ^attr node ^value <n>)\n"
+        "  (wme ^id <n> ^attr type ^value <ty>)\n"
+        "  -->\n"
+        "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+        "indifferent))\n";
+  ++count;
+
+  // Prefer the divide-and-conquer rule (variant 0) for each node type; the
+  // evaluation also inspects the node's parent context so the chunks carry a
+  // realistic condition chain.
+  for (int t = 0; t < kTypes; ++t) {
+    os << "(p eval-prefer-dc-" << t << "\n"
+       << kEvalCtx
+       << "  (wme ^id <o> ^attr rule ^value rule-" << t << "-0)\n"
+       << "  (wme ^id <o> ^attr node ^value <n>)\n"
+          "  (wme ^id <n> ^attr type ^value t"
+       << t
+       << ")\n"
+          "  (wme ^id <n> ^attr depth ^value <k>)\n"
+          "  (wme ^id <g> ^attr style ^value divide-and-conquer)\n"
+          "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "best))\n";
+    ++count;
+  }
+
+  // Prefer expanding shallower nodes first: reject deep expansions when a
+  // shallower open node of any type exists.
+  os << "(p eval-reject-deep\n"
+     << kEvalCtx
+     << "  (wme ^id <o> ^attr node ^value <n>)\n"
+        "  (wme ^id <n> ^attr depth ^value <k>)\n"
+        "  (wme ^id <s> ^attr node ^value <m>)\n"
+        "  (wme ^id <m> ^attr depth ^value { <k2> < <k> })\n"
+        "  -(wme ^id <m> ^attr expanded ^value yes)\n"
+        "  -->\n"
+        "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+        "reject))\n";
+  ++count;
+
+  // Success: a fully elaborated derivation — a root-path node at depth 2
+  // whose three children (depth 3) have all been expanded, plus expanded
+  // siblings at depth 1. This forces the derivation deep into the depth-3
+  // wave before the run completes.
+  // The anchoring path root -(t3)-> n1 -(t6)-> n2 is the last-created
+  // depth-2 subtree under the divide-and-conquer rules, so its children are
+  // the final group of the breadth-first depth-3 wave: the run covers
+  // (nearly) the whole derivation before succeeding.
+  os << "(p detect-success\n"
+     << kCtx
+     << "  (wme ^id <s> ^attr root ^value <n0>)\n"
+        "  (wme ^id <n0> ^attr child ^value <n1>)\n"
+        "  (wme ^id <n1> ^attr type ^value t3)\n"
+        "  (wme ^id <n1> ^attr child ^value <n2>)\n"
+        "  (wme ^id <n2> ^attr type ^value t6)\n"
+        "  (wme ^id <n2> ^attr child ^value <n3a>)\n"
+        "  (wme ^id <n2> ^attr child ^value { <n3b> <> <n3a> })\n"
+        "  (wme ^id <n2> ^attr child ^value { <n3c> <> <n3a> <> <n3b> })\n"
+        "  (wme ^id <n3a> ^attr expanded ^value yes)\n"
+        "  (wme ^id <n3b> ^attr expanded ^value yes)\n"
+        "  (wme ^id <n3c> ^attr expanded ^value yes)\n"
+        "  -->\n"
+        "  (make wme ^id <g> ^attr success ^value yes))\n";
+  ++count;
+}
+
+/// Long-chain monitors: each tests a typed subtree pattern — root, both
+/// children, grandchildren, plus depth and rule bookkeeping — averaging ~26
+/// CEs as in the paper's Cypress production set (Table 5-1).
+void monitor_productions(std::ostringstream& os, int& count, int target) {
+  int v = 0;
+  while (count < target) {
+    const int t0 = v % kTypes;
+    const int ta = (v + 1 + v / kTypes) % kTypes;
+    const int tb = (v + 3 + v / (kTypes * 2)) % kTypes;
+    os << "(p monitor-subtree-" << ++v << "\n" << kCtx;
+    int ces = 2;
+    // Root of the pattern: any expanded node of type t0.
+    os << "  (wme ^id <s> ^attr node ^value <n0>)\n"
+          "  (wme ^id <n0> ^attr type ^value t"
+       << t0
+       << ")\n"
+          "  (wme ^id <n0> ^attr expanded ^value yes)\n"
+          "  (wme ^id <n0> ^attr by-rule ^value <rl>)\n"
+          "  (wme ^id <n0> ^attr depth ^value <k0>)\n";
+    ces += 5;
+    // Two children with type and depth tests.
+    const char* kids[2] = {"<na>", "<nb>"};
+    const int kid_type[2] = {ta, tb};
+    for (int j = 0; j < 2; ++j) {
+      os << "  (wme ^id <n0> ^attr child ^value " << kids[j] << ")\n"
+         << "  (wme ^id " << kids[j] << " ^attr type ^value t" << kid_type[j]
+         << ")\n"
+         << "  (wme ^id " << kids[j] << " ^attr depth ^value <kd" << j
+         << ">)\n";
+      ces += 3;
+    }
+    // Grandchild chain of varying length: this is what pushes the average CE
+    // count to the paper's ~26 and produces the long dependent activation
+    // chains.
+    const int extra_levels = 2 + (v % 4);  // 2..5 extra node hops
+    std::string cur = "<na>";
+    for (int j = 0; j < extra_levels; ++j) {
+      const std::string next = "<x" + std::to_string(j) + ">";
+      os << "  (wme ^id " << cur << " ^attr child ^value " << next << ")\n"
+         << "  (wme ^id " << next << " ^attr type ^value <xt" << j << ">)\n"
+         << "  (wme ^id " << next << " ^attr depth ^value <xk" << j << ">)\n";
+      ces += 3;
+      cur = next;
+    }
+    // A few sibling notes on the second child.
+    os << "  (wme ^id <nb> ^attr child ^value <y0>)\n"
+          "  (wme ^id <y0> ^attr type ^value <yt>)\n"
+          "  (wme ^id <y0> ^attr depth ^value <yk>)\n";
+    ces += 3;
+    os << "  -->\n  (make wme ^id <s> ^attr pattern ^value pattern-" << v
+       << "))\n";
+    (void)ces;
+    ++count;
+  }
+}
+
+}  // namespace
+
+Task make_cypress() {
+  Task task;
+  task.name = "cypress";
+  task.max_decisions = 400;
+
+  std::ostringstream os;
+  int count = 0;
+  rule_productions(os, count);     // 40
+  eval_productions(os, count);     // 11
+  monitor_productions(os, count, 196);
+  assert(count == 196);
+  task.productions = os.str();
+
+  task.init = [](SoarKernel& k) {
+    SymbolTable& syms = k.engine().syms();
+    const Symbol s0 = k.make_id("s", 1);
+    const Symbol root = k.make_id("n", 1);
+    k.add_triple(s0, "node", Value(root));
+    k.add_triple(s0, "root", Value(root));
+    k.add_triple(root, "type", Value(syms.intern("t0")));
+    k.add_triple(root, "depth", Value(static_cast<int64_t>(0)));
+
+    const Symbol g = k.create_top_goal(syms.intern("cypress"), s0);
+    k.add_triple(g, "style", Value(syms.intern("divide-and-conquer")));
+    k.set_goal_test([](SoarKernel& kk) {
+      return kk.has_triple_attr("success", "yes");
+    });
+  };
+  return task;
+}
+
+}  // namespace psme

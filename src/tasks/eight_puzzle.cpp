@@ -1,0 +1,444 @@
+// Eight-Puzzle-Soar: 71 productions.
+//
+// Representation (triples): a state <s> owns nine bindings; each binding
+// pairs a cell with a tile; cell adjacency and tile identities are static
+// level-1 structure; the desired configuration hangs off the goal. Operators
+// slide one adjacent tile into the blank cell. Operator selection ties are
+// resolved in a selection subgoal whose evaluation productions create best /
+// reject / indifferent preferences at the top level — those are the results
+// chunking turns into new productions.
+#include <array>
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+/// Shared context prefix for productions matching the top-level task state.
+constexpr const char* kCtx =
+    "  (wme ^id <g> ^attr problem-space ^value eight-puzzle)\n"
+    "  (wme ^id <g> ^attr state ^value <s>)\n";
+
+void core_productions(std::ostringstream& os, int& count) {
+  // Operator proposal: slide any tile adjacent to the blank into the blank.
+  os << R"((p propose-move
+)" << kCtx
+     << R"(  (wme ^id <s> ^attr binding ^value <bb>)
+  (wme ^id <bb> ^attr tile ^value <blank>)
+  (wme ^id <blank> ^attr kind ^value blank)
+  (wme ^id <bb> ^attr cell ^value <bc>)
+  (wme ^id <bc> ^attr adj ^value <ac>)
+  (wme ^id <s> ^attr binding ^value <ab>)
+  (wme ^id <ab> ^attr cell ^value <ac>)
+  (wme ^id <ab> ^attr tile ^value <t>)
+  (wme ^id <t> ^attr kind ^value tile)
+  -->
+  (bind <o> (genatom o))
+  (make wme ^id <o> ^attr name ^value move-tile)
+  (make wme ^id <o> ^attr tile ^value <t>)
+  (make wme ^id <o> ^attr from ^value <ac>)
+  (make wme ^id <o> ^attr to ^value <bc>)
+  (make wme ^id <o> ^attr for-state ^value <s>)
+  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable))
+)";
+  ++count;
+
+  // Operator application: build the successor state over several firings.
+  os << R"((p apply-create-state
+  (wme ^id <g> ^attr operator ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (wme ^id <o> ^attr for-state ^value <s>)
+  (wme ^id <o> ^attr tile ^value <t>)
+  -->
+  (bind <ns> (genatom s))
+  (make wme ^id <ns> ^attr prev ^value <s>)
+  (make wme ^id <ns> ^attr last-moved ^value <t>)
+  (make pref ^gid <g> ^sid <s> ^role state ^value <ns> ^kind acceptable))
+)";
+  ++count;
+
+  os << R"((p apply-copy-binding
+  (wme ^id <g> ^attr operator ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (wme ^id <o> ^attr for-state ^value <s>)
+  (wme ^id <o> ^attr from ^value <from>)
+  (wme ^id <o> ^attr to ^value <to>)
+  (wme ^id <ns> ^attr prev ^value <s>)
+  (wme ^id <s> ^attr binding ^value <b>)
+  (wme ^id <b> ^attr cell ^value { <c> <> <from> <> <to> })
+  (wme ^id <b> ^attr tile ^value <t2>)
+  -->
+  (bind <nb> (genatom b))
+  (make wme ^id <ns> ^attr binding ^value <nb>)
+  (make wme ^id <nb> ^attr cell ^value <c>)
+  (make wme ^id <nb> ^attr tile ^value <t2>))
+)";
+  ++count;
+
+  os << R"((p apply-place-tile
+  (wme ^id <g> ^attr operator ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (wme ^id <o> ^attr for-state ^value <s>)
+  (wme ^id <o> ^attr tile ^value <t>)
+  (wme ^id <o> ^attr to ^value <to>)
+  (wme ^id <ns> ^attr prev ^value <s>)
+  -->
+  (bind <nb> (genatom b))
+  (make wme ^id <ns> ^attr binding ^value <nb>)
+  (make wme ^id <nb> ^attr cell ^value <to>)
+  (make wme ^id <nb> ^attr tile ^value <t>))
+)";
+  ++count;
+
+  os << R"((p apply-place-blank
+  (wme ^id <g> ^attr operator ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (wme ^id <o> ^attr for-state ^value <s>)
+  (wme ^id <o> ^attr from ^value <from>)
+  (wme ^id <blank> ^attr kind ^value blank)
+  (wme ^id <ns> ^attr prev ^value <s>)
+  -->
+  (bind <nb> (genatom b))
+  (make wme ^id <ns> ^attr binding ^value <nb>)
+  (make wme ^id <nb> ^attr cell ^value <from>)
+  (make wme ^id <nb> ^attr tile ^value <blank>))
+)";
+  ++count;
+
+  // Goal detection: mismatches computed per state, success two cycles later
+  // so every mismatch wme is in place before the negated test runs.
+  os << R"((p detect-mismatch
+)" << kCtx
+     << R"(  (wme ^id <g> ^attr desired ^value <d>)
+  (wme ^id <d> ^attr binding ^value <db>)
+  (wme ^id <db> ^attr cell ^value <c>)
+  (wme ^id <db> ^attr tile ^value <t>)
+  (wme ^id <s> ^attr binding ^value <b>)
+  (wme ^id <b> ^attr cell ^value <c>)
+  (wme ^id <b> ^attr tile ^value { <t2> <> <t> })
+  -->
+  (make wme ^id <s> ^attr mismatch ^value <c>))
+)";
+  ++count;
+
+  os << R"((p mark-phase1
+)" << kCtx
+     << R"(  (wme ^id <s> ^attr binding ^value <b>)
+  -->
+  (make wme ^id <s> ^attr phase1 ^value yes))
+)";
+  ++count;
+
+  os << R"((p mark-phase2
+)" << kCtx
+     << R"(  (wme ^id <s> ^attr phase1 ^value yes)
+  -->
+  (make wme ^id <s> ^attr phase2 ^value yes))
+)";
+  ++count;
+
+  os << R"((p detect-success
+)" << kCtx
+     << R"(  (wme ^id <s> ^attr phase2 ^value yes)
+  -(wme ^id <s> ^attr mismatch)
+  -->
+  (make wme ^id <g> ^attr success ^value yes))
+)";
+  ++count;
+
+  // Selection subgoal: default indifference keeps every tie resolvable.
+  // The evaluation tests the blank position and the moved tile's identity
+  // (numeric features, so they stay constant in chunks): each evaluated
+  // situation yields its own search-control chunk, as in the paper's runs.
+  os << R"((p eval-default
+  (wme ^id <sg> ^attr impasse ^value tie)
+  (wme ^id <sg> ^attr object ^value <g>)
+  (wme ^id <sg> ^attr item ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable)
+  (wme ^id <s> ^attr blank-at ^value <k>)
+  (wme ^id <o> ^attr tile ^value <t>)
+  (wme ^id <t> ^attr tile-id ^value <n>)
+  (wme ^id <o> ^attr from ^value <fc>)
+  (wme ^id <fc> ^attr cell-id ^value <fk>)
+  -->
+  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind indifferent))
+)";
+  ++count;
+
+  // Reject the move that undoes the previous one.
+  os << R"((p eval-reject-undo
+  (wme ^id <sg> ^attr impasse ^value tie)
+  (wme ^id <sg> ^attr object ^value <g>)
+  (wme ^id <sg> ^attr item ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable)
+  (wme ^id <o> ^attr tile ^value <t>)
+  (wme ^id <o> ^attr from ^value <fc>)
+  (wme ^id <fc> ^attr cell-id ^value <fk>)
+  (wme ^id <o> ^attr to ^value <tc>)
+  (wme ^id <tc> ^attr cell-id ^value <tk>)
+  (wme ^id <s> ^attr last-moved ^value <t>)
+  -->
+  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind reject))
+)";
+  ++count;
+
+  // Generic "this move completes a tile" evaluation.
+  os << R"((p eval-good-generic
+  (wme ^id <sg> ^attr impasse ^value tie)
+  (wme ^id <sg> ^attr object ^value <g>)
+  (wme ^id <sg> ^attr item ^value <o>)
+  (wme ^id <g> ^attr state ^value <s>)
+  (wme ^id <g> ^attr desired ^value <d>)
+  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable)
+  (wme ^id <o> ^attr tile ^value <t>)
+  (wme ^id <o> ^attr to ^value <to>)
+  (wme ^id <d> ^attr binding ^value <db>)
+  (wme ^id <db> ^attr cell ^value <to>)
+  (wme ^id <db> ^attr tile ^value <t>)
+  -->
+  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind best))
+)";
+  ++count;
+}
+
+void generated_productions(std::ostringstream& os, int& count) {
+  // Per-tile best evaluations: the specialized form also tests the state
+  // elaborations (at-K wmes), so the chunks built from them backtrace into
+  // the monitor productions and grow realistically long condition lists.
+  for (int k = 1; k <= 8; ++k) {
+    os << "(p eval-good-tile-" << k << "\n"
+       << "  (wme ^id <sg> ^attr impasse ^value tie)\n"
+          "  (wme ^id <sg> ^attr object ^value <g>)\n"
+          "  (wme ^id <sg> ^attr item ^value <o>)\n"
+          "  (wme ^id <g> ^attr state ^value <s>)\n"
+          "  (wme ^id <g> ^attr desired ^value <d>)\n"
+          "  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable)\n"
+          "  (wme ^id <o> ^attr tile ^value <t>)\n"
+       << "  (wme ^id <t> ^attr tile-id ^value " << k << ")\n"
+       << "  (wme ^id <o> ^attr to ^value <to>)\n"
+       << "  (wme ^id <o> ^attr from ^value <fc>)\n"
+          "  (wme ^id <fc> ^attr cell-id ^value <fk>)\n"
+          "  (wme ^id <s> ^attr at ^value <av>)\n"
+          "  (wme ^id <av> ^attr cell ^value <to>)\n"
+          "  (wme ^id <d> ^attr binding ^value <db>)\n"
+          "  (wme ^id <db> ^attr cell ^value <to>)\n"
+          "  (wme ^id <db> ^attr tile ^value <t>)\n"
+          "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "best))\n";
+    ++count;
+  }
+
+  // Per-tile displacement rejection: do not move a correctly-placed tile.
+  for (int k = 1; k <= 8; ++k) {
+    os << "(p eval-reject-displace-" << k << "\n"
+       << "  (wme ^id <sg> ^attr impasse ^value tie)\n"
+          "  (wme ^id <sg> ^attr object ^value <g>)\n"
+          "  (wme ^id <sg> ^attr item ^value <o>)\n"
+          "  (wme ^id <g> ^attr state ^value <s>)\n"
+          "  (wme ^id <g> ^attr desired ^value <d>)\n"
+          "  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable)\n"
+          "  (wme ^id <o> ^attr tile ^value <t>)\n"
+       << "  (wme ^id <t> ^attr tile-id ^value " << k << ")\n"
+       << "  (wme ^id <o> ^attr from ^value <from>)\n"
+          "  (wme ^id <from> ^attr cell-id ^value <fk>)\n"
+          "  (wme ^id <o> ^attr to ^value <tc>)\n"
+          "  (wme ^id <tc> ^attr cell-id ^value <tk>)\n"
+          "  (wme ^id <d> ^attr binding ^value <db>)\n"
+          "  (wme ^id <db> ^attr cell ^value <from>)\n"
+          "  (wme ^id <db> ^attr tile ^value <t>)\n"
+          "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "reject))\n";
+    ++count;
+  }
+
+  // Per-cell monitors: state elaborations naming the tile occupying each
+  // cell. Their instantiations are the per-cycle parallel work, and chunks
+  // backtrace through them.
+  for (int k = 1; k <= 9; ++k) {
+    os << "(p monitor-cell-" << k << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr binding ^value <b>)\n"
+          "  (wme ^id <b> ^attr cell ^value <c>)\n"
+       << "  (wme ^id <c> ^attr cell-id ^value " << k << ")\n"
+       << "  (wme ^id <b> ^attr tile ^value <t>)\n"
+          "  -->\n"
+          "  (bind <av> (genatom a))\n"
+          "  (make wme ^id <s> ^attr at ^value <av>)\n"
+          "  (make wme ^id <av> ^attr cell ^value <c>)\n"
+          "  (make wme ^id <av> ^attr tile ^value <t>))\n";
+    ++count;
+  }
+
+  // Line monitors (rows, columns, diagonals): longer-chain productions that
+  // recognize a completed line of the desired configuration.
+  static constexpr std::array<std::array<int, 3>, 8> kLines = {{{1, 2, 3},
+                                                                {4, 5, 6},
+                                                                {7, 8, 9},
+                                                                {1, 4, 7},
+                                                                {2, 5, 8},
+                                                                {3, 6, 9},
+                                                                {1, 5, 9},
+                                                                {3, 5, 7}}};
+  for (size_t li = 0; li < kLines.size(); ++li) {
+    os << "(p monitor-line-" << li + 1 << "\n"
+       << kCtx << "  (wme ^id <g> ^attr desired ^value <d>)\n";
+    for (int j = 0; j < 3; ++j) {
+      const int cell = kLines[li][static_cast<size_t>(j)];
+      os << "  (wme ^id <s> ^attr binding ^value <b" << j << ">)\n"
+         << "  (wme ^id <b" << j << "> ^attr cell ^value <c" << j << ">)\n"
+         << "  (wme ^id <c" << j << "> ^attr cell-id ^value " << cell << ")\n"
+         << "  (wme ^id <b" << j << "> ^attr tile ^value <t" << j << ">)\n"
+         << "  (wme ^id <d> ^attr binding ^value <db" << j << ">)\n"
+         << "  (wme ^id <db" << j << "> ^attr cell ^value <c" << j << ">)\n"
+         << "  (wme ^id <db" << j << "> ^attr tile ^value <t" << j << ">)\n";
+    }
+    os << "  -->\n  (make wme ^id <s> ^attr line-done ^value line-" << li + 1
+       << "))\n";
+    ++count;
+  }
+
+  // Blank-position elaboration.
+  os << R"((p elaborate-blank-pos
+)" << kCtx
+     << R"(  (wme ^id <s> ^attr binding ^value <b>)
+  (wme ^id <b> ^attr tile ^value <blank>)
+  (wme ^id <blank> ^attr kind ^value blank)
+  (wme ^id <b> ^attr cell ^value <c>)
+  (wme ^id <c> ^attr cell-id ^value <k>)
+  -->
+  (make wme ^id <s> ^attr blank-at ^value <k>))
+)";
+  ++count;
+
+  // Per-tile placement notes (placed-K), used by the pad monitors below.
+  for (int k = 1; k <= 8; ++k) {
+    os << "(p monitor-placed-" << k << "\n"
+       << kCtx << "  (wme ^id <g> ^attr desired ^value <d>)\n"
+       << "  (wme ^id <s> ^attr binding ^value <b>)\n"
+          "  (wme ^id <b> ^attr cell ^value <c>)\n"
+          "  (wme ^id <b> ^attr tile ^value <t>)\n"
+       << "  (wme ^id <t> ^attr tile-id ^value " << k << ")\n"
+       << "  (wme ^id <d> ^attr binding ^value <db>)\n"
+          "  (wme ^id <db> ^attr cell ^value <c>)\n"
+          "  (wme ^id <db> ^attr tile ^value <t>)\n"
+          "  -->\n"
+       << "  (make wme ^id <s> ^attr placed ^value " << k << "))\n";
+    ++count;
+  }
+}
+
+void pad_productions(std::ostringstream& os, int& count, int target) {
+  // Auxiliary two-cell pattern monitors: realistic state elaborations that
+  // bring the production count to the paper's 71.
+  static constexpr std::array<std::array<int, 2>, 12> kPairs = {
+      {{1, 2}, {2, 3}, {4, 5}, {5, 6}, {7, 8}, {8, 9},
+       {1, 4}, {4, 7}, {2, 5}, {5, 8}, {3, 6}, {6, 9}}};
+  for (size_t i = 0; count < target; ++i) {
+    os << "(p monitor-pair-" << i + 1 << "\n"
+       << kCtx;
+    for (int j = 0; j < 2; ++j) {
+      const int cell = kPairs[i % kPairs.size()][static_cast<size_t>(j)];
+      os << "  (wme ^id <s> ^attr binding ^value <b" << j << ">)\n"
+         << "  (wme ^id <b" << j << "> ^attr cell ^value <c" << j << ">)\n"
+         << "  (wme ^id <c" << j << "> ^attr cell-id ^value " << cell << ")\n"
+         << "  (wme ^id <b" << j << "> ^attr tile ^value <t" << j << ">)\n";
+    }
+    os << "  -->\n  (make wme ^id <s> ^attr pair-seen ^value pair-" << i + 1
+       << "))\n";
+    ++count;
+  }
+}
+
+}  // namespace
+
+Task make_eight_puzzle() {
+  Task task;
+  task.name = "eight-puzzle";
+  task.max_decisions = 120;
+
+  std::ostringstream os;
+  int count = 0;
+  core_productions(os, count);
+  generated_productions(os, count);
+  pad_productions(os, count, 71);
+  assert(count == 71);
+  task.productions = os.str();
+
+  task.init = [](SoarKernel& k) {
+    SymbolTable& syms = k.engine().syms();
+    // Static level-1 structure: cells, adjacency, tiles.
+    std::array<Symbol, 10> cell{}, tile{};
+    for (int i = 1; i <= 9; ++i) {
+      cell[static_cast<size_t>(i)] = k.make_id("c", 1);
+      k.add_triple(cell[static_cast<size_t>(i)], "cell-id",
+                   Value(static_cast<int64_t>(i)));
+    }
+    auto adj = [&](int a, int b) {
+      k.add_triple(cell[static_cast<size_t>(a)], "adj",
+                   Value(cell[static_cast<size_t>(b)]));
+      k.add_triple(cell[static_cast<size_t>(b)], "adj",
+                   Value(cell[static_cast<size_t>(a)]));
+    };
+    adj(1, 2); adj(2, 3); adj(4, 5); adj(5, 6); adj(7, 8); adj(8, 9);
+    adj(1, 4); adj(4, 7); adj(2, 5); adj(5, 8); adj(3, 6); adj(6, 9);
+
+    for (int i = 0; i <= 8; ++i) {
+      tile[static_cast<size_t>(i)] = k.make_id("t", 1);
+      k.add_triple(tile[static_cast<size_t>(i)], "tile-id",
+                   Value(static_cast<int64_t>(i)));
+      k.add_triple(tile[static_cast<size_t>(i)], "kind",
+                   Value(syms.intern(i == 0 ? "blank" : "tile")));
+    }
+
+    // Goal configuration: tiles 1..8 on cells 1..8, blank on cell 9.
+    std::array<int, 10> board{};  // board[cell] = tile id (0 = blank)
+    for (int c = 1; c <= 8; ++c) board[static_cast<size_t>(c)] = c;
+    board[9] = 0;
+
+    const Symbol desired = k.make_id("d", 1);
+    for (int c = 1; c <= 9; ++c) {
+      const Symbol db = k.make_id("b", 1);
+      k.add_triple(desired, "binding", Value(db));
+      k.add_triple(db, "cell", Value(cell[static_cast<size_t>(c)]));
+      k.add_triple(db, "tile",
+                   Value(tile[static_cast<size_t>(board[static_cast<size_t>(c)])]));
+    }
+
+    // Scramble from the goal with a fixed legal move sequence (each step
+    // slides the tile in the named cell into the current blank cell).
+    int blank = 9;
+    for (const int from : {8, 5, 4, 1, 2, 5, 6, 9}) {
+      board[static_cast<size_t>(blank)] = board[static_cast<size_t>(from)];
+      board[static_cast<size_t>(from)] = 0;
+      blank = from;
+    }
+
+    const Symbol s0 = k.make_id("s", 1);
+    for (int c = 1; c <= 9; ++c) {
+      const Symbol b = k.make_id("b", 1);
+      k.add_triple(s0, "binding", Value(b));
+      k.add_triple(b, "cell", Value(cell[static_cast<size_t>(c)]));
+      k.add_triple(b, "tile",
+                   Value(tile[static_cast<size_t>(board[static_cast<size_t>(c)])]));
+    }
+
+    const Symbol g =
+        k.create_top_goal(syms.intern("eight-puzzle"), s0);
+    k.add_triple(g, "desired", Value(desired));
+    k.set_goal_test([](SoarKernel& kk) {
+      return kk.has_triple_attr("success", "yes");
+    });
+  };
+  return task;
+}
+
+}  // namespace psme

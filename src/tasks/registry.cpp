@@ -1,0 +1,40 @@
+#include "tasks/registry.h"
+
+#include <stdexcept>
+
+namespace psme {
+
+Task make_task(std::string_view name) {
+  if (name == "eight-puzzle") return make_eight_puzzle();
+  if (name == "strips") return make_strips();
+  if (name == "cypress") return make_cypress();
+  throw std::invalid_argument("unknown task: " + std::string(name));
+}
+
+std::vector<std::string> task_names() {
+  return {"eight-puzzle", "strips", "cypress"};
+}
+
+TaskRunResult run_task(const Task& task, bool learning,
+                       const std::vector<std::string>* extra_chunk_texts,
+                       EngineOptions engine_opts) {
+  SoarOptions opts;
+  opts.learning = learning;
+  opts.max_decisions = task.max_decisions;
+  opts.engine = engine_opts;
+  SoarKernel kernel(opts);
+  kernel.load_productions(task.productions);
+  if (extra_chunk_texts != nullptr) {
+    for (const std::string& text : *extra_chunk_texts) {
+      kernel.load_productions(text);
+    }
+  }
+  task.init(kernel);
+
+  TaskRunResult res;
+  res.production_count = kernel.engine().productions().size();
+  res.stats = kernel.run();
+  return res;
+}
+
+}  // namespace psme

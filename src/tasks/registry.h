@@ -1,0 +1,51 @@
+// The three Soar systems of the paper's evaluation:
+//   eight-puzzle — 71 productions (Laird/Rosenbloom/Newell 1986 formulation:
+//                  states bind tiles to cells, operators slide a tile into
+//                  the blank cell, lookahead evaluation in tie subgoals);
+//   strips       — 105 productions (robot/rooms/doors/boxes planning after
+//                  Fikes/Hart/Nilsson 1972, with the long-chain
+//                  monitor-strips-state productions of Figure 6-7);
+//   cypress      — 196 productions (surrogate for the proprietary
+//                  Cypress-Soar algorithm-design system; a rule-driven
+//                  derivation search with the paper's production statistics,
+//                  see DESIGN.md §2).
+//
+// Each task provides its production source text, an init function that
+// populates working memory and creates the top goal, and a recommended
+// decision cap matching the paper's run lengths.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "soar/kernel.h"
+
+namespace psme {
+
+struct Task {
+  std::string name;
+  std::string productions;
+  std::function<void(SoarKernel&)> init;
+  uint64_t max_decisions = 100;
+};
+
+Task make_eight_puzzle();
+Task make_strips();
+Task make_cypress();
+
+/// By name: "eight-puzzle", "strips", "cypress".
+Task make_task(std::string_view name);
+std::vector<std::string> task_names();
+
+/// Convenience: builds a kernel, loads the task and runs it.
+struct TaskRunResult {
+  SoarRunStats stats;
+  uint64_t production_count = 0;
+};
+TaskRunResult run_task(const Task& task, bool learning,
+                       const std::vector<std::string>* extra_chunk_texts = nullptr,
+                       EngineOptions engine_opts = {});
+
+}  // namespace psme

@@ -1,0 +1,476 @@
+// Strips-Soar: 105 productions. Robot planning after Fikes/Hart/Nilsson:
+// rooms in a corridor, doors that can be opened, boxes to push. The
+// monitor-strips-state productions reproduce Figure 6-7's long-chain
+// phenomenon: single productions whose CE chains run through every door and
+// box in the world model.
+#include <array>
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+constexpr int kRooms = 12;  // corridor r1 - r2 - ... - r12, doors d1..d11
+constexpr int kDoors = kRooms - 1;
+constexpr int kBoxes = 4;
+
+constexpr const char* kCtx =
+    "  (wme ^id <g> ^attr problem-space ^value strips)\n"
+    "  (wme ^id <g> ^attr state ^value <s>)\n";
+
+// Shared prefix for evaluation productions inside the tie subgoal.
+constexpr const char* kEvalCtx =
+    "  (wme ^id <sg> ^attr impasse ^value tie)\n"
+    "  (wme ^id <sg> ^attr object ^value <g>)\n"
+    "  (wme ^id <sg> ^attr item ^value <o>)\n"
+    "  (wme ^id <g> ^attr state ^value <s>)\n"
+    "  (pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind acceptable)\n";
+
+void proposal_productions(std::ostringstream& os, int& count) {
+  // open-door: robot beside a closed door.
+  for (const char* side : {"room-a", "room-b"}) {
+    os << "(p propose-open-" << side << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <r>)\n"
+          "  (wme ^id <d> ^attr "
+       << side
+       << " ^value <r>)\n"
+          "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+          "  (wme ^id <ds> ^attr door ^value <d>)\n"
+          "  (wme ^id <ds> ^attr status ^value closed)\n"
+          "  -->\n"
+          "  (bind <o> (genatom o))\n"
+          "  (make wme ^id <o> ^attr name ^value open-door)\n"
+          "  (make wme ^id <o> ^attr door ^value <d>)\n"
+          "  (make wme ^id <o> ^attr for-state ^value <s>)\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable))\n";
+    ++count;
+  }
+  // go-thru in both directions.
+  for (const auto& [from, to] : std::array<std::array<const char*, 2>, 2>{
+           {{"room-a", "room-b"}, {"room-b", "room-a"}}}) {
+    os << "(p propose-go-" << from << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <r>)\n"
+          "  (wme ^id <d> ^attr "
+       << from
+       << " ^value <r>)\n"
+          "  (wme ^id <d> ^attr "
+       << to
+       << " ^value <r2>)\n"
+          "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+          "  (wme ^id <ds> ^attr door ^value <d>)\n"
+          "  (wme ^id <ds> ^attr status ^value open)\n"
+          "  -->\n"
+          "  (bind <o> (genatom o))\n"
+          "  (make wme ^id <o> ^attr name ^value go-thru)\n"
+          "  (make wme ^id <o> ^attr door ^value <d>)\n"
+          "  (make wme ^id <o> ^attr to-room ^value <r2>)\n"
+          "  (make wme ^id <o> ^attr for-state ^value <s>)\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable))\n";
+    ++count;
+  }
+  // push-thru in both directions.
+  for (const auto& [from, to] : std::array<std::array<const char*, 2>, 2>{
+           {{"room-a", "room-b"}, {"room-b", "room-a"}}}) {
+    os << "(p propose-push-" << from << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <r>)\n"
+          "  (wme ^id <s> ^attr box-loc ^value <bl>)\n"
+          "  (wme ^id <bl> ^attr room ^value <r>)\n"
+          "  (wme ^id <bl> ^attr box ^value <b>)\n"
+          "  (wme ^id <d> ^attr "
+       << from
+       << " ^value <r>)\n"
+          "  (wme ^id <d> ^attr "
+       << to
+       << " ^value <r2>)\n"
+          "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+          "  (wme ^id <ds> ^attr door ^value <d>)\n"
+          "  (wme ^id <ds> ^attr status ^value open)\n"
+          "  -->\n"
+          "  (bind <o> (genatom o))\n"
+          "  (make wme ^id <o> ^attr name ^value push-thru)\n"
+          "  (make wme ^id <o> ^attr door ^value <d>)\n"
+          "  (make wme ^id <o> ^attr box ^value <b>)\n"
+          "  (make wme ^id <o> ^attr to-room ^value <r2>)\n"
+          "  (make wme ^id <o> ^attr for-state ^value <s>)\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "acceptable))\n";
+    ++count;
+  }
+}
+
+void apply_productions(std::ostringstream& os, int& count) {
+  const std::string op_ctx =
+      "  (wme ^id <g> ^attr operator ^value <o>)\n"
+      "  (wme ^id <g> ^attr state ^value <s>)\n"
+      "  (wme ^id <o> ^attr for-state ^value <s>)\n";
+  // Successor-state creation, one per operator kind (records last-door for
+  // undo rejection).
+  for (const char* op : {"open-door", "go-thru", "push-thru"}) {
+    os << "(p apply-create-" << op << "\n"
+       << op_ctx << "  (wme ^id <o> ^attr name ^value " << op
+       << ")\n"
+          "  (wme ^id <o> ^attr door ^value <d>)\n"
+          "  -->\n"
+          "  (bind <ns> (genatom s))\n"
+          "  (make wme ^id <ns> ^attr prev ^value <s>)\n"
+          "  (make wme ^id <ns> ^attr last-door ^value <d>)\n"
+          "  (make wme ^id <ns> ^attr last-op ^value "
+       << op
+       << ")\n"
+          "  (make pref ^gid <g> ^sid <s> ^role state ^value <ns> ^kind "
+          "acceptable))\n";
+    ++count;
+  }
+  // Copy door statuses (unchanged doors).
+  os << "(p apply-copy-doors\n"
+     << op_ctx
+     << "  (wme ^id <o> ^attr door ^value <d>)\n"
+        "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+        "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+        "  (wme ^id <ds> ^attr door ^value { <d2> <> <d> })\n"
+        "  (wme ^id <ds> ^attr status ^value <st>)\n"
+        "  -->\n"
+        "  (bind <nds> (genatom ds))\n"
+        "  (make wme ^id <ns> ^attr door-st ^value <nds>)\n"
+        "  (make wme ^id <nds> ^attr door ^value <d2>)\n"
+        "  (make wme ^id <nds> ^attr status ^value <st>))\n";
+  ++count;
+  // The touched door: open-door opens it; go/push keep it open.
+  os << "(p apply-set-door-open\n"
+     << op_ctx
+     << "  (wme ^id <o> ^attr door ^value <d>)\n"
+        "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+        "  -->\n"
+        "  (bind <nds> (genatom ds))\n"
+        "  (make wme ^id <ns> ^attr door-st ^value <nds>)\n"
+        "  (make wme ^id <nds> ^attr door ^value <d>)\n"
+        "  (make wme ^id <nds> ^attr status ^value open))\n";
+  ++count;
+  // Copy boxes not pushed.
+  os << "(p apply-copy-boxes\n"
+     << op_ctx
+     << "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+        "  (wme ^id <s> ^attr box-loc ^value <bl>)\n"
+        "  (wme ^id <bl> ^attr box ^value <b>)\n"
+        "  (wme ^id <bl> ^attr room ^value <r>)\n"
+        "  -(wme ^id <o> ^attr box ^value <b>)\n"
+        "  -->\n"
+        "  (bind <nbl> (genatom bl))\n"
+        "  (make wme ^id <ns> ^attr box-loc ^value <nbl>)\n"
+        "  (make wme ^id <nbl> ^attr box ^value <b>)\n"
+        "  (make wme ^id <nbl> ^attr room ^value <r>))\n";
+  ++count;
+  // Pushed box lands in the destination room.
+  os << "(p apply-move-box\n"
+     << op_ctx
+     << "  (wme ^id <o> ^attr name ^value push-thru)\n"
+        "  (wme ^id <o> ^attr box ^value <b>)\n"
+        "  (wme ^id <o> ^attr to-room ^value <r2>)\n"
+        "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+        "  -->\n"
+        "  (bind <nbl> (genatom bl))\n"
+        "  (make wme ^id <ns> ^attr box-loc ^value <nbl>)\n"
+        "  (make wme ^id <nbl> ^attr box ^value <b>)\n"
+        "  (make wme ^id <nbl> ^attr room ^value <r2>))\n";
+  ++count;
+  // Robot position: moves with go/push, stays for open.
+  for (const char* op : {"go-thru", "push-thru"}) {
+    os << "(p apply-move-robot-" << op << "\n"
+       << op_ctx << "  (wme ^id <o> ^attr name ^value " << op
+       << ")\n"
+          "  (wme ^id <o> ^attr to-room ^value <r2>)\n"
+          "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+          "  -->\n"
+          "  (make wme ^id <ns> ^attr robot-at ^value <r2>))\n";
+    ++count;
+  }
+  os << "(p apply-keep-robot\n"
+     << op_ctx
+     << "  (wme ^id <o> ^attr name ^value open-door)\n"
+        "  (wme ^id <s> ^attr robot-at ^value <r>)\n"
+        "  (wme ^id <ns> ^attr prev ^value <s>)\n"
+        "  -->\n"
+        "  (make wme ^id <ns> ^attr robot-at ^value <r>))\n";
+  ++count;
+}
+
+void goal_and_eval_productions(std::ostringstream& os, int& count) {
+  os << "(p detect-success\n"
+     << kCtx
+     << "  (wme ^id <g> ^attr target-box ^value <b>)\n"
+        "  (wme ^id <g> ^attr target-room ^value <r>)\n"
+        "  (wme ^id <s> ^attr box-loc ^value <bl>)\n"
+        "  (wme ^id <bl> ^attr box ^value <b>)\n"
+        "  (wme ^id <bl> ^attr room ^value <r>)\n"
+        "  -->\n"
+        "  (make wme ^id <g> ^attr success ^value yes))\n";
+  ++count;
+
+  // Default indifference + undo rejection. The evaluation reads the robot's
+  // room and the operator's door (numeric ids stay constant in chunks), so
+  // each evaluated situation contributes a distinct search-control chunk.
+  os << "(p eval-default\n"
+     << kEvalCtx
+     << "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+        "  (wme ^id <rr> ^attr room-id ^value <rn>)\n"
+        "  -->\n"
+        "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+        "indifferent))\n";
+  ++count;
+  os << "(p eval-reject-undo\n"
+     << kEvalCtx
+     << "  (wme ^id <o> ^attr name ^value go-thru)\n"
+        "  (wme ^id <o> ^attr door ^value <d>)\n"
+        "  (wme ^id <s> ^attr last-door ^value <d>)\n"
+        "  (wme ^id <s> ^attr last-op ^value go-thru)\n"
+        "  -->\n"
+        "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+        "reject))\n";
+  ++count;
+
+  // Push the target box toward the target room (room-ids are corridor
+  // coordinates, so "closer" is a numeric comparison in each direction).
+  for (const char* dir : {"right", "left"}) {
+    const bool right = std::string(dir) == "right";
+    os << "(p eval-push-toward-" << dir << "\n"
+       << kEvalCtx
+       << "  (wme ^id <g> ^attr target-box ^value <b>)\n"
+          "  (wme ^id <g> ^attr target-room ^value <tr>)\n"
+          "  (wme ^id <tr> ^attr room-id ^value <tn>)\n"
+          "  (wme ^id <o> ^attr name ^value push-thru)\n"
+          "  (wme ^id <o> ^attr box ^value <b>)\n"
+          "  (wme ^id <o> ^attr to-room ^value <r2>)\n"
+          "  (wme ^id <r2> ^attr room-id ^value <n2>)\n"
+          "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+          "  (wme ^id <rr> ^attr room-id ^value "
+       << (right ? "{ <nr> < <tn> }" : "{ <nr> > <tn> }") << ")\n"
+       << "  (wme ^id <o> ^attr door ^value <d>)\n"
+       << (right ? "  (wme ^id <r2> ^attr room-id ^value { <n2> > <nr> })\n"
+                 : "  (wme ^id <r2> ^attr room-id ^value { <n2> < <nr> })\n")
+       << "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "best))\n";
+    ++count;
+  }
+
+  // Walk toward the target box when not colocated with it.
+  for (const char* dir : {"right", "left"}) {
+    const bool right = std::string(dir) == "right";
+    os << "(p eval-go-toward-box-" << dir << "\n"
+       << kEvalCtx
+       << "  (wme ^id <g> ^attr target-box ^value <b>)\n"
+          "  (wme ^id <s> ^attr box-loc ^value <bl>)\n"
+          "  (wme ^id <bl> ^attr box ^value <b>)\n"
+          "  (wme ^id <bl> ^attr room ^value <br>)\n"
+          "  (wme ^id <br> ^attr room-id ^value <bn>)\n"
+          "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+          "  (wme ^id <rr> ^attr room-id ^value "
+       << (right ? "{ <nr> < <bn> }" : "{ <nr> > <bn> }") << ")\n"
+       << "  (wme ^id <o> ^attr name ^value go-thru)\n"
+          "  (wme ^id <o> ^attr to-room ^value <r2>)\n"
+          "  (wme ^id <r2> ^attr room-id ^value "
+       << (right ? "{ <n2> > <nr> }" : "{ <n2> < <nr> }") << ")\n"
+       << "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "best))\n";
+    ++count;
+  }
+
+  // Open a door that blocks progress toward the target box or room.
+  for (const char* dir : {"right", "left"}) {
+    const bool right = std::string(dir) == "right";
+    os << "(p eval-open-toward-" << dir << "\n"
+       << kEvalCtx
+       << "  (wme ^id <g> ^attr target-room ^value <tr>)\n"
+          "  (wme ^id <tr> ^attr room-id ^value <tn>)\n"
+          "  (wme ^id <o> ^attr name ^value open-door)\n"
+          "  (wme ^id <o> ^attr door ^value <d>)\n"
+          "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+          "  (wme ^id <rr> ^attr room-id ^value "
+       << (right ? "{ <nr> < <tn> }" : "{ <nr> > <tn> }") << ")\n"
+       << "  (wme ^id <d> ^attr "
+       << (right ? "room-a" : "room-b")
+       << " ^value <rr>)\n"
+          "  -->\n"
+          "  (make pref ^gid <g> ^sid <s> ^role operator ^value <o> ^kind "
+          "best))\n";
+    ++count;
+  }
+}
+
+void monitor_productions(std::ostringstream& os, int& count, int target) {
+  // monitor-strips-state: the Figure 6-7 long chain — one production whose
+  // CEs run through the robot and every door status in the world model.
+  // Several variants of increasing length (the longest covers all doors and
+  // all boxes: 4 + 3*kDoors + 3*kBoxes + 2 CEs).
+  for (int n_doors = 2; n_doors <= kDoors; ++n_doors) {
+    os << "(p monitor-strips-state-" << n_doors << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+          "  (wme ^id <rr> ^attr room-id ^value <nr>)\n";
+    for (int d = 0; d < n_doors; ++d) {
+      os << "  (wme ^id <s> ^attr door-st ^value <ds" << d << ">)\n"
+         << "  (wme ^id <ds" << d << "> ^attr door ^value <d" << d << ">)\n"
+         << "  (wme ^id <d" << d << "> ^attr door-id ^value " << d + 1
+         << ")\n"
+         << "  (wme ^id <ds" << d << "> ^attr status ^value <st" << d
+         << ">)\n";
+    }
+    if (n_doors == kDoors) {
+      for (int b = 0; b < kBoxes; ++b) {
+        os << "  (wme ^id <s> ^attr box-loc ^value <bl" << b << ">)\n"
+           << "  (wme ^id <bl" << b << "> ^attr box ^value <b" << b << ">)\n"
+           << "  (wme ^id <bl" << b << "> ^attr room ^value <br" << b
+           << ">)\n";
+      }
+    }
+    os << "  -->\n  (make wme ^id <s> ^attr snapshot ^value snap-" << n_doors
+       << "))\n";
+    ++count;
+  }
+
+  // Per-door status notes.
+  for (int d = 1; d <= kDoors; ++d) {
+    for (const char* st : {"open", "closed"}) {
+      os << "(p monitor-door-" << d << "-" << st << "\n"
+         << kCtx
+         << "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+            "  (wme ^id <ds> ^attr door ^value <d>)\n"
+         << "  (wme ^id <d> ^attr door-id ^value " << d << ")\n"
+         << "  (wme ^id <ds> ^attr status ^value " << st
+         << ")\n"
+            "  -->\n"
+         << "  (make wme ^id <s> ^attr door-note ^value door-" << d << "-"
+         << st << "))\n";
+      ++count;
+    }
+  }
+
+  // Per-room robot notes and per-box room notes.
+  for (int r = 1; r <= kRooms; ++r) {
+    os << "(p monitor-robot-room-" << r << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <r>)\n"
+       << "  (wme ^id <r> ^attr room-id ^value " << r << ")\n"
+       << "  -->\n"
+       << "  (make wme ^id <s> ^attr robot-note ^value room-" << r << "))\n";
+    ++count;
+  }
+  for (int b = 1; b <= kBoxes; ++b) {
+    for (int r = 1; r <= kRooms; ++r) {
+      if (count >= target) return;
+      os << "(p monitor-box-" << b << "-room-" << r << "\n"
+         << kCtx
+         << "  (wme ^id <s> ^attr box-loc ^value <bl>)\n"
+            "  (wme ^id <bl> ^attr box ^value <b>)\n"
+         << "  (wme ^id <b> ^attr box-id ^value " << b << ")\n"
+         << "  (wme ^id <bl> ^attr room ^value <r>)\n"
+         << "  (wme ^id <r> ^attr room-id ^value " << r << ")\n"
+         << "  -->\n"
+         << "  (make wme ^id <s> ^attr box-note ^value box-" << b << "-room-"
+         << r << "))\n";
+      ++count;
+    }
+  }
+
+  // Pairwise room-adjacency notes to round out the count.
+  int i = 0;
+  while (count < target) {
+    ++i;
+    os << "(p monitor-aux-" << i << "\n"
+       << kCtx
+       << "  (wme ^id <s> ^attr robot-at ^value <rr>)\n"
+          "  (wme ^id <d> ^attr room-a ^value <rr>)\n"
+          "  (wme ^id <d> ^attr door-id ^value "
+       << ((i - 1) % kDoors) + 1
+       << ")\n"
+          "  (wme ^id <s> ^attr door-st ^value <ds>)\n"
+          "  (wme ^id <ds> ^attr door ^value <d>)\n"
+          "  (wme ^id <ds> ^attr status ^value <st>)\n"
+          "  -->\n"
+       << "  (make wme ^id <s> ^attr aux-note ^value aux-" << i << "))\n";
+    ++count;
+  }
+}
+
+}  // namespace
+
+Task make_strips() {
+  Task task;
+  task.name = "strips";
+  task.max_decisions = 250;
+
+  std::ostringstream os;
+  int count = 0;
+  proposal_productions(os, count);
+  apply_productions(os, count);
+  goal_and_eval_productions(os, count);
+  monitor_productions(os, count, 105);
+  assert(count == 105);
+  task.productions = os.str();
+
+  task.init = [](SoarKernel& k) {
+    SymbolTable& syms = k.engine().syms();
+    std::array<Symbol, kRooms + 1> room{};
+    for (int r = 1; r <= kRooms; ++r) {
+      room[static_cast<size_t>(r)] = k.make_id("r", 1);
+      k.add_triple(room[static_cast<size_t>(r)], "room-id",
+                   Value(static_cast<int64_t>(r)));
+    }
+    std::array<Symbol, kDoors + 1> door{};
+    for (int d = 1; d <= kDoors; ++d) {
+      door[static_cast<size_t>(d)] = k.make_id("dr", 1);
+      k.add_triple(door[static_cast<size_t>(d)], "door-id",
+                   Value(static_cast<int64_t>(d)));
+      k.add_triple(door[static_cast<size_t>(d)], "room-a",
+                   Value(room[static_cast<size_t>(d)]));
+      k.add_triple(door[static_cast<size_t>(d)], "room-b",
+                   Value(room[static_cast<size_t>(d + 1)]));
+    }
+    std::array<Symbol, kBoxes + 1> box{};
+    for (int b = 1; b <= kBoxes; ++b) {
+      box[static_cast<size_t>(b)] = k.make_id("bx", 1);
+      k.add_triple(box[static_cast<size_t>(b)], "box-id",
+                   Value(static_cast<int64_t>(b)));
+    }
+
+    // Initial state: robot in r1; box1 in r2, box2 in r4, box3 in r5;
+    // doors 1 and 3 open, the rest closed.
+    const Symbol s0 = k.make_id("s", 1);
+    k.add_triple(s0, "robot-at", Value(room[1]));
+    const std::array<int, kBoxes + 1> box_room{0, 2, 4, 5, 7};
+    for (int b = 1; b <= kBoxes; ++b) {
+      const Symbol bl = k.make_id("bl", 1);
+      k.add_triple(s0, "box-loc", Value(bl));
+      k.add_triple(bl, "box", Value(box[static_cast<size_t>(b)]));
+      k.add_triple(
+          bl, "room",
+          Value(room[static_cast<size_t>(box_room[static_cast<size_t>(b)])]));
+    }
+    for (int d = 1; d <= kDoors; ++d) {
+      const Symbol ds = k.make_id("ds", 1);
+      k.add_triple(s0, "door-st", Value(ds));
+      k.add_triple(ds, "door", Value(door[static_cast<size_t>(d)]));
+      k.add_triple(ds, "status",
+                   Value(syms.intern(d == 1 ? "open" : "closed")));
+    }
+
+    const Symbol g = k.create_top_goal(syms.intern("strips"), s0);
+    k.add_triple(g, "target-box", Value(box[1]));
+    k.add_triple(g, "target-room", Value(room[kRooms]));
+    k.set_goal_test([](SoarKernel& kk) {
+      return kk.has_triple_attr("success", "yes");
+    });
+  };
+  return task;
+}
+
+}  // namespace psme

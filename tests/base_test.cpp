@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/rng.h"
+#include "base/symbol.h"
+#include "base/value.h"
+
+namespace psme {
+namespace {
+
+TEST(SymbolTable, InternReturnsSameSymbolForSameString) {
+  SymbolTable t;
+  const Symbol a = t.intern("hello");
+  const Symbol b = t.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.name(a), "hello");
+}
+
+TEST(SymbolTable, DistinctStringsGetDistinctSymbols) {
+  SymbolTable t;
+  EXPECT_NE(t.intern("a"), t.intern("b"));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTable, FindReturnsInvalidForUnknown) {
+  SymbolTable t;
+  EXPECT_FALSE(t.find("missing").valid());
+  t.intern("present");
+  EXPECT_TRUE(t.find("present").valid());
+}
+
+TEST(SymbolTable, GensymNeverCollides) {
+  SymbolTable t;
+  t.intern("s1");
+  const Symbol g = t.gensym("s");
+  EXPECT_NE(t.name(g), "s1");
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(std::string(t.name(t.gensym("x")))).second);
+  }
+}
+
+TEST(SymbolTable, NameThrowsOnInvalid) {
+  SymbolTable t;
+  EXPECT_THROW(t.name(Symbol()), std::out_of_range);
+  EXPECT_THROW(t.name(Symbol(42)), std::out_of_range);
+}
+
+TEST(Value, KindsAndAccessors) {
+  SymbolTable t;
+  const Value s(t.intern("sym"));
+  const Value i(int64_t{42});
+  const Value f(2.5);
+  const Value nil;
+  EXPECT_TRUE(s.is_sym());
+  EXPECT_TRUE(i.is_num());
+  EXPECT_TRUE(f.is_num());
+  EXPECT_TRUE(nil.is_nil());
+  EXPECT_EQ(i.as_int(), 42);
+  EXPECT_DOUBLE_EQ(f.as_float(), 2.5);
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+}
+
+TEST(Value, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(int64_t{3}).hash(), Value(3.0).hash());
+  SymbolTable t;
+  const Symbol s = t.intern("x");
+  EXPECT_EQ(Value(s).hash(), Value(s).hash());
+}
+
+TEST(Value, SymbolAndIntDoNotCompareEqual) {
+  SymbolTable t;
+  const Symbol s = t.intern("x");
+  EXPECT_NE(Value(s), Value(static_cast<int64_t>(s.raw())));
+}
+
+TEST(Value, SameTypePredicate) {
+  SymbolTable t;
+  EXPECT_TRUE(Value(int64_t{1}).same_type(Value(2.0)));
+  EXPECT_TRUE(Value(t.intern("a")).same_type(Value(t.intern("b"))));
+  EXPECT_FALSE(Value(t.intern("a")).same_type(Value(int64_t{1})));
+}
+
+TEST(Value, ToString) {
+  SymbolTable t;
+  EXPECT_EQ(Value(t.intern("abc")).to_string(t), "abc");
+  EXPECT_EQ(Value(int64_t{7}).to_string(t), "7");
+  EXPECT_EQ(Value().to_string(t), "nil");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 10; ++i) diff += a.next() != b.next();
+  EXPECT_GT(diff, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,169 @@
+// Constrained bilinear network organization (§6.2, Figure 6-8): equivalence
+// with the linear network on match results, and critical-path reduction on
+// long-chain productions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/engine.h"
+#include "lang/parser.h"
+#include "psim/report.h"
+#include "rete/bilinear.h"
+#include "test_util.h"
+
+namespace psme {
+namespace {
+
+/// A long-chain production in the style of Figure 6-7: a goal/state prefix
+/// followed by `n_groups` independent feature groups hanging off the state.
+std::string long_chain_production(int n_groups, int group_size) {
+  std::ostringstream os;
+  os << "(p monitor (goal ^ps <p>) (ps ^name strips ^id <p>) "
+        "(goal ^state <s>)";
+  for (int g = 0; g < n_groups; ++g) {
+    for (int k = 0; k < group_size; ++k) {
+      os << " (feat ^state <s> ^group g" << g << " ^slot " << k << " ^val <v"
+         << g << "_" << k << ">)";
+    }
+  }
+  os << " --> (halt))";
+  return os.str();
+}
+
+void add_long_chain_wmes(Engine& e, int n_groups, int group_size) {
+  e.add_wme_text("(goal ^ps p1 ^state s1)");
+  e.add_wme_text("(ps ^name strips ^id p1)");
+  for (int g = 0; g < n_groups; ++g) {
+    for (int k = 0; k < group_size; ++k) {
+      std::ostringstream w;
+      w << "(feat ^state s1 ^group g" << g << " ^slot " << k << " ^val v" << g
+        << k << ")";
+      e.add_wme_text(w.str());
+    }
+  }
+}
+
+TEST(Bilinear, CountsInstantiationsLikeLinear) {
+  const std::string src = long_chain_production(3, 3);
+
+  // Linear network.
+  Engine lin;
+  lin.load(src);
+  add_long_chain_wmes(lin, 3, 3);
+  lin.match();
+  ASSERT_EQ(test::instantiation_count(lin, "monitor"), 1);
+
+  // Bilinear network over the same production.
+  Engine bi;
+  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Production prod = parser.parse_production(src);
+  BilinearOptions opts;
+  opts.prefix_ces = 3;
+  opts.group_size = 3;
+  bi.net().set_sink(&bi.cs());
+  const auto built = build_bilinear(bi.net(), prod, opts);
+  EXPECT_GT(built.pnode, 0u);
+  add_long_chain_wmes(bi, 3, 3);
+  bi.match();
+  EXPECT_EQ(bi.cs().size(), 1u);
+}
+
+TEST(Bilinear, RetractsOnDelete) {
+  const std::string src = long_chain_production(2, 2);
+  Engine bi;
+  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Production prod = parser.parse_production(src);
+  BilinearOptions opts;
+  opts.prefix_ces = 3;
+  opts.group_size = 2;
+  const auto built = build_bilinear(bi.net(), prod, opts);
+  (void)built;
+  bi.net().set_sink(&bi.cs());
+  add_long_chain_wmes(bi, 2, 2);
+  const Wme* goal = bi.wm().live().front();
+  bi.match();
+  ASSERT_EQ(bi.cs().size(), 1u);
+  bi.remove_wme(goal);
+  bi.match();
+  EXPECT_EQ(bi.cs().size(), 0u);
+}
+
+TEST(Bilinear, ShortensCriticalPath) {
+  // 4 groups x 5 CEs = 20 feature CEs + 3 prefix CEs = 23-CE chain.
+  const int groups = 4, gsize = 5;
+  const std::string src = long_chain_production(groups, gsize);
+  CostModel cm;
+
+  Engine lin;
+  lin.load(src);
+  add_long_chain_wmes(lin, groups, gsize);
+  const auto lin_trace = lin.match();
+  const auto lin_cp = critical_path(lin_trace, cm);
+
+  Engine bi;
+  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Production prod = parser.parse_production(src);
+  BilinearOptions opts;
+  opts.prefix_ces = 3;
+  opts.group_size = gsize;
+  build_bilinear(bi.net(), prod, opts);
+  bi.net().set_sink(&bi.cs());
+  add_long_chain_wmes(bi, groups, gsize);
+  const auto bi_trace = bi.match();
+  const auto bi_cp = critical_path(bi_trace, cm);
+
+  ASSERT_EQ(lin.cs().size(), 1u);
+  ASSERT_EQ(bi.cs().size(), 1u);
+  EXPECT_LT(bi_cp.length, lin_cp.length);
+  EXPECT_LT(bi_cp.cost_us, lin_cp.cost_us);
+}
+
+TEST(Bilinear, BalancedTreeShorterThanLinearCombine) {
+  const int groups = 6, gsize = 3;
+  const std::string src = long_chain_production(groups, gsize);
+  CostModel cm;
+
+  auto run = [&](bool tree) {
+    Engine e;
+    Parser parser(e.syms(), e.schemas(), *new RhsArena);
+    Production prod = parser.parse_production(src);
+    BilinearOptions opts;
+    opts.prefix_ces = 3;
+    opts.group_size = gsize;
+    opts.balanced_tree = tree;
+    build_bilinear(e.net(), prod, opts);
+    e.net().set_sink(&e.cs());
+    add_long_chain_wmes(e, groups, gsize);
+    const auto trace = e.match();
+    EXPECT_EQ(e.cs().size(), 1u);
+    return critical_path(trace, cm).length;
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(Bilinear, RejectsNegatedConditions) {
+  Engine e;
+  Parser parser(e.syms(), e.schemas(), *new RhsArena);
+  Production prod =
+      parser.parse_production("(p bad (a ^v <x>) -(b ^v <x>) --> (halt))");
+  EXPECT_THROW(build_bilinear(e.net(), prod, BilinearOptions{}),
+               std::runtime_error);
+}
+
+TEST(Bilinear, RejectsCrossGroupVariables) {
+  Engine e;
+  Parser parser(e.syms(), e.schemas(), *new RhsArena);
+  // <y> is bound in the first feature group and used in the second.
+  Production prod = parser.parse_production(
+      "(p bad (goal ^state <s>) "
+      "(feat ^state <s> ^val <y>) (feat ^state <s> ^slot 1) "
+      "(feat ^state <s> ^val <y> ^slot 2) (feat ^state <s> ^slot 3) "
+      "--> (halt))");
+  BilinearOptions opts;
+  opts.prefix_ces = 1;
+  opts.group_size = 2;
+  EXPECT_THROW(build_bilinear(e.net(), prod, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,99 @@
+// End-to-end determinism: identical runs produce identical statistics,
+// traces, chunks and simulation results — the property every benchmark
+// number in EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "psim/sim.h"
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+std::string stats_signature(const SoarRunStats& s) {
+  std::ostringstream os;
+  os << s.decisions << '/' << s.elab_cycles << '/' << s.impasses << '/'
+     << s.chunks_built << '/' << s.goal_achieved;
+  for (const auto& t : s.traces) os << ':' << t.task_count();
+  for (const auto& c : s.chunk_texts) os << '#' << c.size();
+  return os.str();
+}
+
+class TaskDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TaskDeterminism, RunsAreBitIdentical) {
+  const Task task = make_task(GetParam());
+  const auto a = run_task(task, /*learning=*/true);
+  const auto b = run_task(task, /*learning=*/true);
+  EXPECT_EQ(stats_signature(a.stats), stats_signature(b.stats));
+  ASSERT_EQ(a.stats.chunk_texts.size(), b.stats.chunk_texts.size());
+  for (size_t i = 0; i < a.stats.chunk_texts.size(); ++i) {
+    EXPECT_EQ(a.stats.chunk_texts[i], b.stats.chunk_texts[i]);
+  }
+}
+
+TEST_P(TaskDeterminism, TraceContentsIdentical) {
+  const Task task = make_task(GetParam());
+  const auto a = run_task(task, false);
+  const auto b = run_task(task, false);
+  ASSERT_EQ(a.stats.traces.size(), b.stats.traces.size());
+  for (size_t c = 0; c < a.stats.traces.size(); ++c) {
+    const auto& ta = a.stats.traces[c];
+    const auto& tb = b.stats.traces[c];
+    ASSERT_EQ(ta.task_count(), tb.task_count()) << "cycle " << c;
+    for (size_t i = 0; i < ta.tasks.size(); ++i) {
+      EXPECT_EQ(ta.tasks[i].parent, tb.tasks[i].parent);
+      EXPECT_EQ(ta.tasks[i].type, tb.tasks[i].type);
+      EXPECT_EQ(ta.tasks[i].stats.probes, tb.tasks[i].stats.probes);
+      EXPECT_EQ(ta.tasks[i].stats.tests, tb.tasks[i].stats.tests);
+    }
+  }
+}
+
+TEST_P(TaskDeterminism, SimulationIsReproducible) {
+  const Task task = make_task(GetParam());
+  const auto run = run_task(task, false);
+  SimOptions opts;
+  opts.processors = 11;
+  const auto r1 = simulate_run(run.stats.traces, opts);
+  const auto r2 = simulate_run(run.stats.traces, opts);
+  EXPECT_EQ(r1.parallel_us, r2.parallel_us);
+  EXPECT_EQ(r1.spins, r2.spins);
+  EXPECT_EQ(r1.failed_pops, r2.failed_pops);
+  EXPECT_EQ(r1.bucket_spins, r2.bucket_spins);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskDeterminism,
+                         ::testing::Values("eight-puzzle", "strips",
+                                           "cypress"));
+
+TEST(SimMonotonicity, RealTracesNeverGetSlowerWithMoreProcsMultiQueue) {
+  const auto run = run_task(make_eight_puzzle(), false);
+  SimOptions opts;
+  opts.policy = QueuePolicy::Multi;
+  double prev = 1e18;
+  for (const uint32_t p : {1u, 3u, 6u, 9u}) {
+    opts.processors = p;
+    const double t = simulate_run(run.stats.traces, opts).parallel_us;
+    EXPECT_LT(t, prev * 1.02) << "at " << p << " procs";
+    prev = t;
+  }
+}
+
+TEST(SimSanity, SpeedupNeverExceedsProcessorCount) {
+  const auto run = run_task(make_strips(), false);
+  for (const uint32_t p : {2u, 5u, 8u, 13u}) {
+    SimOptions opts;
+    opts.processors = p;
+    SimOptions uni = opts;
+    uni.processors = 1;
+    const double s = simulate_run(run.stats.traces, uni).parallel_us /
+                     simulate_run(run.stats.traces, opts).parallel_us;
+    EXPECT_LE(s, static_cast<double>(p) * 1.001);
+    EXPECT_GE(s, 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace psme

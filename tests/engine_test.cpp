@@ -1,0 +1,186 @@
+// Engine-level behaviour: OPS5 match-select-fire loop, LEX conflict
+// resolution, RHS actions, working memory bookkeeping.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace psme {
+namespace {
+
+TEST(WorkingMemory, AddFindRemove) {
+  WorkingMemory wm;
+  SymbolTable syms;
+  const Symbol cls = syms.intern("a");
+  const Wme* w = wm.add(cls, {Value(int64_t{1})});
+  EXPECT_EQ(wm.size(), 1u);
+  EXPECT_EQ(wm.find(cls, {Value(int64_t{1})}), w);
+  EXPECT_TRUE(wm.remove(w));
+  EXPECT_EQ(wm.find(cls, {Value(int64_t{1})}), nullptr);
+  EXPECT_FALSE(wm.remove(w));  // already gone
+  wm.end_cycle();
+}
+
+TEST(WorkingMemory, TimetagsIncrease) {
+  WorkingMemory wm;
+  SymbolTable syms;
+  const Wme* a = wm.add(syms.intern("a"), {});
+  const Wme* b = wm.add(syms.intern("a"), {});
+  EXPECT_LT(a->timetag, b->timetag);
+}
+
+TEST(WorkingMemory, DuplicateContentsAllowed) {
+  WorkingMemory wm;
+  SymbolTable syms;
+  const Symbol cls = syms.intern("a");
+  wm.add(cls, {Value(int64_t{1})});
+  wm.add(cls, {Value(int64_t{1})});
+  EXPECT_EQ(wm.size(), 2u);
+}
+
+TEST(Engine, HaltStopsRun) {
+  Engine e;
+  e.load("(p stop (go ^now yes) --> (halt))");
+  e.add_wme_text("(go ^now yes)");
+  const auto res = e.run(100);
+  EXPECT_TRUE(res.halted);
+  EXPECT_EQ(res.cycles, 1u);
+}
+
+TEST(Engine, WriteCollectsOutput) {
+  Engine e;
+  e.load("(p w (msg ^text <t>) --> (write saying <t>) (remove 1))");
+  e.add_wme_text("(msg ^text hello)");
+  e.run(10);
+  ASSERT_EQ(e.output().size(), 1u);
+  EXPECT_EQ(e.output()[0], "saying hello");
+}
+
+TEST(Engine, CountdownLoopWithCompute) {
+  Engine e;
+  e.load(
+      "(p count (counter ^n { > 0 <n> }) --> "
+      "(modify 1 ^n (compute <n> - 1)))"
+      "(p done (counter ^n 0) --> (write done) (halt))");
+  e.add_wme_text("(counter ^n 5)");
+  const auto res = e.run(100);
+  EXPECT_TRUE(res.halted);
+  EXPECT_EQ(res.cycles, 6u);  // 5 decrements + halt
+}
+
+TEST(Engine, LexPrefersRecentWmes) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) --> (write got <x>))");
+  e.add_wme_text("(a ^v old)");
+  e.add_wme_text("(a ^v new)");
+  e.match();
+  const Instantiation* pick = e.cs().select_lex();
+  ASSERT_NE(pick, nullptr);
+  EXPECT_EQ(pick->token[0]->field(0).to_string(e.syms()), "new");
+}
+
+TEST(Engine, LexPrefersSpecificProduction) {
+  Engine e;
+  // Same wme satisfies both; tie on recency resolved by specificity.
+  e.load("(p loose (a ^v <x>) --> (write loose))"
+         "(p tight (a ^v <x> ^w 1) --> (write tight))");
+  e.add_wme_text("(a ^v 7 ^w 1)");
+  e.match();
+  const Instantiation* pick = e.cs().select_lex();
+  ASSERT_NE(pick, nullptr);
+  EXPECT_EQ(e.syms().name(pick->pnode->prod->name), "tight");
+}
+
+TEST(Engine, RefractionFiredInstantiationDoesNotRefire) {
+  Engine e;
+  e.load("(p once (a ^v 1) --> (write fired))");
+  e.add_wme_text("(a ^v 1)");
+  const auto res = e.run(10);
+  EXPECT_EQ(res.cycles, 1u);
+  EXPECT_EQ(e.output().size(), 1u);
+}
+
+TEST(Engine, RemoveActionRetractsDownstream) {
+  Engine e;
+  e.load("(p eat (hungry ^who <w>) (food ^for <w>) --> (remove 2))");
+  e.add_wme_text("(hungry ^who me)");
+  e.add_wme_text("(food ^for me)");
+  const auto res = e.run(10);
+  EXPECT_EQ(res.cycles, 1u);
+  EXPECT_EQ(e.wm().size(), 1u);  // food gone
+}
+
+TEST(Engine, GensymCreatesFreshSymbols) {
+  Engine e;
+  e.load(
+      "(p spawn (seed ^n <n>) --> (bind <id> (genatom item)) "
+      "(make thing ^id <id>) (remove 1))");
+  e.add_wme_text("(seed ^n 1)");
+  e.add_wme_text("(seed ^n 2)");
+  e.run(10);
+  // Two things with distinct gensym ids.
+  int things = 0;
+  std::set<std::string> ids;
+  for (const Wme* w : e.wm().live()) {
+    if (e.syms().name(w->cls) == "thing") {
+      ++things;
+      ids.insert(w->field(0).to_string(e.syms()));
+    }
+  }
+  EXPECT_EQ(things, 2);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(Engine, TraceRecordsTasksAndParents) {
+  Engine e;
+  e.load("(p j (a ^v <x>) (b ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.add_wme_text("(b ^v 1)");
+  const CycleTrace t = e.match();
+  ASSERT_GT(t.task_count(), 0u);
+  // Seeds have no parent; all parent links point backwards.
+  bool saw_seed = false;
+  for (size_t i = 0; i < t.tasks.size(); ++i) {
+    if (t.tasks[i].parent == UINT32_MAX) {
+      saw_seed = true;
+    } else {
+      EXPECT_LT(t.tasks[i].parent, i);
+    }
+  }
+  EXPECT_TRUE(saw_seed);
+  // At least one P-node task fired.
+  bool saw_prod = false;
+  for (const auto& r : t.tasks) saw_prod |= r.type == NodeType::Prod;
+  EXPECT_TRUE(saw_prod);
+}
+
+TEST(Engine, EmptyMatchIsEmptyTrace) {
+  Engine e;
+  e.load("(p j (a ^v 1) --> (halt))");
+  const CycleTrace t = e.match();
+  EXPECT_EQ(t.task_count(), 0u);
+}
+
+TEST(Engine, UnknownClassWmeIsIgnoredByMatch) {
+  Engine e;
+  e.load("(p j (a ^v 1) --> (halt))");
+  e.add_wme_text("(unrelated ^x 9)");
+  const CycleTrace t = e.match();
+  EXPECT_EQ(t.task_count(), 0u);
+  EXPECT_EQ(e.wm().size(), 1u);
+}
+
+TEST(ConflictSet, InsertRetractBookkeeping) {
+  Engine e;
+  e.load("(p j (a ^v <x>) --> (halt))");
+  const Wme* w = e.add_wme_text("(a ^v 1)");
+  e.match();
+  EXPECT_EQ(e.cs().total_inserts(), 1u);
+  e.remove_wme(w);
+  e.match();
+  EXPECT_EQ(e.cs().total_retracts(), 1u);
+  EXPECT_EQ(e.cs().size(), 0u);
+}
+
+}  // namespace
+}  // namespace psme

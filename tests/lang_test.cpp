@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/print.h"
+
+namespace psme {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Production parse(std::string_view src) {
+    Parser p(syms_, schemas_, arena_);
+    return p.parse_production(src);
+  }
+  SymbolTable syms_;
+  ClassSchemas schemas_;
+  RhsArena arena_;
+};
+
+TEST(Lexer, ClassifiesTokens) {
+  const auto toks = lex("(p name ^attr <var> 42 -3 2.5 --> - << >> <> <= <=>)");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  const std::vector<Tok> expected = {
+      Tok::LParen, Tok::Sym,    Tok::Sym,    Tok::Hat,    Tok::Variable,
+      Tok::Int,    Tok::Int,    Tok::Float,  Tok::Arrow,  Tok::Dash,
+      Tok::LDisj,  Tok::RDisj,  Tok::PredNe, Tok::PredLe, Tok::PredSame,
+      Tok::RParen, Tok::End};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsAndLines) {
+  const auto toks = lex("a ; comment here\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, NegativeNumbersVsDash) {
+  const auto toks = lex("-3 - -x");
+  EXPECT_EQ(toks[0].kind, Tok::Int);
+  EXPECT_EQ(toks[0].int_val, -3);
+  EXPECT_EQ(toks[1].kind, Tok::Dash);
+  EXPECT_EQ(toks[2].kind, Tok::Sym);  // "-x" is a symbol
+}
+
+TEST_F(ParserTest, SimpleProduction) {
+  const auto p = parse(
+      "(p hello (block ^name b1 ^color blue) --> (write hi))");
+  EXPECT_EQ(syms_.name(p.name), "hello");
+  ASSERT_EQ(p.conditions.size(), 1u);
+  EXPECT_EQ(p.conditions[0].consts.size(), 2u);
+  ASSERT_EQ(p.actions.size(), 1u);
+  EXPECT_EQ(p.actions[0].kind, Action::Kind::Write);
+}
+
+TEST_F(ParserTest, VariablesShareIds) {
+  const auto p = parse(
+      "(p v (a ^x <v1> ^y <v2>) (b ^x <v1>) --> (make c ^z <v2>))");
+  EXPECT_EQ(p.num_vars, 2u);
+  ASSERT_EQ(p.conditions[1].vars.size(), 1u);
+  EXPECT_EQ(p.conditions[1].vars[0].var, p.conditions[0].vars[0].var);
+}
+
+TEST_F(ParserTest, NegatedConditionAndPredicates) {
+  const auto p = parse(
+      "(p n (a ^size > 3) -(b ^size <= 10) --> (halt))");
+  EXPECT_FALSE(p.conditions[0].negated);
+  EXPECT_TRUE(p.conditions[1].negated);
+  EXPECT_EQ(p.conditions[0].consts[0].pred, Pred::Gt);
+  EXPECT_EQ(p.conditions[1].consts[0].pred, Pred::Le);
+}
+
+TEST_F(ParserTest, ConjunctiveTestGroup) {
+  const auto p = parse("(p g (a ^size { > 2 < 9 <s> }) --> (halt))");
+  EXPECT_EQ(p.conditions[0].consts.size(), 2u);
+  EXPECT_EQ(p.conditions[0].vars.size(), 1u);
+}
+
+TEST_F(ParserTest, Disjunction) {
+  const auto p = parse("(p d (a ^color << red green blue >>) --> (halt))");
+  ASSERT_EQ(p.conditions[0].disjs.size(), 1u);
+  EXPECT_EQ(p.conditions[0].disjs[0].options.size(), 3u);
+}
+
+TEST_F(ParserTest, Ncc) {
+  const auto p = parse(
+      "(p ncc (a ^v <x>) -{ (b ^v <x>) (c ^v <x>) } --> (halt))");
+  ASSERT_EQ(p.conditions.size(), 2u);
+  EXPECT_TRUE(p.conditions[1].is_ncc());
+  EXPECT_EQ(p.conditions[1].ncc.size(), 2u);
+  EXPECT_EQ(p.total_ce_count(), 3);
+  EXPECT_EQ(p.positive_ce_count(), 1);
+}
+
+TEST_F(ParserTest, Actions) {
+  const auto p = parse(
+      "(p acts (a ^v <x>) --> (make b ^w <x>) (modify 1 ^v 2) (remove 1) "
+      "(bind <y> (genatom q)) (write a <x>) (halt))");
+  ASSERT_EQ(p.actions.size(), 6u);
+  EXPECT_EQ(p.actions[0].kind, Action::Kind::Make);
+  EXPECT_EQ(p.actions[1].kind, Action::Kind::Modify);
+  EXPECT_EQ(p.actions[2].kind, Action::Kind::Remove);
+  EXPECT_EQ(p.actions[3].kind, Action::Kind::Bind);
+  EXPECT_EQ(p.actions[3].bind_value.kind, RhsValue::Kind::Gensym);
+  EXPECT_EQ(p.actions[4].kind, Action::Kind::Write);
+  EXPECT_EQ(p.actions[5].kind, Action::Kind::Halt);
+}
+
+TEST_F(ParserTest, Compute) {
+  const auto p = parse(
+      "(p c (a ^v <x>) --> (make b ^w (compute <x> + 1)))");
+  const RhsValue& v = p.actions[0].sets[0].value;
+  EXPECT_EQ(v.kind, RhsValue::Kind::Compute);
+  EXPECT_EQ(v.arith.op, '+');
+  EXPECT_EQ(v.arith.lhs->kind, RhsValue::Kind::Var);
+  EXPECT_EQ(v.arith.rhs->kind, RhsValue::Kind::Const);
+}
+
+TEST_F(ParserTest, Literalize) {
+  Parser p(syms_, schemas_, arena_);
+  p.parse_file("(literalize block name color size)");
+  EXPECT_EQ(schemas_.find_slot(syms_.intern("block"), syms_.intern("name")), 0);
+  EXPECT_EQ(schemas_.find_slot(syms_.intern("block"), syms_.intern("size")), 2);
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_THROW(parse("(p broken"), ParseError);
+  EXPECT_THROW(parse("(p x --> (halt))"), ParseError);          // no CEs
+  EXPECT_THROW(parse("(p x -(a ^v 1) --> (halt))"), ParseError);  // neg first
+  EXPECT_THROW(parse("(p x (a ^v 1) --> (explode))"), ParseError);
+  EXPECT_THROW(parse("(p x (a ^v << >>) --> (halt))"), ParseError);
+}
+
+TEST_F(ParserTest, RoundTripThroughPrinter) {
+  const std::string src =
+      "(p rt (a ^x <v1> ^size > 3) -(b ^x <v1>) "
+      "-{ (c ^x <v1>) } --> (make d ^y <v1> ^z (genatom n)))";
+  const auto p1 = parse(src);
+  const std::string printed = production_to_text(p1, syms_, schemas_);
+  const auto p2 = parse(printed);
+  EXPECT_EQ(p2.conditions.size(), p1.conditions.size());
+  EXPECT_EQ(p2.total_ce_count(), p1.total_ce_count());
+  EXPECT_EQ(p2.actions.size(), p1.actions.size());
+  EXPECT_EQ(p2.num_vars, p1.num_vars);
+}
+
+}  // namespace
+}  // namespace psme

@@ -1,0 +1,168 @@
+// Threaded matcher: final match state must equal the serial executor's,
+// under both queue policies and across worker counts; queue statistics are
+// plumbed through.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "par/parallel_match.h"
+#include "test_util.h"
+
+namespace psme {
+namespace {
+
+using test::cs_fingerprint;
+
+/// Builds the activation seeds for a batch of wme changes (mirrors
+/// Engine::match, which is serial-only).
+class SeedCollector final : public ExecContext {
+ public:
+  void emit(Activation&& a) override { seeds.push_back(std::move(a)); }
+  std::vector<Activation> seeds;
+};
+
+std::string workload_productions() {
+  return "(p j2 (a ^v <x>) (b ^v <x>) --> (halt))"
+         "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"
+         "(p neg (a ^v <x>) -(blocker ^v <x>) --> (halt))"
+         "(p cross (a ^v <x>) (c ^w <y>) --> (halt))";
+}
+
+void add_workload_wmes(Engine& e, int n) {
+  for (int i = 0; i < n; ++i) {
+    const std::string v = std::to_string(i % 7);
+    e.add_wme_text("(a ^v " + v + ")");
+    if (i % 2 == 0) e.add_wme_text("(b ^v " + v + ")");
+    if (i % 3 == 0) e.add_wme_text("(c ^v " + v + " ^w " + v + ")");
+    if (i % 5 == 0) e.add_wme_text("(blocker ^v " + v + ")");
+  }
+}
+
+struct ParallelCase {
+  size_t workers;
+  TaskQueueSet::Policy policy;
+};
+
+class ParallelEquivalence : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelEquivalence, MatchesSerialResult) {
+  const auto param = GetParam();
+
+  Engine serial;
+  serial.load(workload_productions());
+  add_workload_wmes(serial, 20);
+  serial.match();
+
+  Engine par;
+  par.load(workload_productions());
+  add_workload_wmes(par, 20);
+  // Drain the pending changes through the threaded matcher instead of
+  // Engine::match().
+  SeedCollector sc;
+  for (const Wme* w : par.wm().live()) par.net().inject(w, true, sc);
+  ParallelMatcher matcher(par.net(), param.workers, param.policy);
+  const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
+  EXPECT_GT(st.tasks, 0u);
+
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
+  EXPECT_EQ(serial.net().tables().total_left_entries(),
+            par.net().tables().total_left_entries());
+  EXPECT_EQ(serial.net().tables().total_right_entries(),
+            par.net().tables().total_right_entries());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndPolicies, ParallelEquivalence,
+    ::testing::Values(ParallelCase{1, TaskQueueSet::Policy::Single},
+                      ParallelCase{2, TaskQueueSet::Policy::Single},
+                      ParallelCase{4, TaskQueueSet::Policy::Single},
+                      ParallelCase{8, TaskQueueSet::Policy::Single},
+                      ParallelCase{2, TaskQueueSet::Policy::Multi},
+                      ParallelCase{4, TaskQueueSet::Policy::Multi},
+                      ParallelCase{8, TaskQueueSet::Policy::Multi},
+                      ParallelCase{13, TaskQueueSet::Policy::Multi}));
+
+TEST(TaskQueue, SinglePolicyUsesOneQueue) {
+  TaskQueueSet q(TaskQueueSet::Policy::Single, 8);
+  EXPECT_EQ(q.queue_count(), 1u);
+  q.push(3, Activation{});
+  Activation a;
+  EXPECT_TRUE(q.pop(5, a));
+  EXPECT_FALSE(q.pop(5, a));
+  EXPECT_GE(q.failed_pops(), 1u);
+}
+
+TEST(TaskQueue, MultiPolicyStealsAcrossQueues) {
+  TaskQueueSet q(TaskQueueSet::Policy::Multi, 4);
+  EXPECT_EQ(q.queue_count(), 4u);
+  q.push(0, Activation{});  // lands in queue 0
+  Activation a;
+  EXPECT_TRUE(q.pop(2, a));  // worker 2 scans and steals from queue 0
+}
+
+TEST(TaskQueue, FifoWithinAQueue) {
+  TaskQueueSet q(TaskQueueSet::Policy::Single, 1);
+  Activation a;
+  a.node = 1;
+  q.push(0, std::move(a));
+  Activation b;
+  b.node = 2;
+  q.push(0, std::move(b));
+  Activation out;
+  ASSERT_TRUE(q.pop(0, out));
+  EXPECT_EQ(out.node, 1u);
+  ASSERT_TRUE(q.pop(0, out));
+  EXPECT_EQ(out.node, 2u);
+}
+
+TEST(Spinlock, CountsAcquires) {
+  Spinlock l;
+  { SpinGuard g(l); }
+  { SpinGuard g(l); }
+  EXPECT_EQ(l.total_acquires(), 2u);
+  l.reset_stats();
+  EXPECT_EQ(l.total_acquires(), 0u);
+}
+
+TEST(ParallelMatcher, DeleteHeavyCycleMatchesSerial) {
+  // Adds followed by deletes in a single cycle: the delete-token path under
+  // concurrency.
+  auto build = [](Engine& e) {
+    e.load(workload_productions());
+    add_workload_wmes(e, 12);
+    e.match();  // settle adds serially in both engines
+  };
+  Engine serial, par;
+  build(serial);
+  build(par);
+
+  // Remove every third a-wme.
+  auto remove_some = [](Engine& e) -> std::vector<const Wme*> {
+    std::vector<const Wme*> removed;
+    int i = 0;
+    for (const Wme* w : e.wm().live()) {
+      if (e.syms().name(w->cls) == "a" && ++i % 3 == 0) removed.push_back(w);
+    }
+    return removed;
+  };
+
+  const auto sr = remove_some(serial);
+  for (const Wme* w : sr) serial.remove_wme(w);
+  serial.match();
+
+  const auto pr = remove_some(par);
+  SeedCollector sc;
+  for (const Wme* w : pr) {
+    par.net().inject(w, false, sc);
+  }
+  ParallelMatcher matcher(par.net(), 4, TaskQueueSet::Policy::Multi);
+  matcher.run_cycle(std::move(sc.seeds));
+  for (const Wme* w : pr) par.wm().remove(w);
+  par.wm().end_cycle();
+
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
+}
+
+}  // namespace
+}  // namespace psme

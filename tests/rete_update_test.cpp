@@ -1,0 +1,211 @@
+// Focused tests of the §5.2 run-time state update machinery: alpha-frontier
+// seeding, phase ordering, sequential run-time adds, and update behaviour
+// for every condition-element kind.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "lang/parser.h"
+#include "rete/update.h"
+#include "test_util.h"
+
+namespace psme {
+namespace {
+
+using test::cs_fingerprint;
+using test::instantiation_count;
+
+Production parse_one(Engine& e, std::string_view src) {
+  static RhsArena arena;  // test-only: productions outlive the engines
+  Parser p(e.syms(), e.schemas(), arena);
+  return p.parse_production(src);
+}
+
+TEST(AlphaFrontier, FullySharedAlphaHasNoFrontier) {
+  Engine e;
+  e.load("(p p1 (a ^v 1 ^w 2) --> (halt))");
+  e.add_wme_text("(a ^v 1 ^w 2)");
+  e.match();
+  auto res = e.add_production_runtime(
+      parse_one(e, "(p p2 (a ^v 1 ^w 2) --> (write dup))"));
+  const auto& cp = e.record(res.prod).compiled;
+  // Same alpha chain and same beta layer: only the P-node is new, no alpha
+  // frontier, and phase A had nothing to seed.
+  EXPECT_TRUE(cp.alpha_frontiers.empty());
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);
+}
+
+TEST(AlphaFrontier, PartiallySharedChainRecordsPrefix) {
+  Engine e;
+  e.load("(p p1 (a ^v 1) --> (halt))");
+  e.add_wme_text("(a ^v 1 ^w 2)");
+  e.add_wme_text("(a ^v 1 ^w 3)");
+  e.add_wme_text("(a ^v 9 ^w 2)");
+  e.match();
+  // p2 shares the (^v 1) const node, adds a (^w 2) test below it.
+  auto res = e.add_production_runtime(
+      parse_one(e, "(p p2 (a ^v 1 ^w 2) --> (halt))"));
+  const auto& cp = e.record(res.prod).compiled;
+  ASSERT_EQ(cp.alpha_frontiers.size(), 1u);
+  const auto& f = cp.alpha_frontiers[0];
+  // The shared prefix carries the v==1 test, so the w-test node (the entry)
+  // is only seeded with wmes passing it.
+  EXPECT_EQ(f.prefix_consts.size(), 1u);
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);
+}
+
+TEST(AlphaFrontier, BrandNewClassSeedsEverything) {
+  Engine e;
+  e.load("(p p1 (a ^v 1) --> (halt))");
+  e.add_wme_text("(fresh ^q 1)");
+  e.add_wme_text("(fresh ^q 2)");
+  e.match();
+  auto res = e.add_production_runtime(
+      parse_one(e, "(p p2 (fresh ^q <x>) --> (halt))"));
+  const auto& cp = e.record(res.prod).compiled;
+  ASSERT_EQ(cp.alpha_frontiers.size(), 1u);
+  EXPECT_TRUE(cp.alpha_frontiers[0].prefix_consts.empty());
+  EXPECT_EQ(instantiation_count(e, "p2"), 2);
+}
+
+TEST(UpdateSeeds, RightSeedsOnlyForOldAlphaMemories) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.add_wme_text("(b ^v 1)");
+  e.match();
+  // p3: shares amem(a) and amem(b) (old), adds new join + new amem(c).
+  Builder& builder = e.builder();
+  Production p = parse_one(
+      e, "(p p3 (a ^v <x>) (c ^v <x>) --> (halt))");
+  static std::vector<std::unique_ptr<Production>> keep;
+  keep.push_back(std::make_unique<Production>(std::move(p)));
+  CompiledProduction cp = builder.add_production(*keep.back());
+  const auto rights = update_right_seeds(e.net(), cp);
+  // The new join's right input is amem(c) — brand new, so phase B has
+  // nothing; amem(a) feeds the join's LEFT side, not its right.
+  EXPECT_TRUE(rights.empty());
+  run_update_serial(e.net(), cp, e.wm().live());
+}
+
+TEST(UpdateSeeds, LeftSeedsReplaySharePointOutputs) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.add_wme_text("(b ^v 1)");
+  e.add_wme_text("(a ^v 2)");
+  e.add_wme_text("(b ^v 2)");
+  e.add_wme_text("(c ^v 1)");
+  e.match();
+  Builder& builder = e.builder();
+  static std::vector<std::unique_ptr<Production>> keep;
+  keep.push_back(std::make_unique<Production>(parse_one(
+      e, "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))")));
+  CompiledProduction cp = builder.add_production(*keep.back());
+  // Share point: the old (a)(b) join; its outputs are the two [a b] tokens.
+  run_update_serial(e.net(), cp, e.wm().live());
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);  // only v=1 has a c
+}
+
+TEST(Update, SequentialRuntimeAddsStayConsistent) {
+  Engine e;
+  e.load("(p base (a ^v <x>) --> (halt))");
+  for (int i = 0; i < 4; ++i) {
+    e.add_wme_text("(a ^v " + std::to_string(i) + ")");
+    e.add_wme_text("(b ^v " + std::to_string(i) + ")");
+    if (i % 2 == 0) e.add_wme_text("(c ^v " + std::to_string(i) + ")");
+  }
+  e.match();
+  // Three successive run-time additions, each sharing with the previous.
+  e.add_production_runtime(parse_one(e, "(p q1 (a ^v <x>) (b ^v <x>) --> (halt))"));
+  e.add_production_runtime(
+      parse_one(e, "(p q2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"));
+  e.add_production_runtime(
+      parse_one(e, "(p q3 (a ^v <x>) (b ^v <x>) -(c ^v <x>) --> (halt))"));
+  EXPECT_EQ(instantiation_count(e, "q1"), 4);
+  EXPECT_EQ(instantiation_count(e, "q2"), 2);
+  EXPECT_EQ(instantiation_count(e, "q3"), 2);
+
+  // Equivalent from-scratch engine.
+  Engine ref;
+  ref.load("(p base (a ^v <x>) --> (halt))"
+           "(p q1 (a ^v <x>) (b ^v <x>) --> (halt))"
+           "(p q2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"
+           "(p q3 (a ^v <x>) (b ^v <x>) -(c ^v <x>) --> (halt))");
+  for (int i = 0; i < 4; ++i) {
+    ref.add_wme_text("(a ^v " + std::to_string(i) + ")");
+    ref.add_wme_text("(b ^v " + std::to_string(i) + ")");
+    if (i % 2 == 0) ref.add_wme_text("(c ^v " + std::to_string(i) + ")");
+  }
+  ref.match();
+  EXPECT_EQ(cs_fingerprint(e), cs_fingerprint(ref));
+}
+
+TEST(Update, DynamicsAfterUpdateStayCorrect) {
+  // After an update, continued add/remove traffic through the new production
+  // must behave exactly like a preloaded one.
+  Engine e;
+  e.load("(p p1 (a ^v <x>) --> (halt))");
+  const Wme* a1 = e.add_wme_text("(a ^v 1)");
+  e.add_wme_text("(b ^v 1)");
+  e.match();
+  e.add_production_runtime(
+      parse_one(e, "(p p2 (a ^v <x>) (b ^v <x>) --> (halt))"));
+  ASSERT_EQ(instantiation_count(e, "p2"), 1);
+  e.remove_wme(a1);
+  e.match();
+  EXPECT_EQ(instantiation_count(e, "p2"), 0);
+  e.add_wme_text("(a ^v 1)");
+  e.match();
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);
+}
+
+TEST(Update, DisjunctionAndPredicatesInNewProduction) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1 ^color red)");
+  e.add_wme_text("(a ^v 5 ^color green)");
+  e.add_wme_text("(a ^v 9 ^color blue)");
+  e.match();
+  e.add_production_runtime(parse_one(
+      e, "(p p2 (a ^v > 2 ^color << red green >>) --> (halt))"));
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);  // v=5/green only
+}
+
+TEST(Update, IntraTestInNewProduction) {
+  Engine e;
+  e.load("(p p1 (pair ^l <x>) --> (halt))");
+  e.add_wme_text("(pair ^l 3 ^r 3)");
+  e.add_wme_text("(pair ^l 3 ^r 4)");
+  e.match();
+  e.add_production_runtime(
+      parse_one(e, "(p p2 (pair ^l <x> ^r <x>) --> (halt))"));
+  EXPECT_EQ(instantiation_count(e, "p2"), 1);
+}
+
+TEST(Update, UpdateTaskCountScalesWithSharing) {
+  // A production that shares everything but the P-node needs almost no
+  // update work; a fully novel one needs to re-derive its whole beta state.
+  Engine shared_engine;
+  shared_engine.load("(p p1 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))");
+  Engine fresh_engine;
+  fresh_engine.load("(p p1 (q ^r 1) --> (halt))");
+  for (Engine* e : {&shared_engine, &fresh_engine}) {
+    for (int i = 0; i < 8; ++i) {
+      e->add_wme_text("(a ^v " + std::to_string(i) + ")");
+      e->add_wme_text("(b ^v " + std::to_string(i) + ")");
+      e->add_wme_text("(c ^v " + std::to_string(i) + ")");
+    }
+    e->match();
+  }
+  const char* src = "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (write w))";
+  auto shared_res =
+      shared_engine.add_production_runtime(parse_one(shared_engine, src));
+  auto fresh_res =
+      fresh_engine.add_production_runtime(parse_one(fresh_engine, src));
+  EXPECT_LT(shared_res.update_tasks, fresh_res.update_tasks);
+  EXPECT_EQ(test::instantiation_count(shared_engine, "p2"), 8);
+  EXPECT_EQ(test::instantiation_count(fresh_engine, "p2"), 8);
+}
+
+}  // namespace
+}  // namespace psme

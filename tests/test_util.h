@@ -1,0 +1,47 @@
+// Shared test helpers.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace psme::test {
+
+/// Names of productions with at least one instantiation in the CS.
+inline std::multiset<std::string> matched_productions(Engine& e) {
+  std::multiset<std::string> out;
+  for (const Instantiation* inst : e.cs().all()) {
+    out.insert(std::string(e.syms().name(inst->pnode->prod->name)));
+  }
+  return out;
+}
+
+/// Number of instantiations of production `name` currently in the CS.
+inline int instantiation_count(Engine& e, const std::string& name) {
+  int n = 0;
+  for (const Instantiation* inst : e.cs().all()) {
+    if (e.syms().name(inst->pnode->prod->name) == name) ++n;
+  }
+  return n;
+}
+
+/// A canonical dump of the CS: production name + wme contents (in CE order).
+/// Content-based so it is comparable across engines with different timetags
+/// and symbol tables. Used for serial-vs-parallel and incremental-vs-rebuild
+/// equivalence checks.
+inline std::multiset<std::string> cs_fingerprint(Engine& e) {
+  std::multiset<std::string> out;
+  for (const Instantiation* inst : e.cs().all()) {
+    std::string s(e.syms().name(inst->pnode->prod->name));
+    for (const Wme* w : inst->token) {
+      s += "|" + w->to_string(e.syms(), e.schemas());
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+}  // namespace psme::test
