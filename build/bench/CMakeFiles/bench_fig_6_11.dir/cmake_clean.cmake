@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_11.dir/bench_fig_6_11.cpp.o"
+  "CMakeFiles/bench_fig_6_11.dir/bench_fig_6_11.cpp.o.d"
+  "bench_fig_6_11"
+  "bench_fig_6_11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharing_ablation.dir/bench_sharing_ablation.cpp.o"
+  "CMakeFiles/bench_sharing_ablation.dir/bench_sharing_ablation.cpp.o.d"
+  "bench_sharing_ablation"
+  "bench_sharing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypress_demo.dir/cypress_demo.cpp.o"
+  "CMakeFiles/cypress_demo.dir/cypress_demo.cpp.o.d"
+  "cypress_demo"
+  "cypress_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypress_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

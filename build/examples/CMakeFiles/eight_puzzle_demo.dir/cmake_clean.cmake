@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eight_puzzle_demo.dir/eight_puzzle_demo.cpp.o"
+  "CMakeFiles/eight_puzzle_demo.dir/eight_puzzle_demo.cpp.o.d"
+  "eight_puzzle_demo"
+  "eight_puzzle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eight_puzzle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eight_puzzle_demo.
+# This may be replaced when dependencies are built.

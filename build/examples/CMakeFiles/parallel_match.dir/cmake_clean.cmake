@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_match.dir/parallel_match.cpp.o"
+  "CMakeFiles/parallel_match.dir/parallel_match.cpp.o.d"
+  "parallel_match"
+  "parallel_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

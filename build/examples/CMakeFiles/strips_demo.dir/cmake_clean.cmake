@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strips_demo.dir/strips_demo.cpp.o"
+  "CMakeFiles/strips_demo.dir/strips_demo.cpp.o.d"
+  "strips_demo"
+  "strips_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strips_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/rng.cpp" "src/CMakeFiles/psme.dir/base/rng.cpp.o" "gcc" "src/CMakeFiles/psme.dir/base/rng.cpp.o.d"
+  "/root/repo/src/base/symbol.cpp" "src/CMakeFiles/psme.dir/base/symbol.cpp.o" "gcc" "src/CMakeFiles/psme.dir/base/symbol.cpp.o.d"
+  "/root/repo/src/base/value.cpp" "src/CMakeFiles/psme.dir/base/value.cpp.o" "gcc" "src/CMakeFiles/psme.dir/base/value.cpp.o.d"
+  "/root/repo/src/engine/conflict_set.cpp" "src/CMakeFiles/psme.dir/engine/conflict_set.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/conflict_set.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/psme.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/rhs.cpp" "src/CMakeFiles/psme.dir/engine/rhs.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/rhs.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/CMakeFiles/psme.dir/engine/trace.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/trace.cpp.o.d"
+  "/root/repo/src/engine/working_memory.cpp" "src/CMakeFiles/psme.dir/engine/working_memory.cpp.o" "gcc" "src/CMakeFiles/psme.dir/engine/working_memory.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/psme.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/psme.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/psme.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/psme.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/psme.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/psme.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/print.cpp" "src/CMakeFiles/psme.dir/lang/print.cpp.o" "gcc" "src/CMakeFiles/psme.dir/lang/print.cpp.o.d"
+  "/root/repo/src/par/parallel_match.cpp" "src/CMakeFiles/psme.dir/par/parallel_match.cpp.o" "gcc" "src/CMakeFiles/psme.dir/par/parallel_match.cpp.o.d"
+  "/root/repo/src/par/spinlock.cpp" "src/CMakeFiles/psme.dir/par/spinlock.cpp.o" "gcc" "src/CMakeFiles/psme.dir/par/spinlock.cpp.o.d"
+  "/root/repo/src/par/task_queue.cpp" "src/CMakeFiles/psme.dir/par/task_queue.cpp.o" "gcc" "src/CMakeFiles/psme.dir/par/task_queue.cpp.o.d"
+  "/root/repo/src/par/worker_pool.cpp" "src/CMakeFiles/psme.dir/par/worker_pool.cpp.o" "gcc" "src/CMakeFiles/psme.dir/par/worker_pool.cpp.o.d"
+  "/root/repo/src/psim/cost_model.cpp" "src/CMakeFiles/psme.dir/psim/cost_model.cpp.o" "gcc" "src/CMakeFiles/psme.dir/psim/cost_model.cpp.o.d"
+  "/root/repo/src/psim/report.cpp" "src/CMakeFiles/psme.dir/psim/report.cpp.o" "gcc" "src/CMakeFiles/psme.dir/psim/report.cpp.o.d"
+  "/root/repo/src/psim/sim.cpp" "src/CMakeFiles/psme.dir/psim/sim.cpp.o" "gcc" "src/CMakeFiles/psme.dir/psim/sim.cpp.o.d"
+  "/root/repo/src/rete/add_production.cpp" "src/CMakeFiles/psme.dir/rete/add_production.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/add_production.cpp.o.d"
+  "/root/repo/src/rete/bilinear.cpp" "src/CMakeFiles/psme.dir/rete/bilinear.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/bilinear.cpp.o.d"
+  "/root/repo/src/rete/builder.cpp" "src/CMakeFiles/psme.dir/rete/builder.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/builder.cpp.o.d"
+  "/root/repo/src/rete/codesize.cpp" "src/CMakeFiles/psme.dir/rete/codesize.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/codesize.cpp.o.d"
+  "/root/repo/src/rete/hash_tables.cpp" "src/CMakeFiles/psme.dir/rete/hash_tables.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/hash_tables.cpp.o.d"
+  "/root/repo/src/rete/network.cpp" "src/CMakeFiles/psme.dir/rete/network.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/network.cpp.o.d"
+  "/root/repo/src/rete/nodes.cpp" "src/CMakeFiles/psme.dir/rete/nodes.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/nodes.cpp.o.d"
+  "/root/repo/src/rete/token.cpp" "src/CMakeFiles/psme.dir/rete/token.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/token.cpp.o.d"
+  "/root/repo/src/rete/update.cpp" "src/CMakeFiles/psme.dir/rete/update.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/update.cpp.o.d"
+  "/root/repo/src/rete/wme.cpp" "src/CMakeFiles/psme.dir/rete/wme.cpp.o" "gcc" "src/CMakeFiles/psme.dir/rete/wme.cpp.o.d"
+  "/root/repo/src/soar/chunker.cpp" "src/CMakeFiles/psme.dir/soar/chunker.cpp.o" "gcc" "src/CMakeFiles/psme.dir/soar/chunker.cpp.o.d"
+  "/root/repo/src/soar/decide.cpp" "src/CMakeFiles/psme.dir/soar/decide.cpp.o" "gcc" "src/CMakeFiles/psme.dir/soar/decide.cpp.o.d"
+  "/root/repo/src/soar/kernel.cpp" "src/CMakeFiles/psme.dir/soar/kernel.cpp.o" "gcc" "src/CMakeFiles/psme.dir/soar/kernel.cpp.o.d"
+  "/root/repo/src/tasks/cypress.cpp" "src/CMakeFiles/psme.dir/tasks/cypress.cpp.o" "gcc" "src/CMakeFiles/psme.dir/tasks/cypress.cpp.o.d"
+  "/root/repo/src/tasks/eight_puzzle.cpp" "src/CMakeFiles/psme.dir/tasks/eight_puzzle.cpp.o" "gcc" "src/CMakeFiles/psme.dir/tasks/eight_puzzle.cpp.o.d"
+  "/root/repo/src/tasks/registry.cpp" "src/CMakeFiles/psme.dir/tasks/registry.cpp.o" "gcc" "src/CMakeFiles/psme.dir/tasks/registry.cpp.o.d"
+  "/root/repo/src/tasks/strips.cpp" "src/CMakeFiles/psme.dir/tasks/strips.cpp.o" "gcc" "src/CMakeFiles/psme.dir/tasks/strips.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilinear_test.dir/bilinear_test.cpp.o"
+  "CMakeFiles/bilinear_test.dir/bilinear_test.cpp.o.d"
+  "bilinear_test"
+  "bilinear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunking_test.dir/chunking_test.cpp.o"
+  "CMakeFiles/chunking_test.dir/chunking_test.cpp.o.d"
+  "chunking_test"
+  "chunking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

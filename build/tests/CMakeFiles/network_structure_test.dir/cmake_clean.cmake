@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_structure_test.dir/network_structure_test.cpp.o"
+  "CMakeFiles/network_structure_test.dir/network_structure_test.cpp.o.d"
+  "network_structure_test"
+  "network_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

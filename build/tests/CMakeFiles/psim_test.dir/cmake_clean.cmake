@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psim_test.dir/psim_test.cpp.o"
+  "CMakeFiles/psim_test.dir/psim_test.cpp.o.d"
+  "psim_test"
+  "psim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_add_production_test.dir/rete_add_production_test.cpp.o"
+  "CMakeFiles/rete_add_production_test.dir/rete_add_production_test.cpp.o.d"
+  "rete_add_production_test"
+  "rete_add_production_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_add_production_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

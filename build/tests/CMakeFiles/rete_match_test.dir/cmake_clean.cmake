@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_match_test.dir/rete_match_test.cpp.o"
+  "CMakeFiles/rete_match_test.dir/rete_match_test.cpp.o.d"
+  "rete_match_test"
+  "rete_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

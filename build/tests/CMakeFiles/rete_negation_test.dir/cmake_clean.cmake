@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_negation_test.dir/rete_negation_test.cpp.o"
+  "CMakeFiles/rete_negation_test.dir/rete_negation_test.cpp.o.d"
+  "rete_negation_test"
+  "rete_negation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_negation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

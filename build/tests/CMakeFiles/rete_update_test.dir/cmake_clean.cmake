@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_update_test.dir/rete_update_test.cpp.o"
+  "CMakeFiles/rete_update_test.dir/rete_update_test.cpp.o.d"
+  "rete_update_test"
+  "rete_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

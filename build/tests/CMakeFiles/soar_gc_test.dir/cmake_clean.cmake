@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soar_gc_test.dir/soar_gc_test.cpp.o"
+  "CMakeFiles/soar_gc_test.dir/soar_gc_test.cpp.o.d"
+  "soar_gc_test"
+  "soar_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soar_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soar_test.dir/soar_test.cpp.o"
+  "CMakeFiles/soar_test.dir/soar_test.cpp.o.d"
+  "soar_test"
+  "soar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
