@@ -1,0 +1,60 @@
+// Clang thread-safety-analysis annotation macros (PSME_ prefix).
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (-Wthread-safety turns on the analysis; the root CMakeLists enables it
+// plus -Werror=thread-safety whenever the flag probe succeeds) and to nothing
+// everywhere else, so GCC builds are unaffected. The vocabulary follows the
+// standard capability model:
+//
+//   PSME_CAPABILITY      — a type that is a lock (psme::Spinlock)
+//   PSME_GUARDED_BY(l)   — a member that may only be touched while holding l
+//   PSME_REQUIRES(l)     — a function that must be called with l held
+//   PSME_ACQUIRE/RELEASE — functions that take / drop a capability
+//
+// Deliberately-unsynchronized access (the quiescent-only readers documented
+// in DESIGN.md §"Concurrency invariants") is marked
+// PSME_NO_THREAD_SAFETY_ANALYSIS rather than silenced with casts, so every
+// exemption is searchable.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PSME_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PSME_THREAD_ANNOTATION_(x)
+#endif
+
+#define PSME_CAPABILITY(x) PSME_THREAD_ANNOTATION_(capability(x))
+#define PSME_SCOPED_CAPABILITY PSME_THREAD_ANNOTATION_(scoped_lockable)
+
+#define PSME_GUARDED_BY(x) PSME_THREAD_ANNOTATION_(guarded_by(x))
+#define PSME_PT_GUARDED_BY(x) PSME_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define PSME_ACQUIRED_BEFORE(...) \
+  PSME_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define PSME_ACQUIRED_AFTER(...) \
+  PSME_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define PSME_REQUIRES(...) \
+  PSME_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define PSME_REQUIRES_SHARED(...) \
+  PSME_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define PSME_ACQUIRE(...) \
+  PSME_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define PSME_ACQUIRE_SHARED(...) \
+  PSME_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define PSME_RELEASE(...) \
+  PSME_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define PSME_RELEASE_SHARED(...) \
+  PSME_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define PSME_TRY_ACQUIRE(...) \
+  PSME_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define PSME_EXCLUDES(...) PSME_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define PSME_ASSERT_CAPABILITY(x) \
+  PSME_THREAD_ANNOTATION_(assert_capability(x))
+#define PSME_RETURN_CAPABILITY(x) PSME_THREAD_ANNOTATION_(lock_returned(x))
+
+#define PSME_NO_THREAD_SAFETY_ANALYSIS \
+  PSME_THREAD_ANNOTATION_(no_thread_safety_analysis)

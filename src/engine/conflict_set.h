@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "par/spinlock.h"
 #include "rete/network.h"
 #include "rete/token.h"
@@ -52,8 +53,14 @@ class ConflictSet final : public MatchSink {
   /// All current instantiations (tests/diagnostics).
   [[nodiscard]] std::vector<const Instantiation*> all() const;
 
-  [[nodiscard]] uint64_t total_inserts() const { return inserts_; }
-  [[nodiscard]] uint64_t total_retracts() const { return retracts_; }
+  [[nodiscard]] uint64_t total_inserts() const {
+    SpinGuard g(lock_);
+    return inserts_;
+  }
+  [[nodiscard]] uint64_t total_retracts() const {
+    SpinGuard g(lock_);
+    return retracts_;
+  }
 
   void clear();
 
@@ -63,12 +70,13 @@ class ConflictSet final : public MatchSink {
     return token_identity_hash(t) ^ (static_cast<size_t>(p.id) * 0x9e3779b9u);
   }
 
-  mutable Spinlock lock_;
-  List items_;
-  std::unordered_multimap<size_t, List::iterator> index_;
-  uint64_t arrival_ = 0;
-  uint64_t inserts_ = 0;
-  uint64_t retracts_ = 0;
+  mutable Spinlock lock_{LockRank::ConflictSet, "conflict-set"};
+  List items_ PSME_GUARDED_BY(lock_);
+  std::unordered_multimap<size_t, List::iterator> index_
+      PSME_GUARDED_BY(lock_);
+  uint64_t arrival_ PSME_GUARDED_BY(lock_) = 0;
+  uint64_t inserts_ PSME_GUARDED_BY(lock_) = 0;
+  uint64_t retracts_ PSME_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace psme

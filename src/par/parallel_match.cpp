@@ -11,16 +11,29 @@ namespace {
 
 class WorkerCtx final : public ExecContext {
  public:
-  WorkerCtx(TaskQueueSet& queues, std::atomic<int64_t>& outstanding,
-            size_t worker)
-      : queues_(queues), outstanding_(outstanding), worker_(worker) {}
+  WorkerCtx(Network& net, TaskQueueSet& queues,
+            std::atomic<int64_t>& outstanding, size_t worker,
+            const ParallelMatcher::UpdateFilter* filter)
+      : net_(net), queues_(queues), outstanding_(outstanding),
+        worker_(worker) {
+    if (filter != nullptr) {
+      update_mode = true;
+      min_node_id = filter->min_node_id;
+      suppress_alpha_left = filter->suppress_alpha_left;
+    }
+  }
 
   void emit(Activation&& a) override {
+    // §5.2 filter applied at emit time, like the serial DrainCtx: tasks that
+    // would be dropped are never counted as outstanding, so quiescence
+    // detection is unaffected.
+    if (!net_.should_execute(a, *this)) return;
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
     queues_.push(worker_, std::move(a));
   }
 
  private:
+  Network& net_;
   TaskQueueSet& queues_;
   std::atomic<int64_t>& outstanding_;
   size_t worker_;
@@ -29,14 +42,27 @@ class WorkerCtx final : public ExecContext {
 }  // namespace
 
 ParallelStats ParallelMatcher::run_cycle(std::vector<Activation> seeds) {
+  return run_impl(std::move(seeds), nullptr);
+}
+
+ParallelStats ParallelMatcher::run_update(std::vector<Activation> seeds,
+                                          const UpdateFilter& filter) {
+  return run_impl(std::move(seeds), &filter);
+}
+
+ParallelStats ParallelMatcher::run_impl(std::vector<Activation> seeds,
+                                        const UpdateFilter* filter) {
   TaskQueueSet queues(policy_, n_workers_);
   std::atomic<int64_t> outstanding{0};
   std::atomic<uint64_t> executed{0};
 
   // Seed round-robin across queues so multi-queue workers start with work.
+  // Seeds pass through the same §5.2 filter as emitted tasks.
   {
+    WorkerCtx seed_ctx(net_, queues, outstanding, 0, filter);
     size_t w = 0;
     for (auto& s : seeds) {
+      if (!net_.should_execute(s, seed_ctx)) continue;
       outstanding.fetch_add(1, std::memory_order_acq_rel);
       queues.push(w, std::move(s));
       w = (w + 1) % n_workers_;
@@ -45,7 +71,7 @@ ParallelStats ParallelMatcher::run_cycle(std::vector<Activation> seeds) {
 
   const auto t0 = std::chrono::steady_clock::now();
   run_workers(n_workers_, [&](size_t worker) {
-    WorkerCtx ctx(queues, outstanding, worker);
+    WorkerCtx ctx(net_, queues, outstanding, worker, filter);
     Activation a;
     while (outstanding.load(std::memory_order_acquire) > 0) {
       if (queues.pop(worker, a)) {

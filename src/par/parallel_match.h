@@ -32,11 +32,30 @@ class ParallelMatcher {
   ParallelMatcher(Network& net, size_t n_workers, TaskQueueSet::Policy policy)
       : net_(net), n_workers_(n_workers == 0 ? 1 : n_workers), policy_(policy) {}
 
+  /// The §5.2 task filter for run-time production addition: activations of
+  /// stateful nodes older than `min_node_id` are dropped at emit time, and
+  /// (during phase A) alpha memories do not emit to their Left successors.
+  /// Mirrors ExecContext's update fields; see rete/update.h for the phase
+  /// contract.
+  struct UpdateFilter {
+    uint32_t min_node_id = 0;
+    bool suppress_alpha_left = false;
+  };
+
   /// Drains `seeds` and everything they spawn across all workers; returns
   /// when the match is quiescent.
   ParallelStats run_cycle(std::vector<Activation> seeds);
 
+  /// Same, but with the update filter applied — the parallel form of
+  /// run_update_serial's phases (what Figure 6-9 measures: the new
+  /// production's state update enjoys the full parallelism of the match).
+  ParallelStats run_update(std::vector<Activation> seeds,
+                           const UpdateFilter& filter);
+
  private:
+  ParallelStats run_impl(std::vector<Activation> seeds,
+                         const UpdateFilter* filter);
+
   Network& net_;
   size_t n_workers_;
   TaskQueueSet::Policy policy_;

@@ -4,22 +4,47 @@
 // (spins/access for hash-bucket lines, spins/task for the task queue), so the
 // lock counts its own spins. Counters are relaxed atomics: they are
 // diagnostics, not synchronization.
+//
+// Every Spinlock carries a LockRank (see par/lock_order.h). In builds with
+// PSME_LOCKDEP=1 each acquire/release is checked against the global lock
+// hierarchy and the calling thread's held set; in release builds the hooks
+// (and the rank/name storage) compile away entirely.
+//
+// The class is annotated as a Clang thread-safety capability so that
+// -Wthread-safety statically checks every PSME_GUARDED_BY member against
+// SpinGuard scopes.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "base/thread_annotations.h"
+#include "par/lock_order.h"
+
 namespace psme {
 
-class Spinlock {
+class PSME_CAPABILITY("mutex") Spinlock {
  public:
-  Spinlock() = default;
+  explicit Spinlock(LockRank rank = LockRank::Unranked,
+                    const char* name = nullptr) noexcept {
+#if PSME_LOCKDEP
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
   /// Acquires the lock; returns the number of spins (failed acquisition
   /// attempts) performed while waiting.
-  uint64_t lock() {
+  uint64_t lock() PSME_ACQUIRE() {
+#if PSME_LOCKDEP
+    // Checked before spinning: a self-deadlock would otherwise hang here.
+    lockdep::on_acquire(this, rank_, name_);
+#endif
     uint64_t spins = 0;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) break;
@@ -36,7 +61,12 @@ class Spinlock {
     return spins;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() PSME_RELEASE() {
+#if PSME_LOCKDEP
+    lockdep::on_release(this);
+#endif
+    flag_.store(false, std::memory_order_release);
+  }
 
   [[nodiscard]] uint64_t total_spins() const {
     return total_spins_.load(std::memory_order_relaxed);
@@ -53,13 +83,19 @@ class Spinlock {
   std::atomic<bool> flag_{false};
   std::atomic<uint64_t> total_spins_{0};
   std::atomic<uint64_t> total_acquires_{0};
+#if PSME_LOCKDEP
+  LockRank rank_ = LockRank::Unranked;
+  const char* name_ = nullptr;
+#endif
 };
 
 /// RAII guard.
-class SpinGuard {
+class PSME_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(Spinlock& l) : lock_(l) { spins_ = lock_.lock(); }
-  ~SpinGuard() { lock_.unlock(); }
+  explicit SpinGuard(Spinlock& l) PSME_ACQUIRE(l) : lock_(l) {
+    spins_ = lock_.lock();
+  }
+  ~SpinGuard() PSME_RELEASE() { lock_.unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 

@@ -42,7 +42,7 @@ uint64_t TaskQueueSet::lock_acquires() const {
 
 void TaskQueueSet::reset_stats() {
   failed_pops_.store(0, std::memory_order_relaxed);
-  for (Q& q : queues_) const_cast<Spinlock&>(q.lock).reset_stats();
+  for (Q& q : queues_) q.lock.reset_stats();
 }
 
 }  // namespace psme

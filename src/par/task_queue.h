@@ -19,6 +19,7 @@
 #include <deque>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "par/spinlock.h"
 #include "rete/network.h"
 
@@ -48,8 +49,8 @@ class TaskQueueSet {
 
  private:
   struct Q {
-    Spinlock lock;
-    std::deque<Activation> items;
+    Spinlock lock{LockRank::Queue, "task-queue"};
+    std::deque<Activation> items PSME_GUARDED_BY(lock);
   };
 
   [[nodiscard]] size_t home_queue(size_t worker) const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "par/spinlock.h"
 #include "rete/token.h"
 
@@ -45,13 +46,13 @@ struct RightEntry {
 class PairedHashTables {
  public:
   struct Line {
-    Spinlock lock;
-    std::vector<LeftEntry> left;
-    std::vector<RightEntry> right;
+    Spinlock lock{LockRank::Bucket, "rete-line"};
+    std::vector<LeftEntry> left PSME_GUARDED_BY(lock);
+    std::vector<RightEntry> right PSME_GUARDED_BY(lock);
     // Per-cycle access counts, maintained under the line lock; harvested by
     // the trace recorder for the Figure 6-2 contention histogram.
-    uint32_t left_accesses_cycle = 0;
-    uint32_t right_accesses_cycle = 0;
+    uint32_t left_accesses_cycle PSME_GUARDED_BY(lock) = 0;
+    uint32_t right_accesses_cycle PSME_GUARDED_BY(lock) = 0;
   };
 
   /// `line_count` is rounded up to a power of two.
@@ -72,11 +73,16 @@ class PairedHashTables {
     uint32_t left;
     uint32_t right;
   };
-  std::vector<LineAccess> harvest_cycle_accesses();
+  /// Quiescent-only (between cycles): reads the guarded counters without the
+  /// line locks, relying on the worker join for ordering.
+  std::vector<LineAccess> harvest_cycle_accesses()
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Total entries (diagnostics / tests).
-  [[nodiscard]] size_t total_left_entries() const;
-  [[nodiscard]] size_t total_right_entries() const;
+  /// Total entries (diagnostics / tests). Quiescent-only.
+  [[nodiscard]] size_t total_left_entries() const
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
+  [[nodiscard]] size_t total_right_entries() const
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Sum of spins over all line locks (diagnostics for the threaded matcher).
   [[nodiscard]] uint64_t total_lock_spins() const;
@@ -85,14 +91,16 @@ class PairedHashTables {
   /// concurrent match; callers use it only between cycles (the §5.2 update
   /// runs when match is quiescent).
   template <typename Fn>
-  void for_each_left_of(uint32_t node_id, Fn&& fn) const {
+  void for_each_left_of(uint32_t node_id,
+                        Fn&& fn) const PSME_NO_THREAD_SAFETY_ANALYSIS {
     for (const auto& ln : lines_)
       for (const auto& e : ln.left)
         if (e.node_id == node_id) fn(e);
   }
 
   template <typename Fn>
-  void for_each_right_of(uint32_t node_id, Fn&& fn) const {
+  void for_each_right_of(uint32_t node_id,
+                         Fn&& fn) const PSME_NO_THREAD_SAFETY_ANALYSIS {
     for (const auto& ln : lines_)
       for (const auto& e : ln.right)
         if (e.node_id == node_id) fn(e);

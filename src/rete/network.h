@@ -122,8 +122,10 @@ class Network {
   /// All output tokens a node would pass downstream, regenerated from its
   /// stored state. Only meaningful between cycles; used by the §5.2 replay
   /// ("the last shared node must be specially executed in order to pass down
-  /// all of the PIs that it has stored as state").
-  [[nodiscard]] std::vector<TokenData> node_outputs(uint32_t node_id) const;
+  /// all of the PIs that it has stored as state"). Quiescent-only: reads
+  /// lock-guarded memories without their locks.
+  [[nodiscard]] std::vector<TokenData> node_outputs(uint32_t node_id) const
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Node census for diagnostics and the code-size model.
   struct Census {

@@ -12,10 +12,12 @@
 // successor entries into existing slots — no other structure is touched.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "lang/ast.h"
 #include "par/spinlock.h"
 #include "rete/token.h"
@@ -67,7 +69,9 @@ class Jumptable {
   void add(uint32_t slot, SuccessorRef s) { slots_[slot].push_back(s); }
 
   [[nodiscard]] const std::vector<SuccessorRef>& succs(uint32_t slot) const {
-    ++indirections_;
+    // Relaxed: a diagnostics counter bumped concurrently by every match
+    // worker. (A plain uint64_t here was a genuine data race under TSan.)
+    indirections_.fetch_add(1, std::memory_order_relaxed);
     return slots_[slot];
   }
 
@@ -77,12 +81,14 @@ class Jumptable {
   }
 
   [[nodiscard]] size_t size() const { return slots_.size(); }
-  [[nodiscard]] uint64_t indirections() const { return indirections_; }
-  void reset_stats() { indirections_ = 0; }
+  [[nodiscard]] uint64_t indirections() const {
+    return indirections_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() { indirections_.store(0, std::memory_order_relaxed); }
 
  private:
   std::vector<std::vector<SuccessorRef>> slots_;
-  mutable uint64_t indirections_ = 0;
+  mutable std::atomic<uint64_t> indirections_{0};
 };
 
 struct Node {
@@ -115,11 +121,13 @@ struct IntraNode final : Node {
 
 struct AlphaMemNode final : Node {
   AlphaMemNode() : Node(NodeType::AlphaMem) {}
+  // Guards `wmes` during parallel match. Ranked Bucket like the table lines:
+  // a worker holds at most one match-state lock at a time.
+  mutable Spinlock lock{LockRank::Bucket, "alpha-mem"};
   // Plain wme list; the authoritative probe structures are the per-join right
   // entries in the global tables. This list is what §5.2 update replays and
   // what Figure 2-2 draws as the memory under each constant chain.
-  std::vector<const Wme*> wmes;
-  mutable Spinlock lock;  // guards `wmes` during parallel match
+  std::vector<const Wme*> wmes PSME_GUARDED_BY(lock);
 };
 
 /// One consistency test at a two-input node: compares a slot of an earlier

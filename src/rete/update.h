@@ -36,8 +36,11 @@ std::vector<Activation> update_alpha_seeds(Network& net,
                                            const CompiledProduction& cp,
                                            const std::vector<const Wme*>& wm);
 
+/// Quiescent-only: reads alpha memories without their locks (the §5.2
+/// contract — structural add and seeding happen while match is quiescent).
 std::vector<Activation> update_right_seeds(Network& net,
-                                           const CompiledProduction& cp);
+                                           const CompiledProduction& cp)
+    PSME_NO_THREAD_SAFETY_ANALYSIS;
 
 /// Must be called after phases A and B have fully drained.
 std::vector<Activation> update_left_seeds(Network& net,

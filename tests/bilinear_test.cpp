@@ -55,7 +55,7 @@ TEST(Bilinear, CountsInstantiationsLikeLinear) {
 
   // Bilinear network over the same production.
   Engine bi;
-  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Parser parser(bi.syms(), bi.schemas(), test::test_rhs_arena());
   Production prod = parser.parse_production(src);
   BilinearOptions opts;
   opts.prefix_ces = 3;
@@ -71,7 +71,7 @@ TEST(Bilinear, CountsInstantiationsLikeLinear) {
 TEST(Bilinear, RetractsOnDelete) {
   const std::string src = long_chain_production(2, 2);
   Engine bi;
-  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Parser parser(bi.syms(), bi.schemas(), test::test_rhs_arena());
   Production prod = parser.parse_production(src);
   BilinearOptions opts;
   opts.prefix_ces = 3;
@@ -101,7 +101,7 @@ TEST(Bilinear, ShortensCriticalPath) {
   const auto lin_cp = critical_path(lin_trace, cm);
 
   Engine bi;
-  Parser parser(bi.syms(), bi.schemas(), *new RhsArena);
+  Parser parser(bi.syms(), bi.schemas(), test::test_rhs_arena());
   Production prod = parser.parse_production(src);
   BilinearOptions opts;
   opts.prefix_ces = 3;
@@ -125,7 +125,7 @@ TEST(Bilinear, BalancedTreeShorterThanLinearCombine) {
 
   auto run = [&](bool tree) {
     Engine e;
-    Parser parser(e.syms(), e.schemas(), *new RhsArena);
+    Parser parser(e.syms(), e.schemas(), test::test_rhs_arena());
     Production prod = parser.parse_production(src);
     BilinearOptions opts;
     opts.prefix_ces = 3;
@@ -143,7 +143,7 @@ TEST(Bilinear, BalancedTreeShorterThanLinearCombine) {
 
 TEST(Bilinear, RejectsNegatedConditions) {
   Engine e;
-  Parser parser(e.syms(), e.schemas(), *new RhsArena);
+  Parser parser(e.syms(), e.schemas(), test::test_rhs_arena());
   Production prod =
       parser.parse_production("(p bad (a ^v <x>) -(b ^v <x>) --> (halt))");
   EXPECT_THROW(build_bilinear(e.net(), prod, BilinearOptions{}),
@@ -152,7 +152,7 @@ TEST(Bilinear, RejectsNegatedConditions) {
 
 TEST(Bilinear, RejectsCrossGroupVariables) {
   Engine e;
-  Parser parser(e.syms(), e.schemas(), *new RhsArena);
+  Parser parser(e.syms(), e.schemas(), test::test_rhs_arena());
   // <y> is bound in the first feature group and used in the second.
   Production prod = parser.parse_production(
       "(p bad (goal ^state <s>) "

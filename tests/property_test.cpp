@@ -123,7 +123,7 @@ TEST_P(IncrementalAddProperty, AddAfterWmesEqualsBefore) {
   inc.load(prods[0]);  // only the first production up front
   apply_ops(inc, ops, seed, false);
   for (size_t i = 1; i < prods.size(); ++i) {
-    Parser parser(inc.syms(), inc.schemas(), *new RhsArena);
+    Parser parser(inc.syms(), inc.schemas(), test::test_rhs_arena());
     inc.add_production_runtime(parser.parse_production(prods[i]));
   }
   EXPECT_EQ(cs_fingerprint(ref), cs_fingerprint(inc)) << "seed " << seed;

@@ -1,0 +1,292 @@
+// Sanitizer-targeted stress tests: many workers hammering the TaskQueueSet
+// (push/pop/steal), repeated parallel match cycles on a live network, and
+// run-time production addition whose §5.2 state update drains through the
+// ParallelMatcher at full width. These exist primarily to give
+// ThreadSanitizer (the `tsan` preset) real interleavings to chew on; they
+// also assert serial-equivalence so they are meaningful correctness tests in
+// every build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "lang/parser.h"
+#include "par/parallel_match.h"
+#include "par/task_queue.h"
+#include "par/worker_pool.h"
+#include "rete/update.h"
+#include "test_util.h"
+
+// Iteration counts scale down under sanitizer instrumentation (5-20x
+// slowdown) so the suite stays fast; the interleaving coverage TSan needs
+// comes from the thread count, not raw iteration volume.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PSME_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PSME_SANITIZED_BUILD 1
+#endif
+#endif
+#ifndef PSME_SANITIZED_BUILD
+#define PSME_SANITIZED_BUILD 0
+#endif
+
+namespace psme {
+namespace {
+
+using test::cs_fingerprint;
+
+constexpr int kIters = PSME_SANITIZED_BUILD ? 400 : 3000;
+constexpr size_t kWorkers = 8;
+
+class SeedCollector final : public ExecContext {
+ public:
+  void emit(Activation&& a) override { seeds.push_back(std::move(a)); }
+  std::vector<Activation> seeds;
+};
+
+TEST(RaceStress, TaskQueueSetPushPopSteal) {
+  // Every worker pushes to its home queue and pops with stealing; half the
+  // pops are issued under a *different* worker index to force cross-queue
+  // traffic. Conservation (pushed == popped + left over) proves no task was
+  // lost or duplicated under contention.
+  TaskQueueSet queues(TaskQueueSet::Policy::Multi, kWorkers);
+  std::atomic<uint64_t> pushed{0};
+  std::atomic<uint64_t> popped{0};
+
+  run_workers(kWorkers, [&](size_t worker) {
+    Activation out;
+    for (int i = 0; i < kIters; ++i) {
+      Activation a;
+      a.node = static_cast<uint32_t>(worker * kIters + i);
+      queues.push(worker, std::move(a));
+      pushed.fetch_add(1, std::memory_order_relaxed);
+      // Pop as self, then occasionally as a thief with a rotated identity.
+      if (queues.pop(worker, out)) popped.fetch_add(1, std::memory_order_relaxed);
+      if (i % 2 == 0) {
+        const size_t thief = (worker + 1 + static_cast<size_t>(i)) % kWorkers;
+        if (queues.pop(thief, out)) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  uint64_t drained = 0;
+  Activation out;
+  while (queues.pop(0, out)) ++drained;
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+  EXPECT_EQ(pushed.load(), static_cast<uint64_t>(kIters) * kWorkers);
+  EXPECT_GT(queues.lock_acquires(), 0u);
+}
+
+TEST(RaceStress, SingleQueuePolicyUnderContention) {
+  // Policy::Single: every worker fights over one lock — the Figure 6-1
+  // configuration and the worst case for the queue spinlock.
+  TaskQueueSet queues(TaskQueueSet::Policy::Single, kWorkers);
+  std::atomic<uint64_t> balance{0};
+  run_workers(kWorkers, [&](size_t worker) {
+    Activation out;
+    for (int i = 0; i < kIters / 2; ++i) {
+      queues.push(worker, Activation{});
+      if (queues.pop(worker, out)) balance.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  Activation out;
+  uint64_t drained = 0;
+  while (queues.pop(0, out)) ++drained;
+  EXPECT_EQ(balance.load() + drained,
+            static_cast<uint64_t>(kIters / 2) * kWorkers);
+}
+
+std::string stress_productions() {
+  // Same value-skew as the parallel_test workload (v mod 7) so many tokens
+  // hash to the same lines, maximizing line-lock contention; plus a negation
+  // and a cross product to exercise not-node counts and wide emits.
+  return "(p j2 (a ^v <x>) (b ^v <x>) --> (halt))"
+         "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"
+         "(p neg (a ^v <x>) -(blocker ^v <x>) --> (halt))"
+         "(p cross (a ^v <x>) (c ^w <y>) --> (halt))";
+}
+
+void add_stress_wmes(Engine& e, int n, int salt) {
+  for (int i = 0; i < n; ++i) {
+    const std::string v = std::to_string((i + salt) % 7);
+    e.add_wme_text("(a ^v " + v + ")");
+    if (i % 2 == 0) e.add_wme_text("(b ^v " + v + ")");
+    if (i % 3 == 0) e.add_wme_text("(c ^v " + v + " ^w " + v + ")");
+    if (i % 5 == 0) e.add_wme_text("(blocker ^v " + v + ")");
+  }
+}
+
+/// Drains one engine's pending wme set through the ParallelMatcher.
+void parallel_cycle(Engine& e, const std::vector<const Wme*>& adds,
+                    const std::vector<const Wme*>& removes) {
+  SeedCollector sc;
+  for (const Wme* w : removes) e.net().inject(w, false, sc);
+  for (const Wme* w : adds) e.net().inject(w, true, sc);
+  ParallelMatcher matcher(e.net(), kWorkers, TaskQueueSet::Policy::Multi);
+  const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
+  (void)st;
+}
+
+TEST(RaceStress, RepeatedParallelCyclesMatchSerial) {
+  // Several add-then-delete cycles, each drained by 8 workers on the live
+  // network: line locks, alpha locks, the CS lock and the queue locks all
+  // contended in one run. The serial engine is the oracle after each cycle.
+  const int rounds = PSME_SANITIZED_BUILD ? 2 : 4;
+
+  Engine serial, par;
+  serial.load(stress_productions());
+  par.load(stress_productions());
+
+  for (int r = 0; r < rounds; ++r) {
+    // Add wave.
+    add_stress_wmes(serial, 18, r);
+    serial.match();
+
+    std::vector<const Wme*> before = par.wm().live();
+    add_stress_wmes(par, 18, r);
+    std::vector<const Wme*> adds;
+    for (const Wme* w : par.wm().live()) {
+      if (std::find(before.begin(), before.end(), w) == before.end()) {
+        adds.push_back(w);
+      }
+    }
+    parallel_cycle(par, adds, {});
+    ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(par)) << "add round " << r;
+
+    // Delete wave: every third a-wme.
+    auto pick_removals = [](Engine& e) {
+      std::vector<const Wme*> out;
+      int i = 0;
+      for (const Wme* w : e.wm().live()) {
+        if (e.syms().name(w->cls) == "a" && ++i % 3 == 0) out.push_back(w);
+      }
+      return out;
+    };
+    const auto sr = pick_removals(serial);
+    for (const Wme* w : sr) serial.remove_wme(w);
+    serial.match();
+
+    const auto pr = pick_removals(par);
+    parallel_cycle(par, {}, pr);
+    for (const Wme* w : pr) par.wm().remove(w);
+    par.wm().end_cycle();
+    ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(par))
+        << "delete round " << r;
+  }
+}
+
+TEST(RaceStress, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
+  // The §5.2 scenario the paper's Figure 6-9 measures, with real threads:
+  // productions added to a live network one at a time, each state update
+  // drained through the ParallelMatcher at full width (phases A/B under the
+  // task filter with alpha-left suppression, then the last-shared-node
+  // replay). The oracle is an engine that knew every production up front.
+  const int waves = PSME_SANITIZED_BUILD ? 2 : 3;
+
+  const std::string base = stress_productions();
+  const std::vector<std::string> extras = {
+      "(p late-j2 (b ^v <x>) (c ^v <x>) --> (halt))",
+      "(p late-j3 (a ^v <x>) (c ^v <x> ^w <x>) --> (halt))",
+      "(p late-neg (b ^v <x>) -(a ^v <x>) --> (halt))",
+  };
+
+  Engine ref;
+  {
+    std::string all = base;
+    for (const auto& p : extras) all += p;
+    ref.load(all);
+  }
+  Engine live;
+  live.load(base);
+
+  for (int wv = 0; wv < waves; ++wv) {
+    add_stress_wmes(ref, 12, wv);
+    ref.match();
+    std::vector<const Wme*> before = live.wm().live();
+    add_stress_wmes(live, 12, wv);
+    std::vector<const Wme*> adds;
+    for (const Wme* w : live.wm().live()) {
+      if (std::find(before.begin(), before.end(), w) == before.end()) {
+        adds.push_back(w);
+      }
+    }
+    parallel_cycle(live, adds, {});
+  }
+
+  // Runtime additions on the live (already-matched) network.
+  RhsArena arena;
+  std::vector<std::unique_ptr<Production>> owned;  // must outlive `live`'s CS
+  ParallelMatcher matcher(live.net(), kWorkers, TaskQueueSet::Policy::Multi);
+  for (const auto& src : extras) {
+    Parser parser(live.syms(), live.schemas(), arena);
+    auto parsed = parser.parse_file(src);
+    ASSERT_EQ(parsed.size(), 1u);
+    owned.push_back(std::make_unique<Production>(std::move(parsed.front())));
+    const CompiledProduction cp =
+        live.builder().add_production(*owned.back());
+    const auto wm_snapshot = live.wm().live();
+
+    // Phase A: alpha chains + right memories fed by new alpha memories.
+    matcher.run_update(update_alpha_seeds(live.net(), cp, wm_snapshot),
+                       {cp.first_new_id, /*suppress_alpha_left=*/true});
+    // Phase B: right memories fed by shared (old) alpha memories.
+    matcher.run_update(update_right_seeds(live.net(), cp),
+                       {cp.first_new_id, false});
+    // Phase C: last-shared-node replay, only after A and B drained.
+    matcher.run_update(update_left_seeds(live.net(), cp),
+                       {cp.first_new_id, false});
+  }
+
+  EXPECT_EQ(cs_fingerprint(ref), cs_fingerprint(live));
+
+  // And the combined system keeps matching correctly after the adds: one
+  // more parallel wme wave over the now-extended network.
+  add_stress_wmes(ref, 8, 99);
+  ref.match();
+  std::vector<const Wme*> before = live.wm().live();
+  add_stress_wmes(live, 8, 99);
+  std::vector<const Wme*> adds;
+  for (const Wme* w : live.wm().live()) {
+    if (std::find(before.begin(), before.end(), w) == before.end()) {
+      adds.push_back(w);
+    }
+  }
+  parallel_cycle(live, adds, {});
+  EXPECT_EQ(cs_fingerprint(ref), cs_fingerprint(live));
+}
+
+TEST(RaceStress, ConflictSetConcurrentInsertRetract) {
+  // The CS lock under direct many-thread fire: half the workers insert,
+  // half retract the same (pnode, token) keys.
+  ProdNode pnode;
+  Production prod;
+  pnode.prod = &prod;
+  ConflictSet cs;
+  const int iters = kIters / 4;
+  run_workers(kWorkers, [&](size_t worker) {
+    for (int i = 0; i < iters; ++i) {
+      if (worker % 2 == 0) {
+        cs.on_insert(pnode, TokenData{});
+      } else {
+        cs.on_retract(pnode, TokenData{});
+      }
+      if (i % 64 == 0) (void)cs.size();
+    }
+  });
+  // Conservation: inserts - successful retracts == remaining instantiations.
+  // (on_retract counts even unmatched retracts, so just sanity-check size.)
+  EXPECT_LE(cs.size(), static_cast<size_t>(kWorkers / 2 + 1) *
+                           static_cast<size_t>(iters));
+  EXPECT_EQ(cs.total_inserts(), static_cast<uint64_t>(kWorkers / 2) *
+                                    static_cast<uint64_t>(iters));
+}
+
+}  // namespace
+}  // namespace psme

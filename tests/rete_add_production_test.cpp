@@ -17,7 +17,7 @@ using test::cs_fingerprint;
 using test::instantiation_count;
 
 Production parse_one(Engine& e, std::string_view src) {
-  Parser p(e.syms(), e.schemas(), *new RhsArena);  // leak: test-only arena
+  Parser p(e.syms(), e.schemas(), test::test_rhs_arena());
   return p.parse_production(src);
 }
 

@@ -7,8 +7,17 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "lang/ast.h"
 
 namespace psme::test {
+
+/// Arena for RHS actions of productions parsed outside an Engine::load.
+/// Static so it outlives every Production that references its nodes (tests
+/// used to `new` one per parse and leak it, which LeakSanitizer flags).
+inline RhsArena& test_rhs_arena() {
+  static RhsArena arena;
+  return arena;
+}
 
 /// Names of productions with at least one instantiation in the CS.
 inline std::multiset<std::string> matched_productions(Engine& e) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every psme source file, driven
+# by a compile_commands.json. Usage:
+#
+#   tools/run-clang-tidy.sh [build-dir]
+#
+# The build dir defaults to ./build and must have been configured (the root
+# CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS). Exits nonzero on any
+# diagnostic. If no clang-tidy binary exists on PATH the script reports that
+# and exits 0 so tools/check.sh can run on GCC-only machines; set
+# PSME_REQUIRE_TIDY=1 to turn a missing binary into a failure (CI with the
+# LLVM toolchain installed).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+
+if [[ -z "$tidy_bin" ]]; then
+  echo "run-clang-tidy: no clang-tidy on PATH" >&2
+  if [[ "${PSME_REQUIRE_TIDY:-0}" == "1" ]]; then
+    exit 1
+  fi
+  echo "run-clang-tidy: skipping (set PSME_REQUIRE_TIDY=1 to fail instead)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run-clang-tidy: $build_dir/compile_commands.json not found;" \
+       "configure first: cmake --preset default" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(cd "$repo_root" && \
+  find src tests bench examples -name '*.cpp' | sort)
+
+echo "run-clang-tidy: $tidy_bin over ${#sources[@]} files" >&2
+status=0
+for f in "${sources[@]}"; do
+  if ! "$tidy_bin" -p "$build_dir" --quiet --warnings-as-errors='*' \
+       "$repo_root/$f"; then
+    status=1
+  fi
+done
+exit $status
