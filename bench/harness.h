@@ -79,4 +79,80 @@ inline uint64_t total_tasks(const std::vector<CycleTrace>& traces) {
   return n;
 }
 
+/// Minimal machine-readable output: streams one JSON value to `out` with
+/// comma/indent bookkeeping handled here so bench code reads like data.
+/// tools/bench_json.sh captures stdout into BENCH_<name>.json; the human
+/// tables go to stderr in such benches.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) {
+    if (key != nullptr) emit_key(key);
+    open('[');
+  }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const std::string& v) {
+    emit_key(key);
+    after_key_ = false;
+    std::fputc('"', out_);
+    for (const char c : v) {
+      if (c == '"' || c == '\\') std::fputc('\\', out_);
+      std::fputc(c, out_);
+    }
+    std::fputc('"', out_);
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, uint64_t v) {
+    emit_key(key);
+    after_key_ = false;
+    std::fprintf(out_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void field(const char* key, double v) {
+    emit_key(key);
+    after_key_ = false;
+    std::fprintf(out_, "%.6g", v);
+  }
+
+  /// Call once after the root value closes.
+  void finish() { std::fputc('\n', out_); }
+
+ private:
+  void open(char c) {
+    value_prefix();
+    std::fputc(c, out_);
+    first_ = true;
+  }
+  void close(char c) {
+    std::fputc(c, out_);
+    first_ = false;
+    after_key_ = false;
+  }
+  void emit_key(const char* key) {
+    comma();
+    std::fprintf(out_, "\"%s\":", key);
+    after_key_ = true;
+  }
+  // A value directly after its key needs no separator; a value that is an
+  // array/object element does.
+  void value_prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    comma();
+  }
+  void comma() {
+    if (!first_) std::fputc(',', out_);
+    first_ = false;
+  }
+
+  std::FILE* out_;
+  bool first_ = true;
+  bool after_key_ = false;
+};
+
 }  // namespace psme::bench

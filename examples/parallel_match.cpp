@@ -1,7 +1,8 @@
 // The threaded matcher on a synthetic workload: N match processes pull node
-// activations from the task queues (single shared queue vs per-process
-// queues), exactly the PSM-E organization. Verifies that every worker count
-// produces the same conflict set and prints the queue statistics.
+// activations under each scheduler policy — the paper's single shared queue
+// and per-process spinlocked queues, plus the modern lock-free work-stealing
+// core. Verifies that every configuration produces the same conflict set and
+// prints the scheduler statistics.
 //
 // On a single-core host the threads interleave; the *correctness* of the
 // parallel path is what this example demonstrates. For speedup curves on a
@@ -48,10 +49,15 @@ int main() {
   const size_t expected = serial.cs().size();
   std::printf("serial executor: %zu instantiations\n\n", expected);
 
-  std::printf("%-8s %-8s %10s %12s %12s %10s  %s\n", "workers", "queues",
-              "tasks", "failed-pops", "lock-spins", "wall(ms)", "CS ok?");
+  std::printf("%-8s %-9s %10s %12s %12s %8s %10s  %s\n", "workers",
+              "scheduler", "tasks", "failed-pops", "lock-spins", "steals",
+              "wall(ms)", "CS ok?");
   for (const auto policy :
-       {TaskQueueSet::Policy::Single, TaskQueueSet::Policy::Multi}) {
+       {TaskQueueSet::Policy::Single, TaskQueueSet::Policy::Multi,
+        TaskQueueSet::Policy::Steal}) {
+    const char* name = policy == TaskQueueSet::Policy::Single ? "single"
+                       : policy == TaskQueueSet::Policy::Multi ? "multi"
+                                                               : "steal";
     for (const size_t workers : {1u, 2u, 4u, 8u, 13u}) {
       Engine par;
       load_workload(par);
@@ -59,11 +65,12 @@ int main() {
       for (const Wme* w : par.wm().live()) par.net().inject(w, true, sc);
       ParallelMatcher matcher(par.net(), workers, policy);
       const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
-      std::printf("%-8zu %-8s %10llu %12llu %12llu %10.2f  %s\n", workers,
-                  policy == TaskQueueSet::Policy::Single ? "single" : "multi",
+      std::printf("%-8zu %-9s %10llu %12llu %12llu %8llu %10.2f  %s\n",
+                  workers, name,
                   static_cast<unsigned long long>(st.tasks),
                   static_cast<unsigned long long>(st.failed_pops),
                   static_cast<unsigned long long>(st.queue_lock_spins),
+                  static_cast<unsigned long long>(st.steals),
                   st.wall_seconds * 1e3,
                   par.cs().size() == expected ? "yes" : "MISMATCH");
     }

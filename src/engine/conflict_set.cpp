@@ -6,6 +6,18 @@ namespace psme {
 
 void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
   SpinGuard g(lock_);
+  ++inserts_;
+  // A conjugate retract that overtook this insert (threaded match; the pair
+  // was created in order under a not/NCC line lock but raced here) is held
+  // in pending_ — cancel against it instead of installing a stale
+  // instantiation.
+  auto pend = pending_.equal_range(key_of(p, t));
+  for (auto ii = pend.first; ii != pend.second; ++ii) {
+    if (ii->second.first == &p && ii->second.second == t) {
+      pending_.erase(ii);
+      return;
+    }
+  }
   Instantiation inst;
   inst.pnode = &p;
   inst.token = t;
@@ -13,7 +25,6 @@ void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
   items_.push_back(std::move(inst));
   auto it = std::prev(items_.end());
   index_.emplace(key_of(p, t), it);
-  ++inserts_;
 }
 
 void ConflictSet::on_retract(const ProdNode& p, const TokenData& t) {
@@ -27,9 +38,11 @@ void ConflictSet::on_retract(const ProdNode& p, const TokenData& t) {
       return;
     }
   }
-  // A retract without a matching instantiation can only mean the executor
-  // produced an inconsistent token stream; surface it in tests via counters.
+  // Retract before its conjugate insert: hold it for the insert to cancel
+  // against. (At quiescence pending_ is empty; a leftover entry means the
+  // executor produced a genuinely inconsistent token stream.)
   ++retracts_;
+  pending_.emplace(key_of(p, t), std::make_pair(&p, t));
 }
 
 size_t ConflictSet::size() const {
@@ -126,6 +139,7 @@ void ConflictSet::clear() {
   SpinGuard g(lock_);
   items_.clear();
   index_.clear();
+  pending_.clear();
 }
 
 }  // namespace psme

@@ -62,6 +62,14 @@ class ConflictSet final : public MatchSink {
     return retracts_;
   }
 
+  /// Retracts still waiting for their conjugate insert (see on_retract).
+  /// Nonzero only while a parallel cycle is in flight; at quiescence every
+  /// conjugate pair has cancelled.
+  [[nodiscard]] size_t pending_retracts() const {
+    SpinGuard g(lock_);
+    return pending_.size();
+  }
+
   void clear();
 
  private:
@@ -74,6 +82,11 @@ class ConflictSet final : public MatchSink {
   List items_ PSME_GUARDED_BY(lock_);
   std::unordered_multimap<size_t, List::iterator> index_
       PSME_GUARDED_BY(lock_);
+  // Conjugate retracts that overtook their insert (threaded match only):
+  // held here so the late insert cancels instead of installing a stale
+  // instantiation.
+  std::unordered_multimap<size_t, std::pair<const ProdNode*, TokenData>>
+      pending_ PSME_GUARDED_BY(lock_);
   uint64_t arrival_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t inserts_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t retracts_ PSME_GUARDED_BY(lock_) = 0;

@@ -51,6 +51,14 @@ const AddRecord& Engine::record(const Production* p) const {
   return it->second;
 }
 
+ParallelMatcher& Engine::matcher() {
+  if (!matcher_) {
+    matcher_ = std::make_unique<ParallelMatcher>(net_, opts_.match_workers,
+                                                 opts_.match_policy);
+  }
+  return *matcher_;
+}
+
 Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
   RuntimeAddResult res;
   const Production* p = store_.adopt(std::move(ast));
@@ -58,18 +66,32 @@ Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
   res.prod = p;
   res.compile_seconds = cp.compile_seconds;
   res.code_bytes = cp.code_bytes();
-
-  TraceExecutor ex(net_, opts_.record_traces);
-  ex.update_mode = true;
-  ex.min_node_id = cp.first_new_id;
   const auto wm_snapshot = wm_.live();
 
-  ex.suppress_alpha_left = true;
-  res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
-  ex.suppress_alpha_left = false;
-  res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
-  res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
-  res.update_tasks = ex.executed();
+  if (opts_.match_workers > 1) {
+    // The §5.2 state update with full match parallelism (Figure 6-9's
+    // regime): phases A and B under the task filter, then the
+    // last-shared-node replay once both have drained.
+    ParallelMatcher& m = matcher();
+    ParallelStats st = m.run_update(update_alpha_seeds(net_, cp, wm_snapshot),
+                                    {cp.first_new_id, true});
+    res.update_tasks += st.tasks;
+    st = m.run_update(update_right_seeds(net_, cp), {cp.first_new_id, false});
+    res.update_tasks += st.tasks;
+    st = m.run_update(update_left_seeds(net_, cp), {cp.first_new_id, false});
+    res.update_tasks += st.tasks;
+  } else {
+    TraceExecutor ex(net_, opts_.record_traces);
+    ex.update_mode = true;
+    ex.min_node_id = cp.first_new_id;
+
+    ex.suppress_alpha_left = true;
+    res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
+    ex.suppress_alpha_left = false;
+    res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
+    res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
+    res.update_tasks = ex.executed();
+  }
 
   records_.emplace(p, AddRecord{p, std::move(cp)});
   productions_.push_back(p);
@@ -131,14 +153,45 @@ void Engine::remove_wme(const Wme* w) {
 }
 
 CycleTrace Engine::match() {
-  std::vector<Activation> seeds;
-  CollectCtx cc(seeds);
-  for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
-  for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+  CycleTrace trace;
+  if (opts_.match_workers > 1) {
+    // Threaded drain on the persistent matcher; no per-task trace. The
+    // cycle's removals drain to quiescence before its additions: a delete
+    // token racing a sibling addition is order-dependent (a join can install
+    // a new PI behind a delete token that already passed that memory), so
+    // each threaded drain gets a homogeneous seed batch. Serial injection
+    // order (removes first) makes the final state identical.
+    std::vector<Activation> seeds;
+    CollectCtx cc(seeds);
+    for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
+    ParallelStats total;
+    if (!seeds.empty() || pending_adds_.empty()) {
+      total = matcher().run_cycle(std::move(seeds));
+      seeds.clear();
+    }
+    if (!pending_adds_.empty()) {
+      for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+      const ParallelStats st = matcher().run_cycle(std::move(seeds));
+      total.tasks += st.tasks;
+      total.failed_pops += st.failed_pops;
+      total.queue_lock_spins += st.queue_lock_spins;
+      total.queue_lock_acquires += st.queue_lock_acquires;
+      total.steals += st.steals;
+      total.failed_steals += st.failed_steals;
+      total.parks += st.parks;
+      total.wall_seconds += st.wall_seconds;
+    }
+    last_parallel_stats_ = total;
+  } else {
+    std::vector<Activation> seeds;
+    CollectCtx cc(seeds);
+    for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
+    for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+    TraceExecutor ex(net_, opts_.record_traces);
+    trace = ex.run_to_quiescence(std::move(seeds));
+  }
   pending_removes_.clear();
   pending_adds_.clear();
-  TraceExecutor ex(net_, opts_.record_traces);
-  CycleTrace trace = ex.run_to_quiescence(std::move(seeds));
   wm_.end_cycle();
   return trace;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "engine/trace.h"
 #include "engine/working_memory.h"
 #include "lang/parser.h"
+#include "par/parallel_match.h"
 #include "rete/add_production.h"
 #include "rete/builder.h"
 #include "rete/network.h"
@@ -27,6 +29,14 @@ struct EngineOptions {
   size_t hash_lines = 4096;
   BuilderOptions builder;
   bool record_traces = true;
+
+  /// >1 switches match() and the §5.2 runtime-add state update to the
+  /// threaded ParallelMatcher with this many workers. The matcher (and its
+  /// worker pool) is created once and persists across cycles. Parallel
+  /// cycles record no per-task trace (CycleTrace comes back empty), so keep
+  /// the serial default for psim trace collection.
+  size_t match_workers = 0;
+  TaskQueueSet::Policy match_policy = TaskQueueSet::Policy::Steal;
 };
 
 class Engine {
@@ -113,8 +123,19 @@ class Engine {
     return !pending_adds_.empty() || !pending_removes_.empty();
   }
 
+  /// The persistent parallel matcher, created on first parallel match();
+  /// nullptr while serial (match_workers <= 1) or before the first cycle.
+  [[nodiscard]] ParallelMatcher* parallel_matcher() const {
+    return matcher_.get();
+  }
+  /// Scheduler statistics of the most recent parallel cycle.
+  [[nodiscard]] const ParallelStats& last_parallel_stats() const {
+    return last_parallel_stats_;
+  }
+
  private:
   void apply_delta(const WmeDelta& delta, bool dedup_adds);
+  ParallelMatcher& matcher();
 
   EngineOptions opts_;
   SymbolTable syms_;
@@ -131,6 +152,8 @@ class Engine {
   std::vector<const Wme*> pending_adds_;
   std::vector<const Wme*> pending_removes_;
   std::vector<std::string> output_;
+  std::unique_ptr<ParallelMatcher> matcher_;  // persistent across cycles
+  ParallelStats last_parallel_stats_;
 };
 
 }  // namespace psme

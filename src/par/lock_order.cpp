@@ -44,6 +44,7 @@ const char* rank_name(LockRank r) noexcept {
     case LockRank::Bucket: return "bucket";
     case LockRank::Queue: return "queue";
     case LockRank::ConflictSet: return "conflict-set";
+    case LockRank::Park: return "park";
   }
   return "?";
 }

@@ -51,6 +51,9 @@ enum class LockRank : uint8_t {
   Bucket = 1,       // hash-table line locks + alpha-memory locks (leaves)
   Queue = 2,        // task-queue locks
   ConflictSet = 3,  // the conflict-set lock
+  Park = 4,         // scheduler park/dispatch mutexes (worker_pool.h); last,
+                    // so a worker may park or unpark others no matter what
+                    // match-state lock it still holds
 };
 
 namespace lockdep {

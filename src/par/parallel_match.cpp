@@ -1,17 +1,52 @@
 #include "par/parallel_match.h"
 
-#include <atomic>
 #include <chrono>
-#include <thread>
-
-#include "par/worker_pool.h"
 
 namespace psme {
 namespace {
 
-class WorkerCtx final : public ExecContext {
+// How many consecutive empty looks a Steal worker tolerates before taking a
+// park ticket. Each look is a full pop+steal sweep, so even a small budget
+// covers the emit latency of every peer; beyond it, sleeping is cheaper
+// than burning a (likely oversubscribed) core. Kept low: on a host with
+// fewer cores than workers, an idle worker's spin timeslices come straight
+// out of the busy workers' throughput, so parking early is what lets the
+// Steal scheduler beat the locked queues at high worker counts.
+constexpr uint32_t kSpinsBeforePark = 6;
+
+/// ExecContext that buffers emits locally. The §5.2 filter is applied at
+/// emit time, like the serial DrainCtx, so dropped tasks are never counted
+/// or published. The owner publishes the whole batch once per node
+/// execution (counter bump + pushes + a single unpark), instead of touching
+/// shared state per activation.
+class BatchCtx final : public ExecContext {
  public:
-  WorkerCtx(Network& net, TaskQueueSet& queues,
+  BatchCtx(Network& net, const ParallelMatcher::UpdateFilter* filter)
+      : net_(net) {
+    if (filter != nullptr) {
+      update_mode = true;
+      min_node_id = filter->min_node_id;
+      suppress_alpha_left = filter->suppress_alpha_left;
+    }
+  }
+
+  void emit(Activation&& a) override {
+    if (!net_.should_execute(a, *this)) return;
+    batch.push_back(std::move(a));
+  }
+
+  std::vector<Activation> batch;
+
+ private:
+  Network& net_;
+};
+
+/// The locked-policy worker context: pushes straight through to the shared
+/// queues, one lock acquisition per activation — the paper-faithful
+/// behavior the Figure 6-x configurations measure.
+class LockedCtx final : public ExecContext {
+ public:
+  LockedCtx(Network& net, TaskQueueSet& queues,
             std::atomic<int64_t>& outstanding, size_t worker,
             const ParallelMatcher::UpdateFilter* filter)
       : net_(net), queues_(queues), outstanding_(outstanding),
@@ -24,9 +59,9 @@ class WorkerCtx final : public ExecContext {
   }
 
   void emit(Activation&& a) override {
-    // §5.2 filter applied at emit time, like the serial DrainCtx: tasks that
-    // would be dropped are never counted as outstanding, so quiescence
-    // detection is unaffected.
+    // Tasks that would be dropped are never counted as outstanding, so
+    // quiescence detection is unaffected; the count lands *before* the push
+    // so the counter can only reach zero at true quiescence.
     if (!net_.should_execute(a, *this)) return;
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
     queues_.push(worker_, std::move(a));
@@ -41,6 +76,40 @@ class WorkerCtx final : public ExecContext {
 
 }  // namespace
 
+ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
+                                 TaskQueueSet::Policy policy)
+    : net_(net),
+      n_workers_(n_workers == 0 ? 1 : n_workers),
+      policy_(policy),
+      pool_(n_workers == 0 ? 1 : n_workers) {
+  if (policy_ == TaskQueueSet::Policy::Steal) {
+    slots_.reserve(n_workers_);
+    for (size_t i = 0; i < n_workers_; ++i) {
+      // Deterministic per-worker seeds: victim choice is randomized but
+      // reproducible run to run.
+      slots_.push_back(std::make_unique<WorkerSlot>(0x9e3779b9u + i));
+    }
+  } else {
+    queues_ = std::make_unique<TaskQueueSet>(policy_, n_workers_);
+  }
+}
+
+ParallelMatcher::~ParallelMatcher() { reset_slots(); }
+
+void ParallelMatcher::reset_slots() {
+  for (auto& s : slots_) {
+    // A previous cycle that aborted on an exception may leave tasks behind;
+    // every cycle starts from a clean, balanced state.
+    while (Activation* a = s->deque.pop()) delete a;
+    s->created.store(0, std::memory_order_relaxed);
+    s->executed.store(0, std::memory_order_relaxed);
+    s->done = 0;
+    s->steals = 0;
+    s->failed_steals = 0;
+    s->parks = 0;
+  }
+}
+
 ParallelStats ParallelMatcher::run_cycle(std::vector<Activation> seeds) {
   return run_impl(std::move(seeds), nullptr);
 }
@@ -52,36 +121,199 @@ ParallelStats ParallelMatcher::run_update(std::vector<Activation> seeds,
 
 ParallelStats ParallelMatcher::run_impl(std::vector<Activation> seeds,
                                         const UpdateFilter* filter) {
-  TaskQueueSet queues(policy_, n_workers_);
-  std::atomic<int64_t> outstanding{0};
-  std::atomic<uint64_t> executed{0};
+  ParallelStats st = policy_ == TaskQueueSet::Policy::Steal
+                         ? run_steal(std::move(seeds), filter)
+                         : run_locked(std::move(seeds), filter);
+  lifetime_tasks_ += st.tasks;
+  ++lifetime_cycles_;
+  return st;
+}
 
-  // Seed round-robin across queues so multi-queue workers start with work.
-  // Seeds pass through the same §5.2 filter as emitted tasks.
+bool ParallelMatcher::quiescent() const {
+  // Sweep order matters: executed before created. Every execution the sweep
+  // observes carries a happens-before edge back to its creation count (the
+  // creation was published before the task could be popped), so equality
+  // can only be observed at true quiescence for all tasks the observer can
+  // know about; tasks it cannot know about keep their creator active.
+  uint64_t done = 0;
+  for (const auto& s : slots_) {
+    done += s->executed.load(std::memory_order_seq_cst);
+  }
+  uint64_t made = 0;
+  for (const auto& s : slots_) {
+    made += s->created.load(std::memory_order_seq_cst);
+  }
+  return done == made;
+}
+
+Activation* ParallelMatcher::take_task(size_t worker) {
+  WorkerSlot& me = *slots_[worker];
+  if (Activation* a = me.deque.pop()) return a;
+  if (n_workers_ == 1) return nullptr;
+  // Randomized stealing: one full sweep over the victims from a random
+  // starting point — every peer is probed exactly once per look, and
+  // different thieves start at different offsets so they spread out. A
+  // failed attempt is a couple of loads — no lock, no lock-and-look, no
+  // queue-side cost to the victim.
+  const size_t peers = n_workers_ - 1;
+  const size_t start = me.rng.below(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    const size_t victim = (worker + 1 + ((start + i) % peers)) % n_workers_;
+    if (Activation* a = slots_[victim]->deque.steal()) {
+      ++me.steals;
+      return a;
+    }
+    ++me.failed_steals;
+  }
+  return nullptr;
+}
+
+void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
+                                 std::atomic<bool>& abort) {
+  WorkerSlot& me = *slots_[worker];
+  BatchCtx ctx(net_, filter);
+  uint32_t idle = 0;
+  for (;;) {
+    Activation* a = take_task(worker);
+    if (a == nullptr && idle >= kSpinsBeforePark) {
+      // Ticket protocol: any publish after the ticket invalidates it, and
+      // any publish before it is visible to this final sweep.
+      const uint64_t ticket = lot_.ticket();
+      a = take_task(worker);
+      if (a == nullptr) {
+        if (abort.load(std::memory_order_acquire) || quiescent()) break;
+        ++me.parks;
+        lot_.park(ticket);
+        idle = 0;
+        continue;
+      }
+    }
+    if (a == nullptr) {
+      if (abort.load(std::memory_order_acquire) || quiescent()) break;
+      idle_backoff(idle++);
+      continue;
+    }
+    idle = 0;
+    try {
+      net_.execute(*a, ctx);
+    } catch (...) {
+      delete a;
+      // Count the task as executed so the cycle's books still balance, then
+      // fail the whole cycle.
+      me.executed.fetch_add(1, std::memory_order_seq_cst);
+      abort.store(true, std::memory_order_release);
+      lot_.unpark_all();
+      throw;
+    }
+    delete a;
+    ++me.done;
+    if (!ctx.batch.empty()) {
+      // Publish the emit burst once: one counter bump, owner-side pushes,
+      // one wake. The count precedes the pushes (termination invariant).
+      // unpark_one, not unpark_all: waking every sleeper per publish is a
+      // thundering herd at high worker counts (all wake, sweep, fail,
+      // re-park); one waker per publish keeps the wake chain proportional
+      // to the work supply, and the exit cascade below still wakes
+      // everyone for the final quiescence check.
+      me.created.fetch_add(ctx.batch.size(), std::memory_order_seq_cst);
+      for (Activation& child : ctx.batch) {
+        me.deque.push(new Activation(std::move(child)));
+      }
+      ctx.batch.clear();
+      lot_.unpark_one();
+    }
+    me.executed.fetch_add(1, std::memory_order_seq_cst);
+  }
+  // Cascade the wake so every parked peer re-checks quiescence and exits.
+  lot_.unpark_all();
+}
+
+ParallelStats ParallelMatcher::run_steal(std::vector<Activation> seeds,
+                                         const UpdateFilter* filter) {
+  reset_slots();
+
+  // Seed round-robin across the worker deques. Workers are not running yet,
+  // so the owner-only push is safe from this thread; the pool dispatch
+  // publishes everything before the first worker looks. Seeds pass through
+  // the same §5.2 filter as emitted tasks.
   {
-    WorkerCtx seed_ctx(net_, queues, outstanding, 0, filter);
+    BatchCtx seed_ctx(net_, filter);
     size_t w = 0;
-    for (auto& s : seeds) {
+    for (Activation& s : seeds) {
       if (!net_.should_execute(s, seed_ctx)) continue;
-      outstanding.fetch_add(1, std::memory_order_acq_rel);
-      queues.push(w, std::move(s));
+      slots_[w]->created.fetch_add(1, std::memory_order_relaxed);
+      slots_[w]->deque.push(new Activation(std::move(s)));
       w = (w + 1) % n_workers_;
     }
   }
 
+  std::atomic<bool> abort{false};
   const auto t0 = std::chrono::steady_clock::now();
-  run_workers(n_workers_, [&](size_t worker) {
-    WorkerCtx ctx(net_, queues, outstanding, worker, filter);
+  pool_.run([&](size_t worker) { steal_loop(worker, filter, abort); });
+
+  ParallelStats st;
+  st.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& s : slots_) {
+    st.tasks += s->done;
+    st.steals += s->steals;
+    st.failed_steals += s->failed_steals;
+    st.parks += s->parks;
+  }
+  return st;
+}
+
+ParallelStats ParallelMatcher::run_locked(std::vector<Activation> seeds,
+                                          const UpdateFilter* filter) {
+  TaskQueueSet& queues = *queues_;
+  queues.reset_stats();  // per-cycle numbers, like the pre-pool matcher
+  std::atomic<uint64_t> executed{0};
+
+  // Seed distribution: partition round-robin, then one push_batch (one lock
+  // acquisition) per home queue instead of one per seed.
+  {
+    BatchCtx seed_ctx(net_, filter);
+    std::vector<std::vector<Activation>> per_worker(n_workers_);
+    size_t w = 0;
+    int64_t kept = 0;
+    for (Activation& s : seeds) {
+      if (!net_.should_execute(s, seed_ctx)) continue;
+      per_worker[w].push_back(std::move(s));
+      w = (w + 1) % n_workers_;
+      ++kept;
+    }
+    // Counted before any push, preserving the invariant that the counter
+    // can only reach zero at true quiescence.
+    outstanding_.store(kept, std::memory_order_release);
+    for (size_t i = 0; i < n_workers_; ++i) {
+      queues.push_batch(i, std::move(per_worker[i]));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pool_.run([&](size_t worker) {
+    LockedCtx ctx(net_, queues, outstanding_, worker, filter);
     Activation a;
-    while (outstanding.load(std::memory_order_acquire) > 0) {
+    uint32_t idle = 0;
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
       if (queues.pop(worker, a)) {
-        net_.execute(a, ctx);
+        idle = 0;
+        try {
+          net_.execute(a, ctx);
+        } catch (...) {
+          // Zero the counter so the other workers exit instead of spinning
+          // on a count that can no longer drain, then fail the cycle.
+          outstanding_.store(0, std::memory_order_release);
+          throw;
+        }
         executed.fetch_add(1, std::memory_order_relaxed);
-        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
       } else {
-        // Nothing found anywhere; let someone else run (we are likely
-        // oversubscribed on this machine).
-        std::this_thread::yield();
+        // Nothing found anywhere: bounded exponential backoff instead of a
+        // raw yield loop, so an idle worker on an oversubscribed machine
+        // stops burning a full core (it still re-checks every few µs).
+        idle_backoff(idle++);
       }
     }
   });

@@ -1,36 +1,71 @@
 // The threaded match executor: N match processes pull node activations from
-// the task queues and execute them against the shared network, exactly the
-// PSM-E organization (§2.3/§4). Cycle termination is detected with an
-// outstanding-task counter: a task is counted before it is pushed and
-// uncounted after its execution completes, so the counter can only reach
-// zero at true quiescence.
+// the scheduler and execute them against the shared network.
+//
+// Two scheduler generations live side by side:
+//
+//   * `Single`/`Multi` — the paper-faithful PSM-E organization (§2.3/§4):
+//     spinlocked task queues, shared outstanding-task counter, idle workers
+//     locking queues to find them empty (the counted "failed pops" whose
+//     traffic bends the Figure 6-1/6-4 curves). Kept selectable so the
+//     Figure 6-x reproductions keep measuring what the paper measured.
+//
+//   * `Steal` (the default) — the modern core: one lock-free Chase–Lev
+//     deque per worker (par/ws_deque.h), owner-side push/pop, randomized
+//     CAS-only stealing, per-worker cache-line-padded counters for
+//     termination detection and statistics, emit bursts published once per
+//     node execution, and idle workers that spin briefly and then park on a
+//     condvar (par/worker_pool.h) instead of hammering locks.
+//
+// Worker threads are spawned once per ParallelMatcher lifetime (WorkerPool)
+// and parked between cycles, so a matcher held by an Engine runs thousands
+// of cycles without re-spawning threads or re-building queues.
+//
+// Termination detection (Steal): each worker owns a padded (created,
+// executed) counter pair; a creation is counted *before* the task is pushed
+// and an execution *after* it completes, and idle workers sweep executed
+// totals before created totals. Any observed equality therefore implies
+// true quiescence for every task the observer can know about, and a task it
+// cannot know about yet keeps its creator (or its thief) active — so the
+// last worker standing always drains the residue. See DESIGN.md §8.
 //
 // On this container (1 CPU) the threads interleave rather than run in
-// parallel; the executor is still exercised for *correctness* (its final
-// match state must equal the serial executor's) and for real lock/queue
-// statistics. Speedup *curves* come from the virtual multiprocessor
+// parallel; the executor is exercised for *correctness* (its final match
+// state must equal the serial executor's) and for real scheduler
+// statistics. Paper speedup *curves* come from the virtual multiprocessor
 // (src/psim), which schedules recorded task DAGs on P virtual processors.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "base/rng.h"
 #include "par/task_queue.h"
+#include "par/worker_pool.h"
+#include "par/ws_deque.h"
 #include "rete/network.h"
 
 namespace psme {
 
 struct ParallelStats {
   uint64_t tasks = 0;
-  uint64_t failed_pops = 0;
-  uint64_t queue_lock_spins = 0;
-  uint64_t queue_lock_acquires = 0;
+  uint64_t failed_pops = 0;          // locked policies: lock-and-look misses
+  uint64_t queue_lock_spins = 0;     // locked policies
+  uint64_t queue_lock_acquires = 0;  // locked policies
+  uint64_t steals = 0;               // Steal: successful cross-worker takes
+  uint64_t failed_steals = 0;        // Steal: empty/lost-race steal attempts
+  uint64_t parks = 0;                // Steal: times a worker parked
   double wall_seconds = 0;
 };
 
 class ParallelMatcher {
  public:
-  ParallelMatcher(Network& net, size_t n_workers, TaskQueueSet::Policy policy)
-      : net_(net), n_workers_(n_workers == 0 ? 1 : n_workers), policy_(policy) {}
+  ParallelMatcher(Network& net, size_t n_workers,
+                  TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal);
+  ~ParallelMatcher();
+  ParallelMatcher(const ParallelMatcher&) = delete;
+  ParallelMatcher& operator=(const ParallelMatcher&) = delete;
 
   /// The §5.2 task filter for run-time production addition: activations of
   /// stateful nodes older than `min_node_id` are dropped at emit time, and
@@ -43,7 +78,12 @@ class ParallelMatcher {
   };
 
   /// Drains `seeds` and everything they spawn across all workers; returns
-  /// when the match is quiescent.
+  /// when the match is quiescent. Seeds must be homogeneous — all additions
+  /// or all deletions, not both: a delete token racing a sibling addition
+  /// through the same memories is order-dependent (the join can install a
+  /// fresh PI behind a delete token that already swept that line). Callers
+  /// with a mixed wme batch drain the removals as their own cycle first,
+  /// which yields the serial executor's final state (see Engine::match).
   ParallelStats run_cycle(std::vector<Activation> seeds);
 
   /// Same, but with the update filter applied — the parallel form of
@@ -52,13 +92,57 @@ class ParallelMatcher {
   ParallelStats run_update(std::vector<Activation> seeds,
                            const UpdateFilter& filter);
 
+  [[nodiscard]] TaskQueueSet::Policy policy() const { return policy_; }
+  [[nodiscard]] size_t workers() const { return n_workers_; }
+
+  /// Aggregate over every cycle this matcher has run (persistent-lifetime
+  /// diagnostics; per-cycle numbers come from the run_* return value).
+  [[nodiscard]] uint64_t lifetime_tasks() const { return lifetime_tasks_; }
+  [[nodiscard]] uint64_t lifetime_cycles() const { return lifetime_cycles_; }
+
  private:
+  /// Per-worker scheduler state, one cache line apart so the hot counters
+  /// of different workers never share a line (the shared `failed_pops_` /
+  /// `outstanding` atomics of the locked path are exactly such false-sharing
+  /// hot spots).
+  struct alignas(64) WorkerSlot {
+    explicit WorkerSlot(uint64_t seed) : rng(seed) {}
+
+    WsDeque<Activation> deque;
+    // Termination counters: written by the owner, swept by idle workers.
+    std::atomic<uint64_t> created{0};
+    std::atomic<uint64_t> executed{0};
+    // Owner-private statistics, aggregated at quiescence.
+    uint64_t done = 0;
+    uint64_t steals = 0;
+    uint64_t failed_steals = 0;
+    uint64_t parks = 0;
+    Rng rng;
+  };
+
   ParallelStats run_impl(std::vector<Activation> seeds,
                          const UpdateFilter* filter);
+  ParallelStats run_steal(std::vector<Activation> seeds,
+                          const UpdateFilter* filter);
+  ParallelStats run_locked(std::vector<Activation> seeds,
+                           const UpdateFilter* filter);
+
+  void steal_loop(size_t worker, const UpdateFilter* filter,
+                  std::atomic<bool>& abort);
+  Activation* take_task(size_t worker);
+  [[nodiscard]] bool quiescent() const;
+  void reset_slots();
 
   Network& net_;
   size_t n_workers_;
   TaskQueueSet::Policy policy_;
+  WorkerPool pool_;
+  ParkingLot lot_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;  // Steal policy
+  std::unique_ptr<TaskQueueSet> queues_;            // Single/Multi, persistent
+  std::atomic<int64_t> outstanding_{0};             // locked-policy counter
+  uint64_t lifetime_tasks_ = 0;
+  uint64_t lifetime_cycles_ = 0;
 };
 
 }  // namespace psme

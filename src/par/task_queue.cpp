@@ -12,6 +12,14 @@ void TaskQueueSet::push(size_t worker, Activation&& a) {
   q.items.push_back(std::move(a));
 }
 
+void TaskQueueSet::push_batch(size_t worker, std::vector<Activation>&& batch) {
+  if (batch.empty()) return;
+  Q& q = queues_[home_queue(worker)];
+  SpinGuard g(q.lock);
+  for (Activation& a : batch) q.items.push_back(std::move(a));
+  batch.clear();
+}
+
 bool TaskQueueSet::pop(size_t worker, Activation& out) {
   const size_t n = queues_.size();
   const size_t home = home_queue(worker);

@@ -27,11 +27,19 @@ namespace psme {
 
 class TaskQueueSet {
  public:
-  enum class Policy { Single, Multi };
+  /// Single/Multi are the paper's two configurations, served by this locked
+  /// queue set. Steal selects the lock-free Chase–Lev scheduler in
+  /// ParallelMatcher (par/ws_deque.h) — a TaskQueueSet constructed under
+  /// Steal behaves like Multi so generic policy-sweep code keeps working.
+  enum class Policy { Single, Multi, Steal };
 
   TaskQueueSet(Policy policy, size_t n_workers);
 
   void push(size_t worker, Activation&& a);
+
+  /// Pushes a whole batch into `worker`'s home queue under one lock
+  /// acquisition (seed distribution previously paid one lock per seed).
+  void push_batch(size_t worker, std::vector<Activation>&& batch);
 
   /// Pops a task for `worker`. Returns false if every queue it tried was
   /// empty (each empty look is counted as a failed pop).

@@ -1,9 +1,5 @@
 #include "par/worker_pool.h"
 
-#include <mutex>
-#include <thread>
-#include <vector>
-
 namespace psme {
 
 void run_workers(size_t n, const std::function<void(size_t)>& fn) {
@@ -27,6 +23,75 @@ void run_workers(size_t n, const std::function<void(size_t)>& fn) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+WorkerPool::WorkerPool(size_t n_workers) : n_(n_workers == 0 ? 1 : n_workers) {
+  threads_.reserve(n_ - 1);
+  for (size_t i = 1; i < n_; ++i) {
+    threads_.emplace_back([this, i] { thread_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    job_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::thread_main(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(const std::function<void(size_t)>& fn) {
+  if (n_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    active_ = n_ - 1;
+    ++epoch_;
+    job_cv_.notify_all();
+  }
+  // The caller is worker 0; its exception still waits for the others so the
+  // pool is reusable afterwards.
+  std::exception_ptr own_error;
+  try {
+    fn(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+  std::exception_ptr err = own_error ? own_error : error_;
+  error_ = nullptr;
+  job_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace psme

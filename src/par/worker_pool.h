@@ -1,15 +1,167 @@
-// Minimal fork-join helper: runs `n` copies of a worker function on
-// std::thread and joins them all. Exceptions in workers are rethrown on the
-// caller thread (first one wins).
+// Worker scheduling primitives for the parallel matcher.
+//
+//   run_workers  — the original fork-join helper: spawns `n` std::threads,
+//                  joins them, rethrows the first worker exception. Still
+//                  used by tests and one-shot drains; costs a thread spawn
+//                  per worker per call.
+//   WorkerPool   — persistent pool: threads are spawned once and parked on a
+//                  condition variable between jobs, so a ParallelMatcher can
+//                  run thousands of match cycles without touching
+//                  pthread_create. The calling thread participates as
+//                  worker 0, so a pool of size n holds n-1 threads.
+//   ParkingLot   — epoch-based park/unpark used *inside* a match cycle: a
+//                  worker that has run out of work (and out of spin budget)
+//                  parks here; a worker that publishes new tasks bumps the
+//                  epoch and wakes the sleepers. The ticket protocol makes
+//                  the lost-wakeup race impossible: take a ticket, re-check
+//                  for work, then park — a publish after the ticket always
+//                  either is seen by the re-check or invalidates the ticket.
+//
+// The ParkingLot mutex carries LockRank::Park (the top of the lock
+// hierarchy, see par/lock_order.h): parking and unparking are legal no
+// matter which match locks the thread still holds, and lockdep verifies no
+// match lock is ever acquired the other way around while it is held. The
+// WorkerPool dispatch mutex is touched only at cycle boundaries, outside
+// every match lock, and stays out of the lockdep hierarchy.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "par/lock_order.h"
 
 namespace psme {
 
-/// fn(worker_index) is called once per worker, concurrently.
+/// fn(worker_index) is called once per worker, concurrently. One-shot:
+/// spawns and joins threads every call.
 void run_workers(size_t n, const std::function<void(size_t)>& fn);
+
+/// Bounded spin-then-yield-then-sleep backoff for idle workers. `round` is
+/// the caller's consecutive-failure count: early rounds burn a few pause
+/// instructions, middle rounds yield the core, late rounds sleep with an
+/// exponentially growing but capped interval (max ~256 µs), so an idle
+/// worker on an oversubscribed machine costs microseconds, not a core.
+inline void idle_backoff(uint32_t round) {
+  if (round < 8) {
+    for (uint32_t i = 0; i < (1u << round); ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+  } else if (round < 16) {
+    std::this_thread::yield();
+  } else {
+    const uint32_t shift = round - 16 < 6 ? round - 16 : 6;
+    std::this_thread::sleep_for(std::chrono::microseconds(4u << shift));
+  }
+}
+
+/// Epoch-based parking. See file comment for the ticket protocol.
+class ParkingLot {
+ public:
+  /// Step 1 of parking: take a ticket *before* the final look for work.
+  [[nodiscard]] uint64_t ticket() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Step 2: blocks until the epoch moves past `ticket`. Returns
+  /// immediately if it already has.
+  void park(uint64_t ticket) {
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+#if PSME_LOCKDEP
+      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
+#endif
+      cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != ticket;
+      });
+#if PSME_LOCKDEP
+      lockdep::on_release(&mu_);
+#endif
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Publisher side: invalidates all outstanding tickets and wakes every
+  /// sleeper. Cheap when nobody sleeps (one RMW + one load).
+  void unpark_all() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+#if PSME_LOCKDEP
+      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
+      lockdep::on_release(&mu_);
+#endif
+      cv_.notify_all();
+    }
+  }
+
+  /// Publisher side for a single new task: invalidates all outstanding
+  /// tickets but wakes only one sleeper. A woken worker that finds more
+  /// than one task behind the publish wakes the next sleeper itself when
+  /// it republishes, so the wake-up chain tracks the actual work supply
+  /// instead of stampeding every sleeper on every publish.
+  void unpark_one() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+#if PSME_LOCKDEP
+      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
+      lockdep::on_release(&mu_);
+#endif
+      cv_.notify_one();
+    }
+  }
+
+  [[nodiscard]] uint32_t sleeper_count() const {
+    return sleepers_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Persistent fork-join pool. run() dispatches fn(0..n-1) across the pool
+/// (caller runs worker 0), blocks until all workers finish, and rethrows
+/// the first worker exception. Not itself reentrant: one run() at a time.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t n_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void run(const std::function<void(size_t)>& fn);
+
+  [[nodiscard]] size_t size() const { return n_; }
+
+ private:
+  void thread_main(size_t index);
+
+  size_t n_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
 
 }  // namespace psme

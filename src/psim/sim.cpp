@@ -60,11 +60,17 @@ SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
       children[p].push_back(i);
     }
   }
+  // Per-policy queue-operation costs: the locked policies pay a spinlock
+  // critical section per push/pop/failed-pop; the work-stealing policy pays
+  // a CAS, and a failed steal is a couple of loads.
+  const bool stealing = opts.policy == QueuePolicy::Steal;
+  const double op_hold = stealing ? opts.steal_hold_us : opts.queue_hold_us;
+  const double miss_hold = stealing ? opts.steal_fail_us : opts.empty_hold_us;
+
   // Uniprocessor reference: all work serialized, plus uncontended queue
   // traffic (each task is pushed once and popped once) and one cycle
   // overhead.
-  res.serial_us = serial_cost +
-                  2.0 * opts.queue_hold_us * static_cast<double>(n) +
+  res.serial_us = serial_cost + 2.0 * op_hold * static_cast<double>(n) +
                   opts.overhead_at(1);
   if (n == 0) {
     res.makespan_us = opts.overhead_at(opts.processors);
@@ -109,7 +115,7 @@ SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
     if (pr.phase == Proc::Phase::Push) {
       const uint32_t child = children[pr.task][pr.child_i];
       const uint32_t q = opts.policy == QueuePolicy::Single ? 0 : pi;
-      pr.t = acquire(q, pr.t, opts.queue_hold_us);
+      pr.t = acquire(q, pr.t, op_hold);
       queues[q].push(HeapItem{pr.t, child});
       if (record_timeline) tl_events.emplace_back(pr.t, +1);
       if (++pr.child_i >= children[pr.task].size()) {
@@ -128,7 +134,7 @@ SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
         !queues[q].empty() && queues[q].top().push_time <= start;
     if (have) {
       total_spin_us += start - pr.t;
-      lock_free[q] = start + opts.queue_hold_us;
+      lock_free[q] = start + op_hold;
       ++res.pops;
       const uint32_t task = queues[q].top().task;
       queues[q].pop();
@@ -137,7 +143,7 @@ SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
       // their insert+probe portion (P > 1 only; the uniprocessor never
       // waits on itself).
       double exec_end;
-      const double exec_start = start + opts.queue_hold_us;
+      const double exec_start = start + op_hold;
       if (P > 1 && line_of[task] != UINT32_MAX && line_hold[task] > 0) {
         const double pre = (cost[task] - line_hold[task]) * 0.5;
         double& lf = line_free[line_of[task]];
@@ -160,11 +166,21 @@ SimCycleResult simulate_cycle(const CycleTrace& trace, const SimOptions& opts,
       } else {
         pr.scan_k = 0;
       }
+    } else if (stealing) {
+      // Failed steal: a couple of loads — nothing is locked, the victim's
+      // queue timeline is untouched, and no other process is delayed.
+      pr.t += miss_hold;
+      ++res.failed_pops;
+      const uint32_t scan_len = nq;
+      if (++pr.scan_k >= scan_len) {
+        pr.scan_k = 0;
+        pr.t += opts.poll_interval_us;  // spin-then-park backoff
+      }
     } else {
       // Failed pop: lock, see empty (or only not-yet-pushed tasks), unlock.
       total_spin_us += start - pr.t;
-      lock_free[q] = start + opts.empty_hold_us;
-      pr.t = start + opts.empty_hold_us;
+      lock_free[q] = start + miss_hold;
+      pr.t = start + miss_hold;
       ++res.failed_pops;
       const uint32_t scan_len = opts.policy == QueuePolicy::Single ? 1 : nq;
       if (++pr.scan_k >= scan_len) {

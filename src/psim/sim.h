@@ -29,7 +29,11 @@
 
 namespace psme {
 
-enum class QueuePolicy : uint8_t { Single, Multi };
+/// Single/Multi are the paper's configurations; Steal models the modern
+/// work-stealing scheduler (par/ws_deque.h): per-process deques, owner
+/// push/pop and steals costing a CAS rather than a lock critical section,
+/// and no lock-and-look cost for finding a deque empty.
+enum class QueuePolicy : uint8_t { Single, Multi, Steal };
 
 struct SimOptions {
   uint32_t processors = 8;
@@ -38,6 +42,8 @@ struct SimOptions {
 
   double queue_hold_us = 52;   // lock hold for one push/pop critical section
   double empty_hold_us = 26;   // lock hold for a failed pop (lock-and-look)
+  double steal_hold_us = 6;    // Steal: one owner op or successful steal CAS
+  double steal_fail_us = 2;    // Steal: an empty/lost-race steal attempt
   double spin_us = 25;         // one test-and-test-and-set iteration
   double poll_interval_us = 45;  // idle back-off between scan rounds
   double cycle_overhead_us = 450;  // quiescence detection + control handoff

@@ -16,6 +16,18 @@
 // miss each other. This is the property the paper's locking design exists to
 // provide, and it is why the parallel matcher needs no other match-state
 // locks.
+//
+// Conjugate token pairs: a not/NCC node can emit an insertion and the
+// matching deletion of the same token within one cycle (the pair is created
+// in order under that node's line lock, but the two downstream tasks race).
+// When the deletion overtakes its insertion at a downstream memory, the
+// deletion finds nothing to erase; dropping it would let the late insertion
+// install a token that should no longer exist. Instead the deletion leaves
+// an *anti-entry* (`anti > 0`) and emits nothing; the conjugate insertion
+// cancels against it and also emits nothing (net effect zero, equal to the
+// in-order execution). Anti-entries are invisible to probes and exist only
+// while a cycle is in flight — at quiescence every conjugate has met its
+// partner and no anti-entry remains.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +47,7 @@ struct LeftEntry {
   bool ncc_emitted = false; // Ncc: an add has been sent downstream
   uint8_t tag = 0;          // BJoin: 1 = left-side token, 2 = right-side token
   TokenData token;
+  int32_t anti = 0;  // pending conjugate deletions that overtook their insert
 };
 
 struct RightEntry {

@@ -127,19 +127,38 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
     }
     ++ctx.stats.inserts;
     if (a.add) {
+      // Cancel against a conjugate deletion that overtook this insertion.
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->tag == my_tag && it->anti > 0 &&
+            it->full_hash == h && it->token == a.token) {
+          line.left.erase(it);
+          return;
+        }
+      }
       line.left.push_back(LeftEntry{h, n.id, 0, false, false, my_tag, a.token});
     } else {
+      bool found = false;
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
-        if (it->node_id == n.id && it->tag == my_tag && it->full_hash == h &&
-            it->token == a.token) {
+        if (it->node_id == n.id && it->tag == my_tag && it->anti == 0 &&
+            it->full_hash == h && it->token == a.token) {
           line.left.erase(it);
+          found = true;
           break;
         }
+      }
+      if (!found) {
+        LeftEntry anti{h, n.id, 0, false, false, my_tag, a.token};
+        anti.anti = 1;
+        line.left.push_back(std::move(anti));
+        return;
       }
     }
     for (const LeftEntry& e : line.left) {
       ++ctx.stats.probes;
-      if (e.node_id != n.id || e.tag != other_tag || e.full_hash != h) continue;
+      if (e.node_id != n.id || e.tag != other_tag || e.anti > 0 ||
+          e.full_hash != h) {
+        continue;
+      }
       // Verify the shared prefix is identical (hash collisions).
       bool same = true;
       for (uint32_t i = 0; i < n.prefix_len; ++i) {
@@ -192,13 +211,33 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
     ++line.left_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
+      // A conjugate deletion that overtook this insertion cancels it; both
+      // halves emit nothing (see the anti-entry note in hash_tables.h).
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->anti > 0 && it->full_hash == h &&
+            it->token == a.token) {
+          line.left.erase(it);
+          return;
+        }
+      }
       line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
     } else {
+      bool found = false;
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
-        if (it->node_id == n.id && it->full_hash == h && it->token == a.token) {
+        if (it->node_id == n.id && it->anti == 0 && it->full_hash == h &&
+            it->token == a.token) {
           line.left.erase(it);
+          found = true;
           break;
         }
+      }
+      if (!found) {
+        // Deletion before its conjugate insertion: leave an anti-entry for
+        // the insertion to cancel against, and emit nothing.
+        LeftEntry anti{h, n.id, 0, false, false, 0, a.token};
+        anti.anti = 1;
+        line.left.push_back(std::move(anti));
+        return;
       }
     }
     for (const RightEntry& r : line.right) {
@@ -232,7 +271,7 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
     }
     for (const LeftEntry& l : line.left) {
       ++ctx.stats.probes;
-      if (l.node_id != n.id || l.full_hash != h) continue;
+      if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
       if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
         children.push_back(token_extend(l.token, w));
       }
@@ -259,21 +298,42 @@ void Network::exec_not(const NotNode& n, const Activation& a,
     ++line.left_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
-      int32_t count = 0;
-      for (const RightEntry& r : line.right) {
-        ++ctx.stats.probes;
-        if (r.node_id != n.id || r.full_hash != h) continue;
-        if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) ++count;
-      }
-      line.left.push_back(LeftEntry{h, n.id, count, false, false, 0, a.token});
-      if (count == 0) emissions.emplace_back(a.token, true);
-    } else {
+      // Cancel against a conjugate deletion that overtook this insertion.
+      bool cancelled = false;
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
-        if (it->node_id == n.id && it->full_hash == h && it->token == a.token) {
-          if (it->neg_count == 0) emissions.emplace_back(a.token, false);
+        if (it->node_id == n.id && it->anti > 0 && it->full_hash == h &&
+            it->token == a.token) {
           line.left.erase(it);
+          cancelled = true;
           break;
         }
+      }
+      if (!cancelled) {
+        int32_t count = 0;
+        for (const RightEntry& r : line.right) {
+          ++ctx.stats.probes;
+          if (r.node_id != n.id || r.full_hash != h) continue;
+          if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) ++count;
+        }
+        line.left.push_back(
+            LeftEntry{h, n.id, count, false, false, 0, a.token});
+        if (count == 0) emissions.emplace_back(a.token, true);
+      }
+    } else {
+      bool found = false;
+      for (auto it = line.left.begin(); it != line.left.end(); ++it) {
+        if (it->node_id == n.id && it->anti == 0 && it->full_hash == h &&
+            it->token == a.token) {
+          if (it->neg_count == 0) emissions.emplace_back(a.token, false);
+          line.left.erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        LeftEntry anti{h, n.id, 0, false, false, 0, a.token};
+        anti.anti = 1;
+        line.left.push_back(std::move(anti));
       }
     }
   } else {
@@ -292,7 +352,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
       line.right.push_back(RightEntry{h, n.id, w});
       for (LeftEntry& l : line.left) {
         ++ctx.stats.probes;
-        if (l.node_id != n.id || l.full_hash != h) continue;
+        if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
         if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
           if (++l.neg_count == 1) emissions.emplace_back(l.token, false);
         }
@@ -306,7 +366,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
       }
       for (LeftEntry& l : line.left) {
         ++ctx.stats.probes;
-        if (l.node_id != n.id || l.full_hash != h) continue;
+        if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
         if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
           if (--l.neg_count == 0) emissions.emplace_back(l.token, true);
         }
@@ -339,22 +399,39 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
       }
     }
     if (a.add) {
+      if (entry != nullptr && entry->anti > 0) {
+        // Cancel against a conjugate deletion that overtook this insertion.
+        --entry->anti;
+        if (entry->anti == 0 && !entry->ncc_present &&
+            entry->neg_count == 0) {
+          line.left.erase(line.left.begin() + (entry - line.left.data()));
+        }
+      } else {
+        if (entry == nullptr) {
+          line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+          entry = &line.left.back();
+        }
+        entry->ncc_present = true;
+        if (entry->neg_count == 0 && !entry->ncc_emitted) {
+          entry->ncc_emitted = true;
+          emissions.emplace_back(a.token, true);
+        }
+      }
+    } else if (entry == nullptr || !entry->ncc_present) {
+      // Deletion before its conjugate insertion (the entry may exist already
+      // as a partner-created placeholder): hold it as a pending anti.
       if (entry == nullptr) {
         line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
         entry = &line.left.back();
       }
-      entry->ncc_present = true;
-      if (entry->neg_count == 0 && !entry->ncc_emitted) {
-        entry->ncc_emitted = true;
-        emissions.emplace_back(a.token, true);
-      }
-    } else if (entry != nullptr) {
+      ++entry->anti;
+    } else {
       entry->ncc_present = false;
       if (entry->ncc_emitted) {
         entry->ncc_emitted = false;
         emissions.emplace_back(a.token, false);
       }
-      if (entry->neg_count == 0) {
+      if (entry->neg_count == 0 && entry->anti == 0) {
         line.left.erase(line.left.begin() + (entry - line.left.data()));
       }
     }
@@ -403,7 +480,7 @@ void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
         if (entry->ncc_present && !entry->ncc_emitted) {
           entry->ncc_emitted = true;
           emissions.emplace_back(prefix, true);
-        } else if (!entry->ncc_present) {
+        } else if (!entry->ncc_present && entry->anti == 0) {
           line.left.erase(line.left.begin() + (entry - line.left.data()));
         }
       }
@@ -437,6 +514,7 @@ std::vector<TokenData> Network::node_outputs(uint32_t node_id) const {
     case NodeType::Join: {
       const auto& j = static_cast<const JoinNode&>(*n);
       tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+        if (l.anti > 0) return;
         tables_.for_each_right_of(n->id, [&](const RightEntry& r) {
           if (l.full_hash == r.full_hash && j.tests_pass(l.token, r.wme)) {
             out.push_back(token_extend(l.token, r.wme));
@@ -447,7 +525,7 @@ std::vector<TokenData> Network::node_outputs(uint32_t node_id) const {
     }
     case NodeType::Not: {
       tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
-        if (l.neg_count == 0) out.push_back(l.token);
+        if (l.anti == 0 && l.neg_count == 0) out.push_back(l.token);
       });
       break;
     }

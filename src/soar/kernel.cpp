@@ -6,8 +6,26 @@
 #include "soar/chunker.h"
 
 namespace psme {
+namespace {
 
-SoarKernel::SoarKernel(SoarOptions opts) : opts_(opts), engine_(opts.engine) {
+/// Applies the SoarOptions match-parallelism override before the engine is
+/// constructed, so the persistent matcher covers the kernel's whole
+/// lifetime — every elaboration cycle and chunk state update reuses the
+/// same worker pool instead of re-spawning threads per cycle.
+EngineOptions with_match_override(const SoarOptions& opts) {
+  EngineOptions eo = opts.engine;
+  if (opts.match_workers != 0) {
+    eo.match_workers = opts.match_workers;
+    eo.match_policy = opts.match_policy;
+    eo.record_traces = eo.record_traces && opts.match_workers <= 1;
+  }
+  return eo;
+}
+
+}  // namespace
+
+SoarKernel::SoarKernel(SoarOptions opts)
+    : opts_(opts), engine_(with_match_override(opts)) {
   SymbolTable& syms = engine_.syms();
   ClassSchemas& sch = engine_.schemas();
   cls_wme_ = syms.intern("wme");

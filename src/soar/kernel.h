@@ -39,6 +39,13 @@ struct SoarOptions {
   uint64_t max_decisions = 200;
   uint64_t max_elab_cycles = 100000;
   EngineOptions engine;
+
+  /// Convenience override: when non-zero, forwarded into
+  /// engine.match_workers/match_policy so a whole Soar run (every
+  /// elaboration cycle plus every chunk's §5.2 state update) drains through
+  /// one persistent ParallelMatcher. Parallel cycles record no traces.
+  size_t match_workers = 0;
+  TaskQueueSet::Policy match_policy = TaskQueueSet::Policy::Steal;
 };
 
 /// Provenance of one wme: the instantiation whose firing created it.

@@ -3,10 +3,14 @@
 // plumbed through.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
+#include "lang/parser.h"
 #include "par/parallel_match.h"
+#include "rete/update.h"
 #include "test_util.h"
 
 namespace psme {
@@ -81,7 +85,12 @@ INSTANTIATE_TEST_SUITE_P(
                       ParallelCase{2, TaskQueueSet::Policy::Multi},
                       ParallelCase{4, TaskQueueSet::Policy::Multi},
                       ParallelCase{8, TaskQueueSet::Policy::Multi},
-                      ParallelCase{13, TaskQueueSet::Policy::Multi}));
+                      ParallelCase{13, TaskQueueSet::Policy::Multi},
+                      ParallelCase{1, TaskQueueSet::Policy::Steal},
+                      ParallelCase{2, TaskQueueSet::Policy::Steal},
+                      ParallelCase{4, TaskQueueSet::Policy::Steal},
+                      ParallelCase{8, TaskQueueSet::Policy::Steal},
+                      ParallelCase{13, TaskQueueSet::Policy::Steal}));
 
 TEST(TaskQueue, SinglePolicyUsesOneQueue) {
   TaskQueueSet q(TaskQueueSet::Policy::Single, 8);
@@ -114,6 +123,33 @@ TEST(TaskQueue, FifoWithinAQueue) {
   EXPECT_EQ(out.node, 1u);
   ASSERT_TRUE(q.pop(0, out));
   EXPECT_EQ(out.node, 2u);
+}
+
+TEST(TaskQueue, PushBatchKeepsFifoUnderOneAcquire) {
+  TaskQueueSet q(TaskQueueSet::Policy::Multi, 4);
+  const uint64_t before = q.lock_acquires();
+  std::vector<Activation> batch(3);
+  batch[0].node = 10;
+  batch[1].node = 11;
+  batch[2].node = 12;
+  q.push_batch(2, std::move(batch));
+  // The whole batch went in under a single lock acquisition...
+  EXPECT_EQ(q.lock_acquires(), before + 1);
+  // ...and drains in FIFO order from the home queue.
+  Activation out;
+  ASSERT_TRUE(q.pop(2, out));
+  EXPECT_EQ(out.node, 10u);
+  ASSERT_TRUE(q.pop(2, out));
+  EXPECT_EQ(out.node, 11u);
+  ASSERT_TRUE(q.pop(2, out));
+  EXPECT_EQ(out.node, 12u);
+  EXPECT_FALSE(q.pop(2, out));
+
+  // Empty batches do not touch the lock.
+  const uint64_t mid = q.lock_acquires();
+  std::vector<Activation> empty;
+  q.push_batch(0, std::move(empty));
+  EXPECT_EQ(q.lock_acquires(), mid);
 }
 
 TEST(Spinlock, CountsAcquires) {
@@ -161,6 +197,174 @@ TEST(ParallelMatcher, DeleteHeavyCycleMatchesSerial) {
   for (const Wme* w : pr) par.wm().remove(w);
   par.wm().end_cycle();
 
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
+}
+
+TEST(ParallelMatcher, PersistentMatcherReusedAcrossCycles) {
+  // One Steal matcher (one worker pool, one deque set) drains several cycles
+  // in a row; the serial engine is the oracle after each. The lifetime
+  // counters prove it is the same scheduler instance doing the work.
+  Engine serial, par;
+  serial.load(workload_productions());
+  par.load(workload_productions());
+  ParallelMatcher matcher(par.net(), 4);  // policy defaults to Steal
+  EXPECT_EQ(matcher.policy(), TaskQueueSet::Policy::Steal);
+
+  for (int round = 0; round < 3; ++round) {
+    add_workload_wmes(serial, 8);
+    serial.match();
+
+    std::vector<const Wme*> before = par.wm().live();
+    add_workload_wmes(par, 8);
+    SeedCollector sc;
+    for (const Wme* w : par.wm().live()) {
+      bool is_new = true;
+      for (const Wme* b : before) {
+        if (b == w) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) par.net().inject(w, true, sc);
+    }
+    const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
+    EXPECT_GT(st.tasks, 0u);
+    ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(par))
+        << "round " << round;
+  }
+  EXPECT_EQ(matcher.lifetime_cycles(), 3u);
+  EXPECT_GT(matcher.lifetime_tasks(), 0u);
+}
+
+/// Runtime-adds `src` (one production) to `e` and drains the three §5.2
+/// update phases through `matcher`.
+void runtime_add_through(Engine& e, ParallelMatcher& matcher, RhsArena& arena,
+                         std::vector<std::unique_ptr<Production>>& owned,
+                         const std::string& src) {
+  Parser parser(e.syms(), e.schemas(), arena);
+  auto parsed = parser.parse_file(src);
+  ASSERT_EQ(parsed.size(), 1u);
+  owned.push_back(std::make_unique<Production>(std::move(parsed.front())));
+  const CompiledProduction cp = e.builder().add_production(*owned.back());
+  const auto wm_snapshot = e.wm().live();
+  matcher.run_update(update_alpha_seeds(e.net(), cp, wm_snapshot),
+                     {cp.first_new_id, /*suppress_alpha_left=*/true});
+  matcher.run_update(update_right_seeds(e.net(), cp), {cp.first_new_id, false});
+  matcher.run_update(update_left_seeds(e.net(), cp), {cp.first_new_id, false});
+}
+
+TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
+  // Three engines walk the same script — wme wave, §5.2 runtime production
+  // add, another wme wave — one drained serially (the oracle), one through a
+  // Multi matcher, one through a Steal matcher. All three must agree on the
+  // conflict set and the memory-table entry counts at every checkpoint.
+  const std::string late = "(p late-j2 (b ^v <x>) (c ^v <x>) --> (halt))";
+
+  Engine serial, multi, steal;
+  for (Engine* e : {&serial, &multi, &steal}) {
+    e->load(workload_productions());
+  }
+  ParallelMatcher m_multi(multi.net(), 8, TaskQueueSet::Policy::Multi);
+  ParallelMatcher m_steal(steal.net(), 8, TaskQueueSet::Policy::Steal);
+
+  auto parallel_wave = [&](Engine& e, ParallelMatcher& m, int n) {
+    std::vector<const Wme*> before = e.wm().live();
+    add_workload_wmes(e, n);
+    SeedCollector sc;
+    for (const Wme* w : e.wm().live()) {
+      bool is_new = true;
+      for (const Wme* b : before) {
+        if (b == w) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) e.net().inject(w, true, sc);
+    }
+    return m.run_cycle(std::move(sc.seeds));
+  };
+
+  // Wave 1.
+  add_workload_wmes(serial, 15);
+  serial.match();
+  parallel_wave(multi, m_multi, 15);
+  const ParallelStats st1 = parallel_wave(steal, m_steal, 15);
+  EXPECT_GT(st1.tasks, 0u);
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
+
+  // §5.2 runtime add, drained through each scheduler.
+  RhsArena arena;
+  std::vector<std::unique_ptr<Production>> owned;
+  {
+    Parser parser(serial.syms(), serial.schemas(), arena);
+    auto parsed = parser.parse_file(late);
+    ASSERT_EQ(parsed.size(), 1u);
+    owned.push_back(std::make_unique<Production>(std::move(parsed.front())));
+    const CompiledProduction cp =
+        serial.builder().add_production(*owned.back());
+    run_update_serial(serial.net(), cp, serial.wm().live());
+  }
+  runtime_add_through(multi, m_multi, arena, owned, late);
+  runtime_add_through(steal, m_steal, arena, owned, late);
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
+
+  // Wave 2 over the extended network.
+  add_workload_wmes(serial, 9);
+  serial.match();
+  parallel_wave(multi, m_multi, 9);
+  parallel_wave(steal, m_steal, 9);
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
+  EXPECT_EQ(serial.net().tables().total_left_entries(),
+            steal.net().tables().total_left_entries());
+  EXPECT_EQ(serial.net().tables().total_right_entries(),
+            steal.net().tables().total_right_entries());
+}
+
+TEST(EngineIntegration, ParallelEngineRunMatchesSerial) {
+  // The whole Engine loop (match via the persistent in-Engine matcher)
+  // against the serial engine as oracle. match_workers flips the Engine's
+  // match() and §5.2 runtime-add onto the ParallelMatcher.
+  EngineOptions popt;
+  popt.match_workers = 4;
+  popt.match_policy = TaskQueueSet::Policy::Steal;
+  popt.record_traces = false;
+
+  Engine serial;
+  Engine par(popt);
+  for (Engine* e : {&serial, &par}) {
+    e->load(workload_productions());
+    add_workload_wmes(*e, 20);
+    e->match();
+  }
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
+  ASSERT_NE(par.parallel_matcher(), nullptr);
+  EXPECT_EQ(par.parallel_matcher()->policy(), TaskQueueSet::Policy::Steal);
+  EXPECT_GT(par.last_parallel_stats().tasks, 0u);
+  EXPECT_GT(par.parallel_matcher()->lifetime_cycles(), 0u);
+
+  // Runtime add through Engine::add_production_runtime (three-phase parallel
+  // drain inside the Engine).
+  const std::string late = "(p late-j2 (b ^v <x>) (c ^v <x>) --> (halt))";
+  RhsArena arena;  // outlives the adopted productions in both engines
+  auto add_late = [&](Engine& e) {
+    Parser parser(e.syms(), e.schemas(), arena);
+    auto parsed = parser.parse_file(late);
+    ASSERT_EQ(parsed.size(), 1u);
+    // Engine::add_production_runtime adopts the AST into its own store.
+    e.add_production_runtime(std::move(parsed.front()));
+  };
+  add_late(serial);
+  add_late(par);
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
+
+  // One more cycle to confirm the persistent matcher keeps working.
+  add_workload_wmes(serial, 6);
+  serial.match();
+  add_workload_wmes(par, 6);
+  par.match();
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds and runs the machine-readable benchmarks, capturing each one's
+# stdout into BENCH_<name>.json at the repo root (human tables stay on
+# stderr). Currently: bench_scheduler, the real-thread scheduler shootout.
+#
+#   tools/bench_json.sh                 # default workload
+#   tools/bench_json.sh 30 32           # rounds / wave size forwarded
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake --preset default >/dev/null
+cmake --build build -j "$jobs" --target bench_scheduler
+
+echo "==== bench_scheduler -> BENCH_scheduler.json ===="
+build/bench/bench_scheduler "$@" > BENCH_scheduler.json
+echo "wrote $repo_root/BENCH_scheduler.json"

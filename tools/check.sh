@@ -7,7 +7,8 @@
 #   tools/check.sh default    # just the tier-1 build + tests
 #   tools/check.sh tsan asan  # a subset
 #
-# Stages: default, tsan, asan, ubsan, tidy.
+# Stages: default, tsan, asan, ubsan, tidy, bench (opt-in: not part of the
+# default set; runs tools/bench_json.sh to produce BENCH_*.json).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +32,10 @@ for stage in "${stages[@]}"; do
   case "$stage" in
     default|tsan|asan|ubsan)
       run_preset "$stage"
+      ;;
+    bench)
+      echo "==== [bench] machine-readable benchmarks ===="
+      tools/bench_json.sh
       ;;
     tidy)
       echo "==== [tidy] clang-tidy ===="
