@@ -90,6 +90,9 @@ Record run_config(TaskQueueSet::Policy policy, size_t workers, int rounds,
     r.stats.failed_steals += st.failed_steals;
     r.stats.parks += st.parks;
     r.stats.wall_seconds += st.wall_seconds;
+    // Lifetime gauges of this config's fresh engine: the last snapshot wins.
+    r.stats.pool_slabs = st.pool_slabs;
+    r.stats.arena = st.arena;
   };
 
   for (int round = 0; round < rounds; ++round) {
@@ -222,6 +225,12 @@ int main(int argc, char** argv) {
     j.field("parks", r.stats.parks);
     j.field("lock_acquires", r.stats.queue_lock_acquires);
     j.field("lock_spins", r.stats.queue_lock_spins);
+    j.field("pool_slabs", r.stats.pool_slabs);
+    j.field("arena_spill_allocs", r.stats.arena.spill_allocs);
+    j.field("arena_spill_bytes", r.stats.arena.spill_bytes);
+    j.field("arena_chunks_allocated", r.stats.arena.chunks_allocated);
+    j.field("arena_chunks_freed", r.stats.arena.chunks_freed);
+    j.field("arena_chunks_live", r.stats.arena.chunks_live);
     j.field("final_cs_size", static_cast<uint64_t>(r.cs_size));
     j.end_object();
   }

@@ -1,0 +1,388 @@
+// Token memory shootout: heap allocations and bytes per activation, old
+// (vector-backed TokenData) vs new (inline/arena Token), measured with a
+// counting global operator new.
+//
+// Two levels:
+//
+//   * token layer — the exact allocation cost of building PIs along a 6-CE
+//     join chain in both representations. The legacy vector pays one heap
+//     buffer per extend; the new representation pays nothing inline (≤4
+//     wmes) and amortized arena chunks beyond.
+//
+//   * engine — the bench_scheduler wave workload drained through the real
+//     ParallelMatcher under Single/Multi/Steal at 1 and 8 workers, counting
+//     every operator-new during the measured drains (arena chunk mallocs are
+//     reported separately from MatchStats). The old cost is *modeled*, not
+//     re-run: per activation the legacy design paid one TokenData buffer for
+//     the built token, plus (Steal only) one heap Activation box per queued
+//     task — both categories this PR removes (inline/arena tokens; the
+//     ActivationPool slab recycler). The model is deliberately conservative:
+//     it ignores the legacy token's reallocation-on-copy traffic inside
+//     memory nodes.
+//
+// Output: BENCH_tokens.json on stdout (captured by tools/bench_json.sh),
+// human tables on stderr. Headline: allocations/activation improvement at 8
+// Steal workers (acceptance: >= 5x).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "harness.h"
+#include "par/parallel_match.h"
+#include "rete/token.h"
+
+// ---- counting global allocator --------------------------------------------
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* counted(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = counted(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  if (void* p = counted(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  const std::size_t al = static_cast<std::size_t>(a);
+  if (void* p = std::aligned_alloc(al, (n + al - 1) & ~(al - 1))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return operator new(n, a);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace psme;
+using namespace psme::bench;
+
+namespace {
+
+struct AllocWindow {
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+uint64_t bytes_now() { return g_bytes.load(std::memory_order_relaxed); }
+
+// ---- token layer -----------------------------------------------------------
+
+struct TokenLayer {
+  uint64_t ops = 0;  // token builds (extends)
+  AllocWindow old_cost;
+  AllocWindow new_cost;
+  MatchStats arena;  // arena-side traffic of the new representation
+};
+
+TokenLayer token_layer(int iters) {
+  TokenLayer out;
+  Wme ws[6];
+  constexpr int kChain = 6;
+  out.ops = static_cast<uint64_t>(iters) * kChain;
+
+  {
+    const uint64_t a0 = allocs_now(), b0 = bytes_now();
+    for (int i = 0; i < iters; ++i) {
+      TokenData t;
+      for (const auto& w : ws) {
+        TokenData next = token_extend(t, &w);
+        t.swap(next);  // the network stored the fresh vector; model that
+      }
+    }
+    out.old_cost = {allocs_now() - a0, bytes_now() - b0};
+  }
+  {
+    TokenArena arena;
+    const uint64_t a0 = allocs_now(), b0 = bytes_now();
+    for (int i = 0; i < iters; ++i) {
+      Token t;
+      for (const auto& w : ws) t = token_extend(t, &w, arena, 0);
+    }
+    out.new_cost = {allocs_now() - a0, bytes_now() - b0};
+    out.arena = arena.stats();
+  }
+  return out;
+}
+
+// ---- engine level ----------------------------------------------------------
+// Same productions/wave script as bench_scheduler so the headline is "on the
+// bench_scheduler workload".
+
+class SeedCollector final : public ExecContext {
+ public:
+  void emit(Activation&& a) override { seeds.push_back(std::move(a)); }
+  std::vector<Activation> seeds;
+};
+
+std::string bench_productions() {
+  return "(p j2 (a ^v <x>) (b ^v <x>) --> (halt))"
+         "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"
+         "(p neg (a ^v <x>) -(blocker ^v <x>) --> (halt))"
+         "(p cross (a ^v <x>) (c ^w <y>) --> (halt))";
+}
+
+void add_wave(Engine& e, int n, int salt) {
+  for (int i = 0; i < n; ++i) {
+    const std::string v = std::to_string((i + salt) % 7);
+    e.add_wme_text("(a ^v " + v + ")");
+    if (i % 2 == 0) e.add_wme_text("(b ^v " + v + ")");
+    if (i % 3 == 0) e.add_wme_text("(c ^v " + v + " ^w " + v + ")");
+    if (i % 5 == 0) e.add_wme_text("(blocker ^v " + v + ")");
+  }
+}
+
+struct EngineRecord {
+  std::string policy;
+  size_t workers = 0;
+  uint64_t tasks = 0;       // measured rounds only
+  AllocWindow heap;         // operator-new traffic during measured drains
+  MatchStats arena_delta;   // arena traffic during measured drains
+  uint64_t pool_slabs = 0;  // ActivationPool slab mallocs (lifetime)
+  double modeled_old_allocs_per_task = 0;
+};
+
+const char* policy_name(TaskQueueSet::Policy p) {
+  switch (p) {
+    case TaskQueueSet::Policy::Single: return "single";
+    case TaskQueueSet::Policy::Multi: return "multi";
+    case TaskQueueSet::Policy::Steal: return "steal";
+  }
+  return "?";
+}
+
+MatchStats stats_delta(const MatchStats& a, const MatchStats& b) {
+  MatchStats d;
+  d.spill_allocs = b.spill_allocs - a.spill_allocs;
+  d.spill_bytes = b.spill_bytes - a.spill_bytes;
+  d.chunks_allocated = b.chunks_allocated - a.chunks_allocated;
+  d.chunks_freed = b.chunks_freed - a.chunks_freed;
+  d.chunks_live = b.chunks_live;
+  d.sealed_pending = b.sealed_pending;
+  d.epoch = b.epoch;
+  return d;
+}
+
+EngineRecord run_config(TaskQueueSet::Policy policy, size_t workers,
+                        int rounds, int warmup, int wave) {
+  EngineRecord r;
+  r.policy = policy_name(policy);
+  r.workers = workers;
+  // Legacy cost model, per activation: one TokenData heap buffer for the
+  // built/queued token; Steal adds one heap Activation box per queued task.
+  r.modeled_old_allocs_per_task =
+      policy == TaskQueueSet::Policy::Steal ? 2.0 : 1.0;
+
+  Engine e;
+  e.load(bench_productions());
+  // The conflict set allocates per production match by design (list/index
+  // nodes), identically in the old and new token designs; detach it so the
+  // window measures the match/token layer this PR changes.
+  e.net().set_sink(nullptr);
+  ParallelMatcher matcher(e.net(), workers, policy);
+
+  uint64_t pool_slabs = 0;
+  auto one_round = [&](int round, bool measured) {
+    std::vector<const Wme*> before = e.wm().live();
+    add_wave(e, wave, round);
+    SeedCollector sc;
+    for (const Wme* w : e.wm().live()) {
+      bool is_new = true;
+      for (const Wme* b : before) {
+        if (b == w) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) e.net().inject(w, true, sc);
+    }
+    ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
+    if (measured) r.tasks += st.tasks;
+    e.wm().end_cycle();
+
+    if (round % 3 == 2) {
+      SeedCollector del;
+      int i = 0;
+      for (const Wme* w : before) {
+        if (e.syms().name(w->cls) == "a" && ++i % 4 == 0) {
+          e.net().inject(w, false, del);
+          e.wm().remove(w);
+        }
+      }
+      st = matcher.run_cycle(std::move(del.seeds));
+      if (measured) r.tasks += st.tasks;
+      e.wm().end_cycle();
+    }
+    pool_slabs = st.pool_slabs;
+  };
+
+  // Warm-up rounds populate queue/line/scratch capacities and the
+  // ActivationPool slabs; the measured window is the steady state the
+  // tentpole targets.
+  for (int round = 0; round < warmup; ++round) one_round(round, false);
+  const MatchStats arena0 = e.net().arena().stats();
+  const uint64_t a0 = allocs_now(), b0 = bytes_now();
+  for (int round = warmup; round < warmup + rounds; ++round) {
+    one_round(round, true);
+  }
+  r.heap = {allocs_now() - a0, bytes_now() - b0};
+  r.arena_delta = stats_delta(arena0, e.net().arena().stats());
+  r.pool_slabs = pool_slabs;
+  return r;
+}
+
+double per_task(uint64_t n, uint64_t tasks) {
+  return tasks != 0 ? static_cast<double>(n) / static_cast<double>(tasks) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int wave = argc > 2 ? std::atoi(argv[2]) : 24;
+  const int warmup = 4;
+  const int token_iters = 200000;
+
+  const TokenLayer tl = token_layer(token_iters);
+  std::fprintf(stderr, "token layer (%llu extends, 6-CE chain):\n",
+               static_cast<unsigned long long>(tl.ops));
+  std::fprintf(stderr, "  old: %.3f allocs/op, %.1f bytes/op\n",
+               per_task(tl.old_cost.allocs, tl.ops),
+               per_task(tl.old_cost.bytes, tl.ops));
+  std::fprintf(stderr,
+               "  new: %.3f heap allocs/op, %.1f heap bytes/op, "
+               "%.3f spill allocs/op, %.1f spill bytes/op, %llu chunks\n",
+               per_task(tl.new_cost.allocs, tl.ops),
+               per_task(tl.new_cost.bytes, tl.ops),
+               per_task(tl.arena.spill_allocs, tl.ops),
+               per_task(tl.arena.spill_bytes, tl.ops),
+               static_cast<unsigned long long>(tl.arena.chunks_allocated));
+
+  struct Config {
+    TaskQueueSet::Policy policy;
+    size_t workers;
+  };
+  const std::vector<Config> configs = {
+      {TaskQueueSet::Policy::Single, 1}, {TaskQueueSet::Policy::Single, 8},
+      {TaskQueueSet::Policy::Multi, 1},  {TaskQueueSet::Policy::Multi, 8},
+      {TaskQueueSet::Policy::Steal, 1},  {TaskQueueSet::Policy::Steal, 8},
+  };
+
+  std::fprintf(stderr,
+               "\nengine (%d measured rounds, wave %d, %d warm-up):\n"
+               "%-8s %7s %9s %12s %12s %12s %12s\n",
+               rounds, wave, warmup, "policy", "workers", "tasks",
+               "allocs/act", "bytes/act", "old(model)", "improvement");
+  std::vector<EngineRecord> records;
+  for (const Config& c : configs) {
+    EngineRecord r = run_config(c.policy, c.workers, rounds, warmup, wave);
+    const double apa = per_task(r.heap.allocs, r.tasks);
+    const double improvement =
+        apa > 0 ? r.modeled_old_allocs_per_task / apa : 1e9;
+    std::fprintf(stderr, "%-8s %7zu %9llu %12.4f %12.1f %12.1f %11.0fx\n",
+                 r.policy.c_str(), r.workers,
+                 static_cast<unsigned long long>(r.tasks), apa,
+                 per_task(r.heap.bytes, r.tasks), r.modeled_old_allocs_per_task,
+                 improvement);
+    records.push_back(std::move(r));
+  }
+
+  const EngineRecord* headline = nullptr;
+  for (const EngineRecord& r : records) {
+    if (r.policy == "steal" && r.workers == 8) headline = &r;
+  }
+  const double new_apa = per_task(headline->heap.allocs, headline->tasks);
+  const double old_apa = headline->modeled_old_allocs_per_task;
+  const bool meets = new_apa * 5.0 <= old_apa;
+  std::fprintf(stderr,
+               "\nheadline (steal, 8 workers): %.4f allocs/activation vs "
+               "%.1f modeled old — %s 5x target\n",
+               new_apa, old_apa, meets ? "meets" : "MISSES");
+
+  JsonWriter j(stdout);
+  j.begin_object();
+  j.field("bench", "tokens");
+  j.field("workload", "bench_scheduler wme waves; counting operator new");
+  j.field("old_model",
+          "1 TokenData heap buffer per activation; +1 heap Activation box "
+          "per task under Steal (both removed by the arena/pool design)");
+  j.field("rounds", static_cast<uint64_t>(rounds));
+  j.field("wave", static_cast<uint64_t>(wave));
+
+  j.begin_array("token_layer");
+  j.begin_object();
+  j.field("repr", "old_vector");
+  j.field("ops", tl.ops);
+  j.field("allocs_per_op", per_task(tl.old_cost.allocs, tl.ops));
+  j.field("bytes_per_op", per_task(tl.old_cost.bytes, tl.ops));
+  j.end_object();
+  j.begin_object();
+  j.field("repr", "new_arena");
+  j.field("ops", tl.ops);
+  j.field("allocs_per_op", per_task(tl.new_cost.allocs, tl.ops));
+  j.field("bytes_per_op", per_task(tl.new_cost.bytes, tl.ops));
+  j.field("spill_allocs_per_op", per_task(tl.arena.spill_allocs, tl.ops));
+  j.field("spill_bytes_per_op", per_task(tl.arena.spill_bytes, tl.ops));
+  j.field("chunk_mallocs", tl.arena.chunks_allocated);
+  j.end_object();
+  j.end_array();
+
+  j.begin_array("engine");
+  for (const EngineRecord& r : records) {
+    j.begin_object();
+    j.field("policy", r.policy);
+    j.field("workers", static_cast<uint64_t>(r.workers));
+    j.field("tasks", r.tasks);
+    j.field("heap_allocs", r.heap.allocs);
+    j.field("heap_bytes", r.heap.bytes);
+    j.field("allocs_per_activation", per_task(r.heap.allocs, r.tasks));
+    j.field("bytes_per_activation", per_task(r.heap.bytes, r.tasks));
+    j.field("modeled_old_allocs_per_activation",
+            r.modeled_old_allocs_per_task);
+    j.field("spill_allocs", r.arena_delta.spill_allocs);
+    j.field("spill_bytes", r.arena_delta.spill_bytes);
+    j.field("chunk_mallocs", r.arena_delta.chunks_allocated);
+    j.field("chunks_freed", r.arena_delta.chunks_freed);
+    j.field("chunks_live", r.arena_delta.chunks_live);
+    j.field("pool_slabs", r.pool_slabs);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.field("headline_policy", "steal");
+  j.field("headline_workers", static_cast<uint64_t>(8));
+  j.field("headline_new_allocs_per_activation", new_apa);
+  j.field("headline_old_allocs_per_activation", old_apa);
+  j.field("headline_improvement_x",
+          new_apa > 0 ? old_apa / new_apa : 1e9);
+  j.field("meets_5x_target", meets ? "true" : "false");
+  j.end_object();
+  j.finish();
+
+  return meets ? 0 : 1;
+}

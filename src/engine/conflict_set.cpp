@@ -4,7 +4,7 @@
 
 namespace psme {
 
-void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
+void ConflictSet::on_insert(const ProdNode& p, const Token& t) {
   SpinGuard g(lock_);
   ++inserts_;
   // A conjugate retract that overtook this insert (threaded match; the pair
@@ -14,6 +14,7 @@ void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
   auto pend = pending_.equal_range(key_of(p, t));
   for (auto ii = pend.first; ii != pend.second; ++ii) {
     if (ii->second.first == &p && ii->second.second == t) {
+      ii->second.second.unpin();
       pending_.erase(ii);
       return;
     }
@@ -21,17 +22,21 @@ void ConflictSet::on_insert(const ProdNode& p, const TokenData& t) {
   Instantiation inst;
   inst.pnode = &p;
   inst.token = t;
+  // Instantiations outlive the drain that produced them (they are fired in
+  // a later phase), so the CS holds a pinned copy (DESIGN.md §9 I2).
+  inst.token.pin();
   inst.arrival = ++arrival_;
   items_.push_back(std::move(inst));
   auto it = std::prev(items_.end());
   index_.emplace(key_of(p, t), it);
 }
 
-void ConflictSet::on_retract(const ProdNode& p, const TokenData& t) {
+void ConflictSet::on_retract(const ProdNode& p, const Token& t) {
   SpinGuard g(lock_);
   auto range = index_.equal_range(key_of(p, t));
   for (auto ii = range.first; ii != range.second; ++ii) {
     if (ii->second->pnode == &p && ii->second->token == t) {
+      ii->second->token.unpin();
       items_.erase(ii->second);
       index_.erase(ii);
       ++retracts_;
@@ -42,7 +47,8 @@ void ConflictSet::on_retract(const ProdNode& p, const TokenData& t) {
   // against. (At quiescence pending_ is empty; a leftover entry means the
   // executor produced a genuinely inconsistent token stream.)
   ++retracts_;
-  pending_.emplace(key_of(p, t), std::make_pair(&p, t));
+  auto it = pending_.emplace(key_of(p, t), std::make_pair(&p, t));
+  it->second.second.pin();
 }
 
 size_t ConflictSet::size() const {
@@ -73,6 +79,7 @@ void ConflictSet::remove(const Instantiation* inst) {
   auto range = index_.equal_range(key_of(*inst->pnode, inst->token));
   for (auto ii = range.first; ii != range.second; ++ii) {
     if (&*ii->second == inst) {
+      ii->second->token.unpin();
       items_.erase(ii->second);
       index_.erase(ii);
       return;
@@ -137,6 +144,8 @@ std::vector<const Instantiation*> ConflictSet::all() const {
 
 void ConflictSet::clear() {
   SpinGuard g(lock_);
+  for (const auto& inst : items_) inst.token.unpin();
+  for (const auto& [key, val] : pending_) val.second.unpin();
   items_.clear();
   index_.clear();
   pending_.clear();

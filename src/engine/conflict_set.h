@@ -21,7 +21,7 @@ namespace psme {
 
 struct Instantiation {
   const ProdNode* pnode = nullptr;
-  TokenData token;
+  Token token;
   uint64_t arrival = 0;  // insertion order (refraction bookkeeping)
   bool fired = false;
 };
@@ -30,8 +30,8 @@ class ConflictSet final : public MatchSink {
  public:
   ConflictSet() = default;
 
-  void on_insert(const ProdNode& p, const TokenData& t) override;
-  void on_retract(const ProdNode& p, const TokenData& t) override;
+  void on_insert(const ProdNode& p, const Token& t) override;
+  void on_retract(const ProdNode& p, const Token& t) override;
 
   [[nodiscard]] size_t size() const;
 
@@ -74,7 +74,7 @@ class ConflictSet final : public MatchSink {
 
  private:
   using List = std::list<Instantiation>;
-  static size_t key_of(const ProdNode& p, const TokenData& t) {
+  static size_t key_of(const ProdNode& p, const Token& t) {
     return token_identity_hash(t) ^ (static_cast<size_t>(p.id) * 0x9e3779b9u);
   }
 
@@ -85,7 +85,7 @@ class ConflictSet final : public MatchSink {
   // Conjugate retracts that overtook their insert (threaded match only):
   // held here so the late insert cancels instead of installing a stale
   // instantiation.
-  std::unordered_multimap<size_t, std::pair<const ProdNode*, TokenData>>
+  std::unordered_multimap<size_t, std::pair<const ProdNode*, Token>>
       pending_ PSME_GUARDED_BY(lock_);
   uint64_t arrival_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t inserts_ PSME_GUARDED_BY(lock_) = 0;

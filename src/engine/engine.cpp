@@ -115,7 +115,7 @@ const Wme* Engine::add_wme_text(std::string_view text) {
     return toks[i++];
   };
   expect(Tok::LParen, "'('");
-  const Token cls_tok = expect(Tok::Sym, "class name");
+  const LexToken cls_tok = expect(Tok::Sym, "class name");
   const Symbol cls = syms_.intern(cls_tok.text);
   std::vector<Value> fields(static_cast<size_t>(schemas_.arity(cls)));
   while (toks[i].kind == Tok::Hat) {
@@ -180,6 +180,7 @@ CycleTrace Engine::match() {
       total.failed_steals += st.failed_steals;
       total.parks += st.parks;
       total.wall_seconds += st.wall_seconds;
+      total.arena = st.arena;  // snapshot: the later cycle's gauge wins
     }
     last_parallel_stats_ = total;
   } else {
@@ -187,8 +188,10 @@ CycleTrace Engine::match() {
     CollectCtx cc(seeds);
     for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
     for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+    net_.arena().begin_drain(1);
     TraceExecutor ex(net_, opts_.record_traces);
     trace = ex.run_to_quiescence(std::move(seeds));
+    net_.arena().reclaim_at_quiescence();
   }
   pending_removes_.clear();
   pending_adds_.clear();

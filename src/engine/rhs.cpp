@@ -6,7 +6,7 @@
 namespace psme {
 
 Value RhsExecutor::eval(const RhsValue& v, const CompiledProduction& cp,
-                        const TokenData& token, std::vector<Value>& locals) {
+                        const Token& token, std::vector<Value>& locals) {
   switch (v.kind) {
     case RhsValue::Kind::Const:
       return v.constant;
@@ -54,7 +54,7 @@ Value RhsExecutor::eval(const RhsValue& v, const CompiledProduction& cp,
   return Value();
 }
 
-void RhsExecutor::fire(const CompiledProduction& cp, const TokenData& token,
+void RhsExecutor::fire(const CompiledProduction& cp, const Token& token,
                        WmeDelta& delta) {
   const Production& p = *cp.ast;
   std::vector<Value> locals(p.num_vars);  // `bind` results

@@ -32,7 +32,7 @@ class RhsExecutor {
 
   /// Evaluates `cp.ast`'s actions in the context of `token`, appending the
   /// results to `delta`. Throws std::runtime_error on unbound-variable use.
-  void fire(const CompiledProduction& cp, const TokenData& token,
+  void fire(const CompiledProduction& cp, const Token& token,
             WmeDelta& delta);
 
   /// Observes every symbol minted by a (genatom) during fire(); the Soar
@@ -43,7 +43,7 @@ class RhsExecutor {
 
  private:
   Value eval(const RhsValue& v, const CompiledProduction& cp,
-             const TokenData& token, std::vector<Value>& locals);
+             const Token& token, std::vector<Value>& locals);
 
   SymbolTable& syms_;
   ClassSchemas& schemas_;

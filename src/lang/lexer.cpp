@@ -15,8 +15,8 @@ bool is_delim(char c) {
 
 /// Classifies a bare atom into the fixed operator spellings, a variable, a
 /// number, or a plain symbol.
-Token classify(std::string_view a, int line) {
-  Token t;
+LexToken classify(std::string_view a, int line) {
+  LexToken t;
   t.line = line;
   t.text = std::string(a);
   if (a == "-->") { t.kind = Tok::Arrow; return t; }
@@ -69,8 +69,8 @@ Token classify(std::string_view a, int line) {
 
 }  // namespace
 
-std::vector<Token> lex(std::string_view src) {
-  std::vector<Token> out;
+std::vector<LexToken> lex(std::string_view src) {
+  std::vector<LexToken> out;
   int line = 1;
   size_t i = 0;
   const size_t n = src.size();

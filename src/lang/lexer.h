@@ -32,7 +32,7 @@ enum class Tok : uint8_t {
   End,
 };
 
-struct Token {
+struct LexToken {
   Tok kind = Tok::End;
   std::string text;     // symbol/attr/variable spelling
   int64_t int_val = 0;
@@ -45,6 +45,6 @@ struct Token {
 };
 
 /// Tokenizes `src`. Throws ParseError (see parser.h) on malformed input.
-std::vector<Token> lex(std::string_view src);
+std::vector<LexToken> lex(std::string_view src);
 
 }  // namespace psme

@@ -26,7 +26,7 @@ void Parser::expect(Cursor& c, Tok kind, const char* what) {
   c.next();
 }
 
-Value Parser::const_value(const Token& t) {
+Value Parser::const_value(const LexToken& t) {
   switch (t.kind) {
     case Tok::Sym: return Value(syms_.intern(t.text));
     case Tok::Int: return Value(t.int_val);
@@ -51,7 +51,7 @@ std::vector<Production> Parser::parse_file(std::string_view src) {
   std::vector<Production> out;
   while (c.peek().kind != Tok::End) {
     expect(c, Tok::LParen, "'('");
-    const Token& head = c.peek();
+    const LexToken& head = c.peek();
     if (head.kind != Tok::Sym)
       throw ParseError("expected 'p' or 'literalize'", head.line);
     if (head.text == "p") {
@@ -75,7 +75,7 @@ Production Parser::parse_production(std::string_view src) {
 }
 
 void Parser::parse_literalize(Cursor& c) {
-  const Token& cls_tok = c.peek();
+  const LexToken& cls_tok = c.peek();
   if (cls_tok.kind != Tok::Sym)
     throw ParseError("literalize: expected class name", cls_tok.line);
   const Symbol cls = syms_.intern(c.next().text);
@@ -87,7 +87,7 @@ void Parser::parse_literalize(Cursor& c) {
 
 Production Parser::parse_p(Cursor& c) {
   Production p;
-  const Token& name_tok = c.peek();
+  const LexToken& name_tok = c.peek();
   if (name_tok.kind != Tok::Sym)
     throw ParseError("expected production name", name_tok.line);
   p.name = syms_.intern(c.next().text);
@@ -141,7 +141,7 @@ Condition Parser::parse_ce(Cursor& c, Production& p,
     }
   }
   expect(c, Tok::LParen, "'(' starting a condition element");
-  const Token& cls_tok = c.peek();
+  const LexToken& cls_tok = c.peek();
   if (cls_tok.kind != Tok::Sym)
     throw ParseError("expected class name in condition", cls_tok.line);
   Condition ce;
@@ -175,10 +175,10 @@ void Parser::parse_attr_tests(Cursor& c, Symbol cls, Condition& ce,
 void Parser::parse_one_test(Cursor& c, Symbol /*cls*/, int slot, Condition& ce,
                             Production& p,
                             std::vector<std::string>& var_names) {
-  const Token& t = c.peek();
+  const LexToken& t = c.peek();
   if (t.is_pred()) {
     const Pred pr = pred_of(c.next().kind);
-    const Token& operand = c.next();
+    const LexToken& operand = c.next();
     if (operand.kind == Tok::Variable) {
       ce.vars.push_back({slot, pr, var_id(operand.text, p, var_names)});
     } else {
@@ -211,7 +211,7 @@ void Parser::parse_one_test(Cursor& c, Symbol /*cls*/, int slot, Condition& ce,
 RhsValue Parser::parse_rhs_value(Cursor& c, Production& p,
                                  std::vector<std::string>& var_names) {
   RhsValue v;
-  const Token& t = c.peek();
+  const LexToken& t = c.peek();
   if (t.kind == Tok::Variable) {
     v.kind = RhsValue::Kind::Var;
     v.var = var_id(c.next().text, p, var_names);
@@ -219,7 +219,7 @@ RhsValue Parser::parse_rhs_value(Cursor& c, Production& p,
   }
   if (t.kind == Tok::LParen) {
     c.next();
-    const Token& head = c.peek();
+    const LexToken& head = c.peek();
     if (head.kind == Tok::Sym && head.text == "genatom") {
       c.next();
       v.kind = RhsValue::Kind::Gensym;
@@ -235,7 +235,7 @@ RhsValue Parser::parse_rhs_value(Cursor& c, Production& p,
       v.kind = RhsValue::Kind::Compute;
       v.arith.lhs = arena_.make();
       *v.arith.lhs = parse_rhs_value(c, p, var_names);
-      const Token& op = c.next();
+      const LexToken& op = c.next();
       if (op.kind == Tok::Dash) {
         v.arith.op = '-';
       } else if (op.kind == Tok::Sym &&
@@ -261,14 +261,14 @@ RhsValue Parser::parse_rhs_value(Cursor& c, Production& p,
 Action Parser::parse_action(Cursor& c, Production& p,
                             std::vector<std::string>& var_names) {
   expect(c, Tok::LParen, "'(' starting an action");
-  const Token& head = c.peek();
+  const LexToken& head = c.peek();
   if (head.kind != Tok::Sym)
     throw ParseError("expected action keyword", head.line);
   Action a;
   const std::string kw = c.next().text;
   if (kw == "make") {
     a.kind = Action::Kind::Make;
-    const Token& cls_tok = c.peek();
+    const LexToken& cls_tok = c.peek();
     if (cls_tok.kind != Tok::Sym)
       throw ParseError("make: expected class name", cls_tok.line);
     a.cls = syms_.intern(c.next().text);
@@ -281,7 +281,7 @@ Action Parser::parse_action(Cursor& c, Production& p,
     }
   } else if (kw == "modify") {
     a.kind = Action::Kind::Modify;
-    const Token& idx = c.next();
+    const LexToken& idx = c.next();
     if (idx.kind != Tok::Int)
       throw ParseError("modify: expected CE index", idx.line);
     a.ce_index = static_cast<int>(idx.int_val);
@@ -306,7 +306,7 @@ Action Parser::parse_action(Cursor& c, Production& p,
     }
   } else if (kw == "remove") {
     a.kind = Action::Kind::Remove;
-    const Token& idx = c.next();
+    const LexToken& idx = c.next();
     if (idx.kind != Tok::Int)
       throw ParseError("remove: expected CE index", idx.line);
     a.ce_index = static_cast<int>(idx.int_val);
@@ -319,7 +319,7 @@ Action Parser::parse_action(Cursor& c, Production& p,
     }
   } else if (kw == "bind") {
     a.kind = Action::Kind::Bind;
-    const Token& var = c.peek();
+    const LexToken& var = c.peek();
     if (var.kind != Tok::Variable)
       throw ParseError("bind: expected variable", var.line);
     a.bind_var = var_id(c.next().text, p, var_names);

@@ -43,10 +43,10 @@ class Parser {
 
  private:
   struct Cursor {
-    const std::vector<Token>* toks;
+    const std::vector<LexToken>* toks;
     size_t pos = 0;
-    [[nodiscard]] const Token& peek() const { return (*toks)[pos]; }
-    const Token& next() { return (*toks)[pos++]; }
+    [[nodiscard]] const LexToken& peek() const { return (*toks)[pos]; }
+    const LexToken& next() { return (*toks)[pos++]; }
   };
 
   Production parse_p(Cursor& c);
@@ -63,7 +63,7 @@ class Parser {
                            std::vector<std::string>& var_names);
   uint32_t var_id(const std::string& name, Production& p,
                   std::vector<std::string>& var_names);
-  Value const_value(const Token& t);
+  Value const_value(const LexToken& t);
 
   void expect(Cursor& c, Tok kind, const char* what);
 

@@ -51,6 +51,7 @@ class LockedCtx final : public ExecContext {
             const ParallelMatcher::UpdateFilter* filter)
       : net_(net), queues_(queues), outstanding_(outstanding),
         worker_(worker) {
+    this->worker = worker;  // arena pool index (ExecContext)
     if (filter != nullptr) {
       update_mode = true;
       min_node_id = filter->min_node_id;
@@ -76,12 +77,67 @@ class LockedCtx final : public ExecContext {
 
 }  // namespace
 
+ActivationPool::ActivationPool(size_t n_workers) {
+  shards_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Activation* ActivationPool::alloc(size_t worker, Activation&& a) {
+  Shard& s = *shards_[worker];
+  Node* n = s.free;
+  if (n != nullptr) {
+    s.free = n->next;
+  } else if (Node* ret =
+                 s.returns.exchange(nullptr, std::memory_order_acquire);
+             ret != nullptr) {
+    n = ret;
+    s.free = ret->next;
+  } else {
+    if (s.fill == kSlabNodes) {
+      s.slabs.push_back(std::make_unique<Node[]>(kSlabNodes));
+      s.fill = 0;
+      ++s.slab_allocs;
+    }
+    n = &s.slabs.back()[s.fill++];
+    n->owner = static_cast<uint32_t>(worker);
+  }
+  n->act = std::move(a);
+  return &n->act;
+}
+
+void ActivationPool::release(size_t worker, Activation* a) {
+  Node* n = reinterpret_cast<Node*>(a);
+  Shard& home = *shards_[n->owner];
+  if (n->owner == worker) {
+    n->next = home.free;
+    home.free = n;
+    return;
+  }
+  Node* head = home.returns.load(std::memory_order_relaxed);
+  do {
+    n->next = head;
+  } while (!home.returns.compare_exchange_weak(
+      head, n, std::memory_order_release, std::memory_order_relaxed));
+}
+
+uint64_t ActivationPool::slab_allocs() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->slab_allocs;
+  return total;
+}
+
 ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
                                  TaskQueueSet::Policy policy)
     : net_(net),
       n_workers_(n_workers == 0 ? 1 : n_workers),
       policy_(policy),
-      pool_(n_workers == 0 ? 1 : n_workers) {
+      pool_(n_workers == 0 ? 1 : n_workers),
+      apool_(n_workers == 0 ? 1 : n_workers) {
+  // Give every worker its own arena pool before the first drain (quiescent
+  // here: no worker thread has started).
+  net_.arena().ensure_workers(n_workers_);
   if (policy_ == TaskQueueSet::Policy::Steal) {
     slots_.reserve(n_workers_);
     for (size_t i = 0; i < n_workers_; ++i) {
@@ -99,8 +155,9 @@ ParallelMatcher::~ParallelMatcher() { reset_slots(); }
 void ParallelMatcher::reset_slots() {
   for (auto& s : slots_) {
     // A previous cycle that aborted on an exception may leave tasks behind;
-    // every cycle starts from a clean, balanced state.
-    while (Activation* a = s->deque.pop()) delete a;
+    // every cycle starts from a clean, balanced state. Runs quiescent on the
+    // coordinating thread (worker 0's shard takes the strays).
+    while (Activation* a = s->deque.pop()) apool_.release(0, a);
     s->created.store(0, std::memory_order_relaxed);
     s->executed.store(0, std::memory_order_relaxed);
     s->done = 0;
@@ -121,9 +178,17 @@ ParallelStats ParallelMatcher::run_update(std::vector<Activation> seeds,
 
 ParallelStats ParallelMatcher::run_impl(std::vector<Activation> seeds,
                                         const UpdateFilter* filter) {
+  // Epoch lifecycle, pinned to the drain: every worker of this cycle enters
+  // the new epoch before dispatch; the sweep runs after the pool join (the
+  // ParkingLot exit cascade has completed and all workers are parked), when
+  // all transient token copies of previous epochs are dead.
+  net_.arena().begin_drain(n_workers_);
   ParallelStats st = policy_ == TaskQueueSet::Policy::Steal
                          ? run_steal(std::move(seeds), filter)
                          : run_locked(std::move(seeds), filter);
+  net_.arena().reclaim_at_quiescence();
+  st.arena = net_.arena().stats();
+  st.pool_slabs = apool_.slab_allocs();
   lifetime_tasks_ += st.tasks;
   ++lifetime_cycles_;
   return st;
@@ -172,6 +237,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
                                  std::atomic<bool>& abort) {
   WorkerSlot& me = *slots_[worker];
   BatchCtx ctx(net_, filter);
+  ctx.worker = worker;  // child tokens spill into this worker's arena pool
   uint32_t idle = 0;
   for (;;) {
     Activation* a = take_task(worker);
@@ -197,7 +263,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
     try {
       net_.execute(*a, ctx);
     } catch (...) {
-      delete a;
+      apool_.release(worker, a);
       // Count the task as executed so the cycle's books still balance, then
       // fail the whole cycle.
       me.executed.fetch_add(1, std::memory_order_seq_cst);
@@ -205,7 +271,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       lot_.unpark_all();
       throw;
     }
-    delete a;
+    apool_.release(worker, a);
     ++me.done;
     if (!ctx.batch.empty()) {
       // Publish the emit burst once: one counter bump, owner-side pushes,
@@ -217,7 +283,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       // everyone for the final quiescence check.
       me.created.fetch_add(ctx.batch.size(), std::memory_order_seq_cst);
       for (Activation& child : ctx.batch) {
-        me.deque.push(new Activation(std::move(child)));
+        me.deque.push(apool_.alloc(worker, std::move(child)));
       }
       ctx.batch.clear();
       lot_.unpark_one();
@@ -242,7 +308,9 @@ ParallelStats ParallelMatcher::run_steal(std::vector<Activation> seeds,
     for (Activation& s : seeds) {
       if (!net_.should_execute(s, seed_ctx)) continue;
       slots_[w]->created.fetch_add(1, std::memory_order_relaxed);
-      slots_[w]->deque.push(new Activation(std::move(s)));
+      // Pre-dispatch, single-threaded: allocating from shard `w` on behalf
+      // of its future owner is safe here (workers are not running yet).
+      slots_[w]->deque.push(apool_.alloc(w, std::move(s)));
       w = (w + 1) % n_workers_;
     }
   }

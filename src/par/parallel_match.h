@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/arena.h"
 #include "base/rng.h"
 #include "par/task_queue.h"
 #include "par/worker_pool.h"
@@ -56,7 +57,54 @@ struct ParallelStats {
   uint64_t steals = 0;               // Steal: successful cross-worker takes
   uint64_t failed_steals = 0;        // Steal: empty/lost-race steal attempts
   uint64_t parks = 0;                // Steal: times a worker parked
+  uint64_t pool_slabs = 0;           // Steal: activation-pool slab mallocs
   double wall_seconds = 0;
+  /// Token-arena snapshot taken at the end of the cycle (counters are
+  /// lifetime totals; benches difference consecutive snapshots).
+  MatchStats arena;
+};
+
+/// Slab recycler for the heap Activations the Steal deques point at. Each
+/// worker owns a shard: allocation is a local free-list pop (or a slab bump
+/// when cold), so the steady state does one slab malloc per kSlabNodes tasks
+/// at most — in practice zero once warm. A task is usually freed by a
+/// *different* worker than the one that allocated it (thieves execute what
+/// victims push), so release returns the node to its owner shard through a
+/// lock-free MPSC Treiber stack: push-only CAS (ABA-safe — the owner takes
+/// the whole list with one exchange and never CAS-pops). No locks anywhere,
+/// preserving the Steal path's lock-freedom.
+class ActivationPool {
+ public:
+  explicit ActivationPool(size_t n_workers);
+  ActivationPool(const ActivationPool&) = delete;
+  ActivationPool& operator=(const ActivationPool&) = delete;
+
+  /// Owner-only (or pre-dispatch from the coordinating thread).
+  Activation* alloc(size_t worker, Activation&& a);
+
+  /// Callable from any worker; `worker` is the *caller's* index (used to
+  /// shortcut the CAS when a task dies on its home shard).
+  void release(size_t worker, Activation* a);
+
+  [[nodiscard]] uint64_t slab_allocs() const;
+
+ private:
+  struct Node {
+    Activation act;  // first member: Activation* <-> Node* cast
+    Node* next = nullptr;
+    uint32_t owner = 0;
+  };
+  static constexpr size_t kSlabNodes = 256;
+
+  struct alignas(64) Shard {
+    Node* free = nullptr;                 // owner-only
+    std::atomic<Node*> returns{nullptr};  // MPSC: any worker pushes
+    std::vector<std::unique_ptr<Node[]>> slabs;
+    size_t fill = kSlabNodes;  // next unused node in slabs.back()
+    uint64_t slab_allocs = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 class ParallelMatcher {
@@ -138,6 +186,7 @@ class ParallelMatcher {
   TaskQueueSet::Policy policy_;
   WorkerPool pool_;
   ParkingLot lot_;
+  ActivationPool apool_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;  // Steal policy
   std::unique_ptr<TaskQueueSet> queues_;            // Single/Multi, persistent
   std::atomic<int64_t> outstanding_{0};             // locked-policy counter

@@ -46,7 +46,7 @@ struct LeftEntry {
   bool ncc_present = false; // Ncc: left token has arrived and not been deleted
   bool ncc_emitted = false; // Ncc: an add has been sent downstream
   uint8_t tag = 0;          // BJoin: 1 = left-side token, 2 = right-side token
-  TokenData token;
+  Token token;
   int32_t anti = 0;  // pending conjugate deletions that overtook their insert
 };
 
@@ -66,6 +66,20 @@ class PairedHashTables {
     // the trace recorder for the Figure 6-2 contention histogram.
     uint32_t left_accesses_cycle PSME_GUARDED_BY(lock) = 0;
     uint32_t right_accesses_cycle PSME_GUARDED_BY(lock) = 0;
+
+    // All left-entry insertion/erasure goes through these two so the
+    // pin/unpin bookkeeping cannot be forgotten at a call site: a left entry
+    // outlives the drain that created it, so its token must keep the
+    // backing arena chunk alive (Token copies don't re-pin, so vector
+    // reallocation and erase-shifting stay balanced).
+    void store_left(LeftEntry&& e) PSME_REQUIRES(lock) {
+      e.token.pin();
+      left.push_back(std::move(e));
+    }
+    void erase_left(std::vector<LeftEntry>::iterator it) PSME_REQUIRES(lock) {
+      it->token.unpin();
+      left.erase(it);
+    }
   };
 
   /// `line_count` is rounded up to a power of two.

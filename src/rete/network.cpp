@@ -22,11 +22,11 @@ void Network::inject(const Wme* w, bool add, ExecContext& ctx) {
   auto it = roots_.find(w->cls);
   if (it == roots_.end()) return;  // no production tests this class
   for (const SuccessorRef& s : jt_.succs(it->second)) {
-    ctx.emit(Activation{s.node, s.side, add, TokenData{w}});
+    ctx.emit(Activation{s.node, s.side, add, Token{w}});
   }
 }
 
-void Network::emit_succs(uint32_t jt_slot, const TokenData& token, bool add,
+void Network::emit_succs(uint32_t jt_slot, const Token& token, bool add,
                          ExecContext& ctx, bool from_alpha) {
   for (const SuccessorRef& s : jt_.succs(jt_slot)) {
     if (from_alpha && ctx.suppress_alpha_left && s.side == Side::Left) continue;
@@ -113,7 +113,8 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
   auto& line = tables_.line_at(li);
   const uint8_t my_tag = a.side == Side::Left ? 1 : 2;
   const uint8_t other_tag = a.side == Side::Left ? 2 : 1;
-  std::vector<TokenData> children;
+  auto& children = ctx.scratch_children;
+  children.clear();
   {
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
@@ -131,17 +132,17 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
         if (it->node_id == n.id && it->tag == my_tag && it->anti > 0 &&
             it->full_hash == h && it->token == a.token) {
-          line.left.erase(it);
+          line.erase_left(it);
           return;
         }
       }
-      line.left.push_back(LeftEntry{h, n.id, 0, false, false, my_tag, a.token});
+      line.store_left(LeftEntry{h, n.id, 0, false, false, my_tag, a.token});
     } else {
       bool found = false;
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
         if (it->node_id == n.id && it->tag == my_tag && it->anti == 0 &&
             it->full_hash == h && it->token == a.token) {
-          line.left.erase(it);
+          line.erase_left(it);
           found = true;
           break;
         }
@@ -149,7 +150,7 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
       if (!found) {
         LeftEntry anti{h, n.id, 0, false, false, my_tag, a.token};
         anti.anti = 1;
-        line.left.push_back(std::move(anti));
+        line.store_left(std::move(anti));
         return;
       }
     }
@@ -169,11 +170,10 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
         }
       }
       if (!same) continue;
-      const TokenData& l = a.side == Side::Left ? a.token : e.token;
-      const TokenData& r = a.side == Side::Left ? e.token : a.token;
-      TokenData child = l;
-      child.insert(child.end(), r.begin() + n.prefix_len, r.end());
-      children.push_back(std::move(child));
+      const Token& l = a.side == Side::Left ? a.token : e.token;
+      const Token& r = a.side == Side::Left ? e.token : a.token;
+      children.push_back(
+          token_concat(l, r, n.prefix_len, arena_, ctx.worker));
     }
   }
   for (auto& c : children) emit_succs(n.jt_slot, c, a.add, ctx);
@@ -198,7 +198,8 @@ void Network::exec_alpha(AlphaMemNode& n, const Activation& a,
 
 void Network::exec_join(const JoinNode& n, const Activation& a,
                         ExecContext& ctx) {
-  std::vector<TokenData> children;
+  auto& children = ctx.scratch_children;
+  children.clear();
   if (a.side == Side::Left) {
     const uint64_t h = n.hash_left(a.token);
     const size_t li = tables_.line_index(h);
@@ -216,17 +217,17 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
         if (it->node_id == n.id && it->anti > 0 && it->full_hash == h &&
             it->token == a.token) {
-          line.left.erase(it);
+          line.erase_left(it);
           return;
         }
       }
-      line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+      line.store_left(LeftEntry{h, n.id, 0, false, false, 0, a.token});
     } else {
       bool found = false;
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
         if (it->node_id == n.id && it->anti == 0 && it->full_hash == h &&
             it->token == a.token) {
-          line.left.erase(it);
+          line.erase_left(it);
           found = true;
           break;
         }
@@ -236,7 +237,7 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
         // the insertion to cancel against, and emit nothing.
         LeftEntry anti{h, n.id, 0, false, false, 0, a.token};
         anti.anti = 1;
-        line.left.push_back(std::move(anti));
+        line.store_left(std::move(anti));
         return;
       }
     }
@@ -244,7 +245,7 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
       ++ctx.stats.probes;
       if (r.node_id != n.id || r.full_hash != h) continue;
       if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) {
-        children.push_back(token_extend(a.token, r.wme));
+        children.push_back(token_extend(a.token, r.wme, arena_, ctx.worker));
       }
     }
   } else {
@@ -273,7 +274,7 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
       ++ctx.stats.probes;
       if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
       if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
-        children.push_back(token_extend(l.token, w));
+        children.push_back(token_extend(l.token, w, arena_, ctx.worker));
       }
     }
   }
@@ -285,7 +286,8 @@ void Network::exec_not(const NotNode& n, const Activation& a,
                        ExecContext& ctx) {
   // A not-node passes its left token through unchanged iff no right wme
   // matches it. Counts live in the left entries.
-  std::vector<std::pair<TokenData, bool>> emissions;  // (token, add)
+  auto& emissions = ctx.scratch_emissions;
+  emissions.clear();
   if (a.side == Side::Left) {
     const uint64_t h = n.hash_left(a.token);
     const size_t li = tables_.line_index(h);
@@ -303,7 +305,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
       for (auto it = line.left.begin(); it != line.left.end(); ++it) {
         if (it->node_id == n.id && it->anti > 0 && it->full_hash == h &&
             it->token == a.token) {
-          line.left.erase(it);
+          line.erase_left(it);
           cancelled = true;
           break;
         }
@@ -315,8 +317,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
           if (r.node_id != n.id || r.full_hash != h) continue;
           if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) ++count;
         }
-        line.left.push_back(
-            LeftEntry{h, n.id, count, false, false, 0, a.token});
+        line.store_left(LeftEntry{h, n.id, count, false, false, 0, a.token});
         if (count == 0) emissions.emplace_back(a.token, true);
       }
     } else {
@@ -325,7 +326,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
         if (it->node_id == n.id && it->anti == 0 && it->full_hash == h &&
             it->token == a.token) {
           if (it->neg_count == 0) emissions.emplace_back(a.token, false);
-          line.left.erase(it);
+          line.erase_left(it);
           found = true;
           break;
         }
@@ -333,7 +334,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
       if (!found) {
         LeftEntry anti{h, n.id, 0, false, false, 0, a.token};
         anti.anti = 1;
-        line.left.push_back(std::move(anti));
+        line.store_left(std::move(anti));
       }
     }
   } else {
@@ -381,7 +382,8 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
   const uint64_t h = n.hash_prefix(a.token);
   const size_t li = tables_.line_index(h);
   auto& line = tables_.line_at(li);
-  std::vector<std::pair<TokenData, bool>> emissions;
+  auto& emissions = ctx.scratch_emissions;
+  emissions.clear();
   {
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
@@ -404,11 +406,11 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
         --entry->anti;
         if (entry->anti == 0 && !entry->ncc_present &&
             entry->neg_count == 0) {
-          line.left.erase(line.left.begin() + (entry - line.left.data()));
+          line.erase_left(line.left.begin() + (entry - line.left.data()));
         }
       } else {
         if (entry == nullptr) {
-          line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+          line.store_left(LeftEntry{h, n.id, 0, false, false, 0, a.token});
           entry = &line.left.back();
         }
         entry->ncc_present = true;
@@ -421,7 +423,7 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
       // Deletion before its conjugate insertion (the entry may exist already
       // as a partner-created placeholder): hold it as a pending anti.
       if (entry == nullptr) {
-        line.left.push_back(LeftEntry{h, n.id, 0, false, false, 0, a.token});
+        line.store_left(LeftEntry{h, n.id, 0, false, false, 0, a.token});
         entry = &line.left.back();
       }
       ++entry->anti;
@@ -432,7 +434,7 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
         emissions.emplace_back(a.token, false);
       }
       if (entry->neg_count == 0 && entry->anti == 0) {
-        line.left.erase(line.left.begin() + (entry - line.left.data()));
+        line.erase_left(line.left.begin() + (entry - line.left.data()));
       }
     }
   }
@@ -442,11 +444,12 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
 void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
                            ExecContext& ctx) {
   const NccNode& owner = static_cast<const NccNode&>(*nodes_[n.owner]);
-  TokenData prefix(a.token.begin(), a.token.begin() + n.prefix_len);
+  const Token prefix = token_prefix(a.token, n.prefix_len, arena_, ctx.worker);
   const uint64_t h = owner.hash_prefix(prefix);
   const size_t li = tables_.line_index(h);
   auto& line = tables_.line_at(li);
-  std::vector<std::pair<TokenData, bool>> emissions;
+  auto& emissions = ctx.scratch_emissions;
+  emissions.clear();
   {
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
@@ -465,7 +468,7 @@ void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
     }
     if (entry == nullptr) {
       // Subnetwork result arrived before the owner's left activation.
-      line.left.push_back(LeftEntry{h, owner.id, 0, false, false, 0, prefix});
+      line.store_left(LeftEntry{h, owner.id, 0, false, false, 0, prefix});
       entry = &line.left.back();
     }
     if (a.add) {
@@ -481,7 +484,7 @@ void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
           entry->ncc_emitted = true;
           emissions.emplace_back(prefix, true);
         } else if (!entry->ncc_present && entry->anti == 0) {
-          line.left.erase(line.left.begin() + (entry - line.left.data()));
+          line.erase_left(line.left.begin() + (entry - line.left.data()));
         }
       }
     }
@@ -501,14 +504,14 @@ void Network::exec_prod(const ProdNode& n, const Activation& a,
   }
 }
 
-std::vector<TokenData> Network::node_outputs(uint32_t node_id) const {
+std::vector<Token> Network::node_outputs(uint32_t node_id) const {
   const Node* n = nodes_[node_id].get();
-  std::vector<TokenData> out;
+  std::vector<Token> out;
   switch (n->type) {
     case NodeType::AlphaMem: {
       const auto& am = static_cast<const AlphaMemNode&>(*n);
       out.reserve(am.wmes.size());
-      for (const Wme* w : am.wmes) out.push_back(TokenData{w});
+      for (const Wme* w : am.wmes) out.push_back(Token{w});
       break;
     }
     case NodeType::Join: {
@@ -517,7 +520,8 @@ std::vector<TokenData> Network::node_outputs(uint32_t node_id) const {
         if (l.anti > 0) return;
         tables_.for_each_right_of(n->id, [&](const RightEntry& r) {
           if (l.full_hash == r.full_hash && j.tests_pass(l.token, r.wme)) {
-            out.push_back(token_extend(l.token, r.wme));
+            // Quiescent replay: spill from pool 0 (no worker is running).
+            out.push_back(token_extend(l.token, r.wme, arena_, 0));
           }
         });
       });

@@ -24,8 +24,11 @@ struct Activation {
   uint32_t node = 0;
   Side side = Side::Left;
   bool add = true;
-  TokenData token;  // right-side activations carry a single wme
+  Token token;  // right-side activations carry a single wme
 };
+
+static_assert(std::is_trivially_copyable_v<Activation>,
+              "the scheduler moves Activations as raw handles");
 
 /// Per-task work counters, filled by execute(). These are the raw material
 /// for the psim cost model and for the paper's contention figures.
@@ -45,8 +48,8 @@ struct TaskStats {
 class MatchSink {
  public:
   virtual ~MatchSink() = default;
-  virtual void on_insert(const ProdNode& p, const TokenData& t) = 0;
-  virtual void on_retract(const ProdNode& p, const TokenData& t) = 0;
+  virtual void on_insert(const ProdNode& p, const Token& t) = 0;
+  virtual void on_retract(const ProdNode& p, const Token& t) = 0;
 };
 
 /// Execution context handed to execute(). Concrete executors implement emit()
@@ -59,6 +62,11 @@ class ExecContext {
 
   TaskStats stats;
 
+  /// Which arena pool this context allocates child tokens from. Executors
+  /// that run one context per thread set it to the worker index; serial
+  /// executors keep the default 0.
+  size_t worker = 0;
+
   // §5.2 run-time state update: when update_mode is set, activations of
   // stateful nodes with id < min_node_id are ignored, and alpha memories do
   // not emit to their Left-side successors (left seeding happens in the
@@ -66,6 +74,13 @@ class ExecContext {
   bool update_mode = false;
   uint32_t min_node_id = 0;
   bool suppress_alpha_left = false;
+
+  // Reusable per-context scratch for execute(): child tokens built under a
+  // line lock, emitted after it is released. Living here (capacity retained
+  // across tasks) instead of as locals keeps the steady-state execute path
+  // free of heap traffic. execute() is not reentrant per context.
+  std::vector<Token> scratch_children;
+  std::vector<std::pair<Token, bool>> scratch_emissions;  // (token, add)
 };
 
 class Network {
@@ -78,6 +93,10 @@ class Network {
   [[nodiscard]] const Jumptable& jumptable() const { return jt_; }
   PairedHashTables& tables() { return tables_; }
   [[nodiscard]] const PairedHashTables& tables() const { return tables_; }
+
+  /// Token spill storage. Executors call begin_drain/reclaim_at_quiescence
+  /// around each drain (see base/arena.h for the lifecycle contract).
+  TokenArena& arena() const { return arena_; }
 
   void set_sink(MatchSink* sink) { sink_ = sink; }
   [[nodiscard]] MatchSink* sink() const { return sink_; }
@@ -124,7 +143,7 @@ class Network {
   /// ("the last shared node must be specially executed in order to pass down
   /// all of the PIs that it has stored as state"). Quiescent-only: reads
   /// lock-guarded memories without their locks.
-  [[nodiscard]] std::vector<TokenData> node_outputs(uint32_t node_id) const
+  [[nodiscard]] std::vector<Token> node_outputs(uint32_t node_id) const
       PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Node census for diagnostics and the code-size model.
@@ -140,7 +159,7 @@ class Network {
   [[nodiscard]] Census census() const;
 
  private:
-  void emit_succs(uint32_t jt_slot, const TokenData& token, bool add,
+  void emit_succs(uint32_t jt_slot, const Token& token, bool add,
                   ExecContext& ctx, bool from_alpha = false);
 
   void exec_const(const ConstNode& n, const Activation& a, ExecContext& ctx);
@@ -159,6 +178,8 @@ class Network {
   ClassSchemas& schemas_;
   Jumptable jt_;
   PairedHashTables tables_;
+  // mutable: the const node_outputs() replay builds fresh (transient) tokens.
+  mutable TokenArena arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<Symbol, uint32_t> roots_;  // class -> jumptable slot
   MatchSink* sink_ = nullptr;

@@ -27,7 +27,7 @@ uint64_t mix(uint64_t h, uint64_t v) {
 }
 }  // namespace
 
-uint64_t TwoInputNode::hash_left(const TokenData& t) const {
+uint64_t TwoInputNode::hash_left(const Token& t) const {
   uint64_t h = mix(kSeed, id);
   for (uint16_t i = 0; i < n_eq; ++i) {
     const JoinTest& jt = tests[i];
@@ -44,7 +44,7 @@ uint64_t TwoInputNode::hash_right(const Wme* w) const {
   return h;
 }
 
-bool TwoInputNode::tests_pass(const TokenData& t, const Wme* w,
+bool TwoInputNode::tests_pass(const Token& t, const Wme* w,
                               uint32_t* tests_run) const {
   uint32_t n = 0;
   bool ok = true;
@@ -60,7 +60,7 @@ bool TwoInputNode::tests_pass(const TokenData& t, const Wme* w,
   return ok;
 }
 
-uint64_t BJoinNode::hash_prefix(const TokenData& t) const {
+uint64_t BJoinNode::hash_prefix(const Token& t) const {
   uint64_t h = mix(kSeed ^ 0x5151ull, id);
   for (uint32_t i = 0; i < prefix_len && i < t.size(); ++i) {
     h = mix(h, t[i]->timetag);
@@ -68,7 +68,7 @@ uint64_t BJoinNode::hash_prefix(const TokenData& t) const {
   return h;
 }
 
-uint64_t NccNode::hash_prefix(const TokenData& t) const {
+uint64_t NccNode::hash_prefix(const Token& t) const {
   uint64_t h = mix(kSeed ^ 0xabcdefull, id);
   // Identity of the prefix (wme timetags), independent of binding values.
   for (uint32_t i = 0; i < left_arity && i < t.size(); ++i) {

@@ -151,13 +151,13 @@ struct TwoInputNode : Node {
 
   /// Binding hash of a left token for this node (covers the Eq tests and the
   /// node id, per §6.1).
-  [[nodiscard]] uint64_t hash_left(const TokenData& t) const;
+  [[nodiscard]] uint64_t hash_left(const Token& t) const;
 
   /// Binding hash of a right wme; equal to hash_left of any joinable token.
   [[nodiscard]] uint64_t hash_right(const Wme* w) const;
 
   /// Runs all consistency tests.
-  [[nodiscard]] bool tests_pass(const TokenData& t, const Wme* w,
+  [[nodiscard]] bool tests_pass(const Token& t, const Wme* w,
                                 uint32_t* tests_run = nullptr) const;
 };
 
@@ -176,7 +176,7 @@ struct NccNode final : Node {
 
   /// NCC state is keyed by the token identity (not bindings): owner and
   /// partner activations for the same prefix must land on the same line.
-  [[nodiscard]] uint64_t hash_prefix(const TokenData& t) const;
+  [[nodiscard]] uint64_t hash_prefix(const Token& t) const;
 };
 
 struct NccPartnerNode final : Node {
@@ -194,7 +194,7 @@ struct BJoinNode final : Node {
   BJoinNode() : Node(NodeType::BJoin) {}
   uint32_t prefix_len = 0;
 
-  [[nodiscard]] uint64_t hash_prefix(const TokenData& t) const;
+  [[nodiscard]] uint64_t hash_prefix(const Token& t) const;
 };
 
 struct ProdNode final : Node {

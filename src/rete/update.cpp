@@ -33,7 +33,7 @@ std::vector<Activation> update_alpha_seeds(Network& net,
     for (const Wme* w : wm) {
       if (w->cls != f.cls) continue;
       if (!prefix_passes(f, w)) continue;
-      seeds.push_back(Activation{f.entry_node, Side::Left, true, TokenData{w}});
+      seeds.push_back(Activation{f.entry_node, Side::Left, true, Token{w}});
     }
   }
   return seeds;
@@ -49,7 +49,7 @@ std::vector<Activation> update_right_seeds(Network& net,
     if (t->alpha_mem >= cp.first_new_id) continue;  // new amem: phase A fed it
     const auto* am = static_cast<const AlphaMemNode*>(net.node(t->alpha_mem));
     for (const Wme* w : am->wmes) {
-      seeds.push_back(Activation{id, Side::Right, true, TokenData{w}});
+      seeds.push_back(Activation{id, Side::Right, true, Token{w}});
     }
   }
   return seeds;
@@ -62,7 +62,7 @@ std::vector<Activation> update_left_seeds(Network& net,
   const uint32_t slot = net.node(cp.share_point)->jt_slot;
   for (const SuccessorRef& s : net.jumptable().peek(slot)) {
     if (s.side != Side::Left || s.node < cp.first_new_id) continue;
-    for (const TokenData& t : outputs) {
+    for (const Token& t : outputs) {
       seeds.push_back(Activation{s.node, Side::Left, true, t});
     }
   }
@@ -100,6 +100,10 @@ class DrainCtx final : public ExecContext {
 
 uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm) {
+  // One epoch for the whole three-phase update: the replay seeds built
+  // between phases are transient tokens, and opening the epoch before any
+  // seed is built keeps them inside the drain's deferral window.
+  net.arena().begin_drain(1);
   uint64_t tasks = 0;
   DrainCtx ctx(net);
   ctx.update_mode = true;
@@ -109,6 +113,7 @@ uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
   ctx.suppress_alpha_left = false;
   tasks += ctx.drain(update_right_seeds(net, cp));
   tasks += ctx.drain(update_left_seeds(net, cp));
+  net.arena().reclaim_at_quiescence();
   return tasks;
 }
 

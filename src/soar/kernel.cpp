@@ -113,7 +113,7 @@ const Wme* SoarKernel::add_triple(Symbol id, Symbol attr, Value v) {
 void SoarKernel::remove_triple(Symbol id, Symbol attr, Value v) {
   const Wme* w = engine_.wm().find(cls_wme_, {Value(id), Value(attr), v});
   if (w == nullptr) return;
-  provenance_.erase(w);
+  drop_provenance(w);
   wme_level_.erase(w);
   engine_.remove_wme(w);
 }
@@ -145,7 +145,22 @@ bool SoarKernel::has_triple_attr(std::string_view attr,
   return false;
 }
 
-int SoarKernel::instantiation_level(const TokenData& token) const {
+void SoarKernel::set_provenance(const Wme* w, const Production* prod,
+                                const Token& tok, int level) {
+  Provenance& slot = provenance_[w];
+  slot.token.unpin();  // no-op for the freshly default-constructed slot
+  slot = Provenance{prod, tok, level};
+  slot.token.pin();
+}
+
+void SoarKernel::drop_provenance(const Wme* w) {
+  auto it = provenance_.find(w);
+  if (it == provenance_.end()) return;
+  it->second.token.unpin();
+  provenance_.erase(it);
+}
+
+int SoarKernel::instantiation_level(const Token& token) const {
   int lvl = 1;
   for (const Wme* w : token) {
     for (const Value& v : w->fields) {
@@ -173,7 +188,7 @@ void SoarKernel::apply_fire_delta(const Instantiation* inst,
       if (l0 > 0) wl = l0;
     }
     wme_level_[w] = wl;
-    provenance_[w] = Provenance{prod, inst->token, lvl};
+    set_provenance(w, prod, inst->token, lvl);
     if (opts_.learning && lvl > 1 && wl < lvl) {
       // Indifference results are deliberately not chunked: an over-general
       // indifference chunk would fire at the top level and mask the tie
@@ -187,7 +202,7 @@ void SoarKernel::apply_fire_delta(const Instantiation* inst,
     }
   }
   for (const Wme* rm : delta.removes) {
-    provenance_.erase(rm);
+    drop_provenance(rm);
     wme_level_.erase(rm);
     engine_.remove_wme(rm);
   }
@@ -344,7 +359,7 @@ void SoarKernel::gc_unreachable() {
       }
     }
     if (!keep) {
-      provenance_.erase(w);
+      drop_provenance(w);
       wme_level_.erase(w);
       engine_.remove_wme(w);
     }
@@ -356,7 +371,7 @@ void SoarKernel::gc_wmes_above(int level) {
     auto it = wme_level_.find(w);
     const int wl = it == wme_level_.end() ? 1 : it->second;
     if (wl > level) {
-      provenance_.erase(w);
+      drop_provenance(w);
       wme_level_.erase(w);
       engine_.remove_wme(w);
     }

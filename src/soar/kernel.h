@@ -51,7 +51,7 @@ struct SoarOptions {
 /// Provenance of one wme: the instantiation whose firing created it.
 struct Provenance {
   const Production* prod = nullptr;
-  TokenData token;
+  Token token;
   int level = 0;  // goal level of the creating instantiation
 };
 
@@ -175,7 +175,14 @@ class SoarKernel {
 
   // Fire bookkeeping: applies a delta with provenance recording.
   void apply_fire_delta(const Instantiation* inst, SoarRunStats& stats);
-  int instantiation_level(const TokenData& token) const;
+  int instantiation_level(const Token& token) const;
+
+  // All provenance_ mutation goes through these two: a Provenance token is
+  // held across elaboration cycles, so the map owns a pinned copy (the
+  // chunker backtraces through it long after the creating drain ended).
+  void set_provenance(const Wme* w, const Production* prod, const Token& tok,
+                      int level);
+  void drop_provenance(const Wme* w);
 
   // Builds and installs chunks for the pending results (end of elaboration
   // cycle; WM is consistent with the network at this point).

@@ -333,9 +333,9 @@ TEST(RaceStress, ConflictSetConcurrentInsertRetract) {
   run_workers(kWorkers, [&](size_t worker) {
     for (int i = 0; i < iters; ++i) {
       if (worker % 2 == 0) {
-        cs.on_insert(pnode, TokenData{});
+        cs.on_insert(pnode, Token{});
       } else {
-        cs.on_retract(pnode, TokenData{});
+        cs.on_retract(pnode, Token{});
       }
       if (i % 64 == 0) (void)cs.size();
     }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds and runs the machine-readable benchmarks, capturing each one's
 # stdout into BENCH_<name>.json at the repo root (human tables stay on
-# stderr). Currently: bench_scheduler, the real-thread scheduler shootout.
+# stderr). Currently: bench_scheduler (the real-thread scheduler shootout)
+# and bench_tokens (heap allocations per activation, old vs new token
+# representation).
 #
 #   tools/bench_json.sh                 # default workload
 #   tools/bench_json.sh 30 32           # rounds / wave size forwarded
@@ -12,8 +14,12 @@ cd "$repo_root"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset default >/dev/null
-cmake --build build -j "$jobs" --target bench_scheduler
+cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens
 
 echo "==== bench_scheduler -> BENCH_scheduler.json ===="
 build/bench/bench_scheduler "$@" > BENCH_scheduler.json
 echo "wrote $repo_root/BENCH_scheduler.json"
+
+echo "==== bench_tokens -> BENCH_tokens.json ===="
+build/bench/bench_tokens "$@" > BENCH_tokens.json
+echo "wrote $repo_root/BENCH_tokens.json"
