@@ -260,6 +260,64 @@ double per_task(uint64_t n, uint64_t tasks) {
   return tasks != 0 ? static_cast<double>(n) / static_cast<double>(tasks) : 0;
 }
 
+// ---- arena chunk-size sweep ------------------------------------------------
+// EngineOptions::arena_chunk_bytes, exercised on a spill-heavy workload: a
+// six-CE chain whose full PIs all exceed the inline cap, toggled under the
+// Steal scheduler so chunks seal and reclaim continuously. Small chunks seal
+// (and mmap) often; large chunks amortize but hold more idle memory.
+
+struct SweepRecord {
+  uint32_t chunk_bytes = 0;
+  uint64_t tasks = 0;
+  double wall_seconds = 0;
+  MatchStats arena;  // lifetime arena traffic at the given chunk size
+};
+
+SweepRecord run_chunk_sweep(uint32_t chunk_bytes, int rounds) {
+  SweepRecord r;
+  r.chunk_bytes = chunk_bytes;
+
+  EngineOptions opts;
+  opts.record_traces = false;
+  opts.match_workers = 8;
+  opts.match_policy = TaskQueueSet::Policy::Steal;
+  opts.arena_chunk_bytes = chunk_bytes;
+  Engine e(opts);
+  e.load("(p long (a ^v <x>) (b ^v <x>) (c ^v <x>) (d ^v <x>) (e ^v <x>)"
+         " (f ^v <x>) --> (halt))");
+  for (const char* cls : {"a", "b", "c", "d", "e", "f"}) {
+    for (int k = 0; k < 2; ++k) {
+      for (int i = 0; i < 3; ++i) {
+        e.add_wme_text("(" + std::string(cls) + " ^v " + std::to_string(k) +
+                       ")");
+      }
+    }
+  }
+  e.match();
+
+  for (int round = 0; round < rounds; ++round) {
+    const Wme* victim = nullptr;
+    for (const Wme* w : e.wm().live()) {
+      if (e.syms().name(w->cls) == "a") {
+        victim = w;
+        break;
+      }
+    }
+    const Symbol cls = victim->cls;
+    const auto fields = victim->fields;
+    e.remove_wme(victim);
+    e.match();
+    r.tasks += e.last_parallel_stats().tasks;
+    r.wall_seconds += e.last_parallel_stats().wall_seconds;
+    e.add_wme(cls, fields);
+    e.match();
+    r.tasks += e.last_parallel_stats().tasks;
+    r.wall_seconds += e.last_parallel_stats().wall_seconds;
+  }
+  r.arena = e.net().arena().stats();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,6 +368,25 @@ int main(int argc, char** argv) {
                  per_task(r.heap.bytes, r.tasks), r.modeled_old_allocs_per_task,
                  improvement);
     records.push_back(std::move(r));
+  }
+
+  const std::vector<uint32_t> chunk_sizes = {4096, 16384, 65536, 262144};
+  const int sweep_rounds = 30;
+  std::fprintf(stderr,
+               "\narena chunk-size sweep (6-CE spill chain, steal, 8 workers,"
+               " %d toggle rounds):\n%-12s %9s %10s %12s %12s %12s\n",
+               sweep_rounds, "chunk_bytes", "tasks", "wall_ms",
+               "chunk_mmaps", "chunks_freed", "chunks_live");
+  std::vector<SweepRecord> sweep;
+  for (uint32_t cb : chunk_sizes) {
+    SweepRecord s = run_chunk_sweep(cb, sweep_rounds);
+    std::fprintf(stderr, "%-12u %9llu %10.2f %12llu %12llu %12llu\n",
+                 s.chunk_bytes, static_cast<unsigned long long>(s.tasks),
+                 s.wall_seconds * 1e3,
+                 static_cast<unsigned long long>(s.arena.chunks_allocated),
+                 static_cast<unsigned long long>(s.arena.chunks_freed),
+                 static_cast<unsigned long long>(s.arena.chunks_live));
+    sweep.push_back(s);
   }
 
   const EngineRecord* headline = nullptr;
@@ -370,6 +447,21 @@ int main(int argc, char** argv) {
     j.field("chunks_freed", r.arena_delta.chunks_freed);
     j.field("chunks_live", r.arena_delta.chunks_live);
     j.field("pool_slabs", r.pool_slabs);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.begin_array("chunk_size_sweep");
+  for (const SweepRecord& s : sweep) {
+    j.begin_object();
+    j.field("chunk_bytes", static_cast<uint64_t>(s.chunk_bytes));
+    j.field("tasks", s.tasks);
+    j.field("wall_seconds", s.wall_seconds);
+    j.field("spill_allocs", s.arena.spill_allocs);
+    j.field("spill_bytes", s.arena.spill_bytes);
+    j.field("chunk_mallocs", s.arena.chunks_allocated);
+    j.field("chunks_freed", s.arena.chunks_freed);
+    j.field("chunks_live", s.arena.chunks_live);
     j.end_object();
   }
   j.end_array();

@@ -4,68 +4,147 @@
 
 namespace psme {
 
+ConflictSet::ConflictSet() {
+  SpinGuard g(lock_);
+  buckets_.assign(kInitialBuckets, nullptr);
+  bucket_mask_ = kInitialBuckets - 1;
+}
+
+ConflictSet::Node* ConflictSet::alloc_node() {
+  if (free_ == nullptr) {
+    auto slab = std::make_unique<Node[]>(kSlabNodes);
+    for (size_t i = 0; i < kSlabNodes; ++i) {
+      slab[i].next = free_;
+      free_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+  }
+  Node* n = free_;
+  free_ = n->next;
+  n->inst = Instantiation{};
+  n->key = 0;
+  n->prev = n->next = n->hnext = nullptr;
+  return n;
+}
+
+void ConflictSet::free_node(Node* n) {
+  n->next = free_;
+  free_ = n;
+}
+
+void ConflictSet::unlink(Node* n) {
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    head_ = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  } else {
+    tail_ = n->prev;
+  }
+  Node** link = &buckets_[bucket_of(n->key)];
+  while (*link != n) link = &(*link)->hnext;
+  *link = n->hnext;
+  --count_;
+}
+
+void ConflictSet::grow_buckets() {
+  // Growth-only doubling; rehash by walking the arrival list. Allocates only
+  // when the CS population reaches a new high-water mark.
+  buckets_.assign(buckets_.size() * 2, nullptr);
+  bucket_mask_ = buckets_.size() - 1;
+  for (Node* n = head_; n != nullptr; n = n->next) {
+    Node** b = &buckets_[bucket_of(n->key)];
+    n->hnext = *b;
+    *b = n;
+  }
+}
+
 void ConflictSet::on_insert(const ProdNode& p, const Token& t) {
   SpinGuard g(lock_);
   ++inserts_;
+  const size_t key = key_of(p, t);
   // A conjugate retract that overtook this insert (threaded match; the pair
   // was created in order under a not/NCC line lock but raced here) is held
-  // in pending_ — cancel against it instead of installing a stale
+  // in the pending list — cancel against it instead of installing a stale
   // instantiation.
-  auto pend = pending_.equal_range(key_of(p, t));
-  for (auto ii = pend.first; ii != pend.second; ++ii) {
-    if (ii->second.first == &p && ii->second.second == t) {
-      ii->second.second.unpin();
-      pending_.erase(ii);
+  for (Node** link = &pending_head_; *link != nullptr;
+       link = &(*link)->next) {
+    Node* pn = *link;
+    if (pn->key == key && pn->inst.pnode == &p && pn->inst.token == t) {
+      pn->inst.token.unpin();
+      *link = pn->next;
+      --pending_count_;
+      free_node(pn);
       return;
     }
   }
-  Instantiation inst;
-  inst.pnode = &p;
-  inst.token = t;
+  Node* n = alloc_node();
+  n->inst.pnode = &p;
+  n->inst.token = t;
   // Instantiations outlive the drain that produced them (they are fired in
   // a later phase), so the CS holds a pinned copy (DESIGN.md §9 I2).
-  inst.token.pin();
-  inst.arrival = ++arrival_;
-  items_.push_back(std::move(inst));
-  auto it = std::prev(items_.end());
-  index_.emplace(key_of(p, t), it);
+  n->inst.token.pin();
+  n->inst.arrival = ++arrival_;
+  n->key = key;
+  n->prev = tail_;
+  n->next = nullptr;
+  if (tail_ != nullptr) {
+    tail_->next = n;
+  } else {
+    head_ = n;
+  }
+  tail_ = n;
+  Node** b = &buckets_[bucket_of(key)];
+  n->hnext = *b;
+  *b = n;
+  ++count_;
+  if (count_ > buckets_.size() * 2) grow_buckets();
 }
 
 void ConflictSet::on_retract(const ProdNode& p, const Token& t) {
   SpinGuard g(lock_);
-  auto range = index_.equal_range(key_of(p, t));
-  for (auto ii = range.first; ii != range.second; ++ii) {
-    if (ii->second->pnode == &p && ii->second->token == t) {
-      ii->second->token.unpin();
-      items_.erase(ii->second);
-      index_.erase(ii);
-      ++retracts_;
+  ++retracts_;
+  const size_t key = key_of(p, t);
+  for (Node* n = buckets_[bucket_of(key)]; n != nullptr; n = n->hnext) {
+    if (n->key == key && n->inst.pnode == &p && n->inst.token == t) {
+      n->inst.token.unpin();
+      unlink(n);
+      free_node(n);
       return;
     }
   }
   // Retract before its conjugate insert: hold it for the insert to cancel
-  // against. (At quiescence pending_ is empty; a leftover entry means the
-  // executor produced a genuinely inconsistent token stream.)
-  ++retracts_;
-  auto it = pending_.emplace(key_of(p, t), std::make_pair(&p, t));
-  it->second.second.pin();
+  // against. (At quiescence the pending list is empty; a leftover entry
+  // means the executor produced a genuinely inconsistent token stream.)
+  Node* pn = alloc_node();
+  pn->inst.pnode = &p;
+  pn->inst.token = t;
+  pn->inst.token.pin();
+  pn->key = key;
+  pn->next = pending_head_;
+  pending_head_ = pn;
+  ++pending_count_;
 }
 
 size_t ConflictSet::size() const {
   SpinGuard g(lock_);
-  return items_.size();
+  return count_;
+}
+
+void ConflictSet::unfired_into(std::vector<const Instantiation*>& out) const {
+  out.clear();
+  SpinGuard g(lock_);
+  // The arrival list is already in arrival order — no sort needed.
+  for (const Node* n = head_; n != nullptr; n = n->next) {
+    if (!n->inst.fired) out.push_back(&n->inst);
+  }
 }
 
 std::vector<const Instantiation*> ConflictSet::unfired() const {
-  SpinGuard g(lock_);
   std::vector<const Instantiation*> out;
-  for (const auto& inst : items_) {
-    if (!inst.fired) out.push_back(&inst);
-  }
-  std::sort(out.begin(), out.end(),
-            [](const Instantiation* a, const Instantiation* b) {
-              return a->arrival < b->arrival;
-            });
+  unfired_into(out);
   return out;
 }
 
@@ -76,15 +155,11 @@ void ConflictSet::mark_fired(const Instantiation* inst) {
 
 void ConflictSet::remove(const Instantiation* inst) {
   SpinGuard g(lock_);
-  auto range = index_.equal_range(key_of(*inst->pnode, inst->token));
-  for (auto ii = range.first; ii != range.second; ++ii) {
-    if (&*ii->second == inst) {
-      ii->second->token.unpin();
-      items_.erase(ii->second);
-      index_.erase(ii);
-      return;
-    }
-  }
+  // The handle is the first member of its Node (asserted in the header).
+  Node* n = reinterpret_cast<Node*>(const_cast<Instantiation*>(inst));
+  n->inst.token.unpin();
+  unlink(n);
+  free_node(n);
 }
 
 namespace {
@@ -102,19 +177,21 @@ int specificity(const Production* p) {
   return n;
 }
 
+}  // namespace
+
 /// LEX recency comparison: timetags sorted descending, compared
 /// lexicographically; the instantiation with the more recent tag wins.
-bool lex_less(const Instantiation* a, const Instantiation* b) {
-  std::vector<uint64_t> ta, tb;
-  ta.reserve(a->token.size());
-  tb.reserve(b->token.size());
-  for (const Wme* w : a->token) ta.push_back(w->timetag);
-  for (const Wme* w : b->token) tb.push_back(w->timetag);
-  std::sort(ta.rbegin(), ta.rend());
-  std::sort(tb.rbegin(), tb.rend());
-  if (ta != tb) {
-    return std::lexicographical_compare(ta.begin(), ta.end(), tb.begin(),
-                                        tb.end());
+bool ConflictSet::lex_less(const Instantiation* a,
+                           const Instantiation* b) const {
+  lex_a_.clear();
+  lex_b_.clear();
+  for (const Wme* w : a->token) lex_a_.push_back(w->timetag);
+  for (const Wme* w : b->token) lex_b_.push_back(w->timetag);
+  std::sort(lex_a_.rbegin(), lex_a_.rend());
+  std::sort(lex_b_.rbegin(), lex_b_.rend());
+  if (lex_a_ != lex_b_) {
+    return std::lexicographical_compare(lex_a_.begin(), lex_a_.end(),
+                                        lex_b_.begin(), lex_b_.end());
   }
   const int sa = specificity(a->pnode->prod);
   const int sb = specificity(b->pnode->prod);
@@ -122,14 +199,12 @@ bool lex_less(const Instantiation* a, const Instantiation* b) {
   return a->arrival > b->arrival;  // older arrival wins ties
 }
 
-}  // namespace
-
 const Instantiation* ConflictSet::select_lex() const {
   SpinGuard g(lock_);
   const Instantiation* best = nullptr;
-  for (const auto& inst : items_) {
-    if (inst.fired) continue;
-    if (best == nullptr || lex_less(best, &inst)) best = &inst;
+  for (const Node* n = head_; n != nullptr; n = n->next) {
+    if (n->inst.fired) continue;
+    if (best == nullptr || lex_less(best, &n->inst)) best = &n->inst;
   }
   return best;
 }
@@ -137,18 +212,28 @@ const Instantiation* ConflictSet::select_lex() const {
 std::vector<const Instantiation*> ConflictSet::all() const {
   SpinGuard g(lock_);
   std::vector<const Instantiation*> out;
-  out.reserve(items_.size());
-  for (const auto& inst : items_) out.push_back(&inst);
+  out.reserve(count_);
+  for (const Node* n = head_; n != nullptr; n = n->next) out.push_back(&n->inst);
   return out;
 }
 
 void ConflictSet::clear() {
   SpinGuard g(lock_);
-  for (const auto& inst : items_) inst.token.unpin();
-  for (const auto& [key, val] : pending_) val.second.unpin();
-  items_.clear();
-  index_.clear();
-  pending_.clear();
+  for (Node* n = head_; n != nullptr;) {
+    Node* next = n->next;
+    n->inst.token.unpin();
+    free_node(n);
+    n = next;
+  }
+  for (Node* n = pending_head_; n != nullptr;) {
+    Node* next = n->next;
+    n->inst.token.unpin();
+    free_node(n);
+    n = next;
+  }
+  head_ = tail_ = pending_head_ = nullptr;
+  count_ = pending_count_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), nullptr);
 }
 
 }  // namespace psme

@@ -5,11 +5,19 @@
 // mode selects one instantiation per cycle with the LEX strategy; Soar mode
 // fires every unfired instantiation in parallel (§3: "all of the
 // instantiations in the CS are then fired in parallel").
+//
+// Storage is slab-pooled (modeled on ActivationPool in par/parallel_match.*):
+// instantiations live in intrusive nodes carved from slabs the CS owns, kept
+// on a free list when retracted. The arrival-ordered doubly-linked list
+// replaces std::list (no per-insert heap node), and a growth-only power-of-two
+// chained index replaces the unordered_multimap (no per-insert map node). At
+// steady state — CS population oscillating below its high-water mark — an
+// insert/retract pair touches no heap at all, which is what
+// tests/engine_alloc_test.cpp asserts across full engine cycles.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "base/thread_annotations.h"
@@ -28,7 +36,7 @@ struct Instantiation {
 
 class ConflictSet final : public MatchSink {
  public:
-  ConflictSet() = default;
+  ConflictSet();
 
   void on_insert(const ProdNode& p, const Token& t) override;
   void on_retract(const ProdNode& p, const Token& t) override;
@@ -38,6 +46,10 @@ class ConflictSet final : public MatchSink {
   /// Unfired instantiations, in arrival order. Soar fires all of these in
   /// one elaboration cycle; call mark_fired for each afterwards.
   [[nodiscard]] std::vector<const Instantiation*> unfired() const;
+
+  /// Same, into a caller-owned buffer (cleared first, capacity retained) so
+  /// the per-cycle harvest stops allocating once the buffer has grown.
+  void unfired_into(std::vector<const Instantiation*>& out) const;
 
   void mark_fired(const Instantiation* inst);
 
@@ -67,29 +79,68 @@ class ConflictSet final : public MatchSink {
   /// conjugate pair has cancelled.
   [[nodiscard]] size_t pending_retracts() const {
     SpinGuard g(lock_);
-    return pending_.size();
+    return pending_count_;
+  }
+
+  /// Slabs allocated since construction (diagnostics: flat at steady state).
+  [[nodiscard]] uint64_t slab_allocs() const {
+    SpinGuard g(lock_);
+    return slabs_.size();
   }
 
   void clear();
 
  private:
-  using List = std::list<Instantiation>;
+  // Instantiation is the first member: the Instantiation* handles handed to
+  // callers cast back to their Node (same trick as ActivationPool's slabs).
+  struct Node {
+    Instantiation inst;
+    size_t key = 0;
+    Node* prev = nullptr;   // arrival list links (or free/pending list via next)
+    Node* next = nullptr;
+    Node* hnext = nullptr;  // index bucket chain
+  };
+  static_assert(std::is_standard_layout_v<Node>,
+                "Instantiation* <-> Node* relies on first-member layout");
+
+  static constexpr size_t kSlabNodes = 64;
+  static constexpr size_t kInitialBuckets = 64;
+
   static size_t key_of(const ProdNode& p, const Token& t) {
     return token_identity_hash(t) ^ (static_cast<size_t>(p.id) * 0x9e3779b9u);
   }
 
+  [[nodiscard]] size_t bucket_of(size_t key) const PSME_REQUIRES(lock_) {
+    return (key ^ (key >> 17)) & bucket_mask_;
+  }
+
+  Node* alloc_node() PSME_REQUIRES(lock_);
+  void free_node(Node* n) PSME_REQUIRES(lock_);
+  /// Unlinks from both the arrival list and the index chain.
+  void unlink(Node* n) PSME_REQUIRES(lock_);
+  void grow_buckets() PSME_REQUIRES(lock_);
+  [[nodiscard]] bool lex_less(const Instantiation* a,
+                              const Instantiation* b) const PSME_REQUIRES(lock_);
+
   mutable Spinlock lock_{LockRank::ConflictSet, "conflict-set"};
-  List items_ PSME_GUARDED_BY(lock_);
-  std::unordered_multimap<size_t, List::iterator> index_
-      PSME_GUARDED_BY(lock_);
+  std::vector<std::unique_ptr<Node[]>> slabs_ PSME_GUARDED_BY(lock_);
+  Node* free_ PSME_GUARDED_BY(lock_) = nullptr;
+  Node* head_ PSME_GUARDED_BY(lock_) = nullptr;  // arrival order
+  Node* tail_ PSME_GUARDED_BY(lock_) = nullptr;
+  std::vector<Node*> buckets_ PSME_GUARDED_BY(lock_);
+  size_t bucket_mask_ PSME_GUARDED_BY(lock_) = 0;
+  size_t count_ PSME_GUARDED_BY(lock_) = 0;
   // Conjugate retracts that overtook their insert (threaded match only):
-  // held here so the late insert cancels instead of installing a stale
-  // instantiation.
-  std::unordered_multimap<size_t, std::pair<const ProdNode*, Token>>
-      pending_ PSME_GUARDED_BY(lock_);
+  // held here (singly linked via Node::next, always tiny and transient) so
+  // the late insert cancels instead of installing a stale instantiation.
+  Node* pending_head_ PSME_GUARDED_BY(lock_) = nullptr;
+  size_t pending_count_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t arrival_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t inserts_ PSME_GUARDED_BY(lock_) = 0;
   uint64_t retracts_ PSME_GUARDED_BY(lock_) = 0;
+  // LEX comparison scratch (timetag sort buffers), reused across calls.
+  mutable std::vector<uint64_t> lex_a_ PSME_GUARDED_BY(lock_);
+  mutable std::vector<uint64_t> lex_b_ PSME_GUARDED_BY(lock_);
 };
 
 }  // namespace psme

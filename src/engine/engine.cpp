@@ -19,9 +19,10 @@ class CollectCtx final : public ExecContext {
 
 Engine::Engine(EngineOptions opts)
     : opts_(opts),
-      net_(syms_, schemas_, opts.hash_lines),
+      net_(syms_, schemas_, opts.hash_lines, opts.arena_chunk_bytes),
       builder_(net_, opts.builder),
-      rhs_(syms_, schemas_) {
+      rhs_(syms_, schemas_),
+      serial_exec_(net_, opts.record_traces) {
   net_.set_sink(&cs_);
 }
 
@@ -98,8 +99,8 @@ Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
   return res;
 }
 
-const Wme* Engine::add_wme(Symbol cls, std::vector<Value> fields) {
-  const Wme* w = wm_.add(cls, std::move(fields));
+const Wme* Engine::add_wme(Symbol cls, const Value* fields, size_t n) {
+  const Wme* w = wm_.add(cls, fields, n);
   pending_adds_.push_back(w);
   return w;
 }
@@ -154,6 +155,8 @@ void Engine::remove_wme(const Wme* w) {
 
 CycleTrace Engine::match() {
   CycleTrace trace;
+  std::vector<Activation>& seeds = seed_scratch_;  // capacity reused per cycle
+  seeds.clear();
   if (opts_.match_workers > 1) {
     // Threaded drain on the persistent matcher; no per-task trace. The
     // cycle's removals drain to quiescence before its additions: a delete
@@ -161,17 +164,16 @@ CycleTrace Engine::match() {
     // a new PI behind a delete token that already passed that memory), so
     // each threaded drain gets a homogeneous seed batch. Serial injection
     // order (removes first) makes the final state identical.
-    std::vector<Activation> seeds;
     CollectCtx cc(seeds);
     for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
     ParallelStats total;
     if (!seeds.empty() || pending_adds_.empty()) {
-      total = matcher().run_cycle(std::move(seeds));
+      total = matcher().run_cycle_inplace(seeds);
       seeds.clear();
     }
     if (!pending_adds_.empty()) {
       for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
-      const ParallelStats st = matcher().run_cycle(std::move(seeds));
+      const ParallelStats st = matcher().run_cycle_inplace(seeds);
       total.tasks += st.tasks;
       total.failed_pops += st.failed_pops;
       total.queue_lock_spins += st.queue_lock_spins;
@@ -184,13 +186,11 @@ CycleTrace Engine::match() {
     }
     last_parallel_stats_ = total;
   } else {
-    std::vector<Activation> seeds;
     CollectCtx cc(seeds);
     for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
     for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
     net_.arena().begin_drain(1);
-    TraceExecutor ex(net_, opts_.record_traces);
-    trace = ex.run_to_quiescence(std::move(seeds));
+    trace = serial_exec_.run_to_quiescence_inplace(seeds);
     net_.arena().reclaim_at_quiescence();
   }
   pending_removes_.clear();
@@ -201,8 +201,11 @@ CycleTrace Engine::match() {
 
 void Engine::apply_delta(const WmeDelta& delta, bool dedup_adds) {
   for (const auto& add : delta.adds) {
-    if (dedup_adds && wm_.find(add.cls, add.fields) != nullptr) continue;
-    add_wme(add.cls, add.fields);
+    if (dedup_adds &&
+        wm_.find(add.cls, add.fields.data(), add.fields.size()) != nullptr) {
+      continue;
+    }
+    add_wme(add.cls, add.fields.data(), add.fields.size());
   }
   for (const Wme* w : delta.removes) remove_wme(w);
   for (const auto& s : delta.writes) output_.push_back(s);
@@ -218,12 +221,12 @@ WmeDelta Engine::evaluate(const Instantiation* inst) {
 bool Engine::fire(const Instantiation* inst, bool remove_after_fire,
                   bool dedup_adds) {
   const CompiledProduction& cp = record(inst->pnode->prod).compiled;
-  WmeDelta delta;
-  rhs_.fire(cp, inst->token, delta);
+  fire_delta_.reset();  // persistent delta: slot capacity reused every fire
+  rhs_.fire(cp, inst->token, fire_delta_);
   cs_.mark_fired(inst);
   if (remove_after_fire) cs_.remove(inst);
-  apply_delta(delta, dedup_adds);
-  return delta.halt;
+  apply_delta(fire_delta_, dedup_adds);
+  return fire_delta_.halt;
 }
 
 Engine::RunResult Engine::run(uint64_t max_cycles) {

@@ -30,6 +30,11 @@ struct EngineOptions {
   BuilderOptions builder;
   bool record_traces = true;
 
+  /// TokenArena spill-chunk size (bytes). Larger chunks amortize the mmap
+  /// cost of deep token spills; smaller chunks waste less on quiet workers.
+  /// bench_tokens sweeps this knob (see BENCH_tokens.json).
+  uint32_t arena_chunk_bytes = TokenArena::kDefaultChunkBytes;
+
   /// >1 switches match() and the §5.2 runtime-add state update to the
   /// threaded ParallelMatcher with this many workers. The matcher (and its
   /// worker pool) is created once and persists across cycles. Parallel
@@ -78,8 +83,12 @@ class Engine {
   RuntimeAddResult add_production_runtime(Production&& ast);
 
   /// Creates a wme now (visible in wm()) and queues its add for the next
-  /// match().
-  const Wme* add_wme(Symbol cls, std::vector<Value> fields);
+  /// match(). The span form copies straight into a recycled wme (no
+  /// temporary vector); the vector form delegates.
+  const Wme* add_wme(Symbol cls, const Value* fields, size_t n);
+  const Wme* add_wme(Symbol cls, const std::vector<Value>& fields) {
+    return add_wme(cls, fields.data(), fields.size());
+  }
 
   /// Convenience: parses a wme literal like "(block ^name b1 ^size 3)".
   const Wme* add_wme_text(std::string_view text);
@@ -154,6 +163,12 @@ class Engine {
   std::vector<std::string> output_;
   std::unique_ptr<ParallelMatcher> matcher_;  // persistent across cycles
   ParallelStats last_parallel_stats_;
+  // Steady-state scratch, alive for the Engine's lifetime so repeated
+  // cycles reuse high-water capacity (DESIGN.md §10): the serial executor
+  // (ring + trace state), the per-cycle seed vector, and the fire delta.
+  TraceExecutor serial_exec_;
+  std::vector<Activation> seed_scratch_;
+  WmeDelta fire_delta_;
 };
 
 }  // namespace psme

@@ -57,11 +57,14 @@ Value RhsExecutor::eval(const RhsValue& v, const CompiledProduction& cp,
 void RhsExecutor::fire(const CompiledProduction& cp, const Token& token,
                        WmeDelta& delta) {
   const Production& p = *cp.ast;
-  std::vector<Value> locals(p.num_vars);  // `bind` results
+  std::vector<Value>& locals = locals_;  // `bind` results, reused capacity
+  locals.assign(p.num_vars, Value());
   for (const Action& a : p.actions) {
     switch (a.kind) {
       case Action::Kind::Make: {
-        WmeDelta::Add add;
+        // Filled in place: the AddList slot's fields vector keeps its
+        // capacity from previous cycles.
+        WmeDelta::Add& add = delta.adds.push();
         add.cls = a.cls;
         add.fields.assign(static_cast<size_t>(schemas_.arity(a.cls)), Value());
         for (const RhsAssignment& asg : a.sets) {
@@ -71,12 +74,11 @@ void RhsExecutor::fire(const CompiledProduction& cp, const Token& token,
           add.fields[static_cast<size_t>(asg.slot)] =
               eval(asg.value, cp, token, locals);
         }
-        delta.adds.push_back(std::move(add));
         break;
       }
       case Action::Kind::Modify: {
         const Wme* old = token[static_cast<size_t>(a.ce_index - 1)];
-        WmeDelta::Add add;
+        WmeDelta::Add& add = delta.adds.push();
         add.cls = old->cls;
         add.fields = old->fields;
         for (const RhsAssignment& asg : a.sets) {
@@ -87,7 +89,6 @@ void RhsExecutor::fire(const CompiledProduction& cp, const Token& token,
               eval(asg.value, cp, token, locals);
         }
         delta.removes.push_back(old);
-        delta.adds.push_back(std::move(add));
         break;
       }
       case Action::Kind::Remove:

@@ -19,10 +19,45 @@ struct WmeDelta {
     Symbol cls;
     std::vector<Value> fields;
   };
-  std::vector<Add> adds;
+
+  /// Count-based reuse wrapper: vector<Add>::clear() would destroy every Add
+  /// and free its fields buffer, so a reused delta would reallocate them all
+  /// next cycle. AddList instead keeps dead slots constructed (their
+  /// capacity intact) and tracks a live count; reset() just rewinds it.
+  class AddList {
+   public:
+    /// Returns a cleared-by-caller slot to fill in place.
+    Add& push() {
+      if (count_ == slots_.size()) slots_.emplace_back();
+      return slots_[count_++];
+    }
+    [[nodiscard]] Add* begin() { return slots_.data(); }
+    [[nodiscard]] Add* end() { return slots_.data() + count_; }
+    [[nodiscard]] const Add* begin() const { return slots_.data(); }
+    [[nodiscard]] const Add* end() const { return slots_.data() + count_; }
+    [[nodiscard]] size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    void reset() { count_ = 0; }
+
+   private:
+    std::vector<Add> slots_;
+    size_t count_ = 0;
+  };
+
+  AddList adds;
   std::vector<const Wme*> removes;
   std::vector<std::string> writes;
   bool halt = false;
+
+  /// Rewinds for reuse, retaining add-slot and remove-list capacity.
+  /// (writes still free their strings; the text path is not on the
+  /// steady-state cycle.)
+  void reset() {
+    adds.reset();
+    removes.clear();
+    writes.clear();
+    halt = false;
+  }
 };
 
 class RhsExecutor {
@@ -48,6 +83,7 @@ class RhsExecutor {
   SymbolTable& syms_;
   ClassSchemas& schemas_;
   std::function<void(Symbol)> gensym_hook_;
+  std::vector<Value> locals_;  // `bind` results, reused across fire() calls
 };
 
 }  // namespace psme

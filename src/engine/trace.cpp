@@ -12,36 +12,47 @@ void CycleTrace::append(CycleTrace&& other) {
 }
 
 void TraceExecutor::emit(Activation&& a) {
-  queue_.emplace_back(std::move(a), current_parent_);
+  queue_.push_back(QueuedTask{a, current_parent_});
 }
 
 CycleTrace TraceExecutor::run_to_quiescence(std::vector<Activation> seeds) {
+  return run_to_quiescence_inplace(seeds);
+}
+
+CycleTrace TraceExecutor::run_to_quiescence_inplace(
+    std::vector<Activation>& seeds) {
   trace_ = CycleTrace{};
   current_parent_ = UINT32_MAX;
   for (auto& s : seeds) emit(std::move(s));
   while (!queue_.empty()) {
-    auto [act, parent] = std::move(queue_.front());
+    const QueuedTask task = queue_.front();
     queue_.pop_front();
-    if (!net_.should_execute(act, *this)) continue;
+    if (!net_.should_execute(task.act, *this)) continue;
     ++executed_;
     uint32_t index = UINT32_MAX;
     if (record_) {
       index = static_cast<uint32_t>(trace_.tasks.size());
       TaskRecord r;
-      r.parent = parent;
-      r.node = act.node;
-      r.type = net_.node(act.node)->type;
-      r.side = act.side;
-      r.add = act.add;
+      r.parent = task.parent;
+      r.node = task.act.node;
+      r.type = net_.node(task.act.node)->type;
+      r.side = task.act.side;
+      r.add = task.act.add;
       trace_.tasks.push_back(std::move(r));
     }
     stats.reset();
     current_parent_ = index;
-    net_.execute(act, *this);
+    net_.execute(task.act, *this);
     if (record_) trace_.tasks[index].stats = stats;
   }
   current_parent_ = UINT32_MAX;
-  trace_.line_accesses = net_.tables().harvest_cycle_accesses();
+  if (record_) {
+    trace_.line_accesses = net_.tables().harvest_cycle_accesses();
+  } else {
+    // No-trace cycles still reset the per-cycle counters, but without
+    // building (and so allocating) the harvest vector.
+    net_.tables().reset_cycle_accesses();
+  }
   return std::move(trace_);
 }
 

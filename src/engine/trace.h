@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "base/ring.h"
 #include "rete/hash_tables.h"
 #include "rete/network.h"
 
@@ -50,14 +50,28 @@ class TraceExecutor final : public ExecContext {
   /// via executed()).
   CycleTrace run_to_quiescence(std::vector<Activation> seeds);
 
+  /// In-place form: seeds are consumed but the vector's capacity stays with
+  /// the caller. With recording off, a whole drain is heap-free once the
+  /// ring and scratch buffers have reached their high-water capacity —
+  /// Engine holds one TraceExecutor across all cycles for exactly this.
+  CycleTrace run_to_quiescence_inplace(std::vector<Activation>& seeds);
+
   [[nodiscard]] uint64_t executed() const { return executed_; }
 
  private:
+  // std::pair is not trivially copyable in libstdc++ (its operator= is
+  // user-provided), so the FIFO ring carries this explicit POD instead.
+  struct QueuedTask {
+    Activation act;
+    uint32_t parent = UINT32_MAX;
+  };
+  static_assert(std::is_trivially_copyable_v<QueuedTask>);
+
   Network& net_;
   bool record_;
   uint64_t executed_ = 0;
   uint32_t current_parent_ = UINT32_MAX;
-  std::deque<std::pair<Activation, uint32_t>> queue_;
+  RingBuffer<QueuedTask> queue_;
   CycleTrace trace_;
 };
 

@@ -42,6 +42,7 @@ const char* rank_name(LockRank r) noexcept {
   switch (r) {
     case LockRank::Unranked: return "unranked";
     case LockRank::Bucket: return "bucket";
+    case LockRank::SlabPool: return "slab-pool";
     case LockRank::Queue: return "queue";
     case LockRank::ConflictSet: return "conflict-set";
     case LockRank::Park: return "park";

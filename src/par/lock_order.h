@@ -3,14 +3,19 @@
 // Every Spinlock in the system carries a rank from the global lock hierarchy
 // (DESIGN.md §"Concurrency invariants"):
 //
-//   Bucket (1)       paired-table line locks and alpha-memory locks. Leaf
-//                    locks: a thread never holds two of them, which is what
-//                    makes insert-then-probe under one line lock atomic.
-//   Queue (2)        task-queue locks. May be taken while a Bucket lock is
+//   Bucket (1)       paired-table line locks and alpha-memory locks. A
+//                    thread never holds two of them, which is what makes
+//                    insert-then-probe under one line lock atomic.
+//   SlabPool (2)     chunk-pool free-list locks (base/chunk_list.h). A line
+//                    or alpha-memory mutation holding its Bucket lock may
+//                    acquire/release a storage chunk; the pool lock nests
+//                    strictly inside and protects nothing that emits.
+//   Queue (3)        task-queue locks. May be taken while a Bucket lock is
 //                    held (a node execution emitting child tasks), never the
 //                    other way around.
-//   ConflictSet (3)  the CS lock. P-node activations take it with nothing
-//                    else held; ranking it last keeps that one-way.
+//   ConflictSet (4)  the CS lock. P-node activations take it with nothing
+//                    else held; ranking it after the match locks keeps that
+//                    one-way.
 //
 // The rule is strict: a thread may only acquire a lock whose rank is
 // GREATER than the rank of every ranked lock it already holds. Equal ranks
@@ -48,10 +53,13 @@ namespace psme {
 
 enum class LockRank : uint8_t {
   Unranked = 0,     // no ordering constraint; self-deadlock checked only
-  Bucket = 1,       // hash-table line locks + alpha-memory locks (leaves)
-  Queue = 2,        // task-queue locks
-  ConflictSet = 3,  // the conflict-set lock
-  Park = 4,         // scheduler park/dispatch mutexes (worker_pool.h); last,
+  Bucket = 1,       // hash-table line locks + alpha-memory locks
+  SlabPool = 2,     // chunk-pool free-list locks (base/chunk_list.h); above
+                    // Bucket because a line/alpha mutation under its Bucket
+                    // lock may acquire/release a storage chunk
+  Queue = 3,        // task-queue locks
+  ConflictSet = 4,  // the conflict-set lock
+  Park = 5,         // scheduler park/dispatch mutexes (worker_pool.h); last,
                     // so a worker may park or unpark others no matter what
                     // match-state lock it still holds
 };

@@ -75,6 +75,39 @@ class LockedCtx final : public ExecContext {
   size_t worker_;
 };
 
+/// Swaps a worker's persistent scratch buffers into its cycle-local
+/// ExecContext (and the emit batch, when the context buffers emits) and back
+/// out on scope exit — exception-safe, so an aborted cycle still returns the
+/// buffers. This is what makes the per-cycle contexts allocation-free: the
+/// vectors live in the WorkerSlot and keep their high-water capacity for the
+/// matcher's whole lifetime.
+template <typename Slot>
+class ScratchLease {
+ public:
+  ScratchLease(ExecContext& ctx, Slot& slot,
+               std::vector<Activation>* batch = nullptr)
+      : ctx_(ctx), slot_(slot), batch_(batch) {
+    ctx_.scratch_children.swap(slot_.scratch_children);
+    ctx_.scratch_emissions.swap(slot_.scratch_emissions);
+    if (batch_ != nullptr) {
+      batch_->swap(slot_.emit_batch);
+      batch_->clear();  // a previously aborted cycle may have left residue
+    }
+  }
+  ~ScratchLease() {
+    ctx_.scratch_children.swap(slot_.scratch_children);
+    ctx_.scratch_emissions.swap(slot_.scratch_emissions);
+    if (batch_ != nullptr) batch_->swap(slot_.emit_batch);
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+ private:
+  ExecContext& ctx_;
+  Slot& slot_;
+  std::vector<Activation>* batch_;
+};
+
 }  // namespace
 
 ActivationPool::ActivationPool(size_t n_workers) {
@@ -122,6 +155,11 @@ void ActivationPool::release(size_t worker, Activation* a) {
       head, n, std::memory_order_release, std::memory_order_relaxed));
 }
 
+void ActivationPool::warm(size_t worker) {
+  Activation* a = alloc(worker, Activation{});
+  release(worker, a);
+}
+
 uint64_t ActivationPool::slab_allocs() const {
   uint64_t total = 0;
   for (const auto& s : shards_) total += s->slab_allocs;
@@ -138,15 +176,44 @@ ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
   // Give every worker its own arena pool before the first drain (quiescent
   // here: no worker thread has started).
   net_.arena().ensure_workers(n_workers_);
-  if (policy_ == TaskQueueSet::Policy::Steal) {
-    slots_.reserve(n_workers_);
-    for (size_t i = 0; i < n_workers_; ++i) {
-      // Deterministic per-worker seeds: victim choice is randomized but
-      // reproducible run to run.
-      slots_.push_back(std::make_unique<WorkerSlot>(0x9e3779b9u + i));
-    }
-  } else {
+  // Slots exist under every policy: the locked policies use only the
+  // persistent scratch (the deque stays empty), the Steal policy uses all
+  // of it.
+  slots_.reserve(n_workers_);
+  for (size_t i = 0; i < n_workers_; ++i) {
+    // Deterministic per-worker seeds: victim choice is randomized but
+    // reproducible run to run.
+    slots_.push_back(std::make_unique<WorkerSlot>(0x9e3779b9u + i));
+  }
+  if (policy_ != TaskQueueSet::Policy::Steal) {
     queues_ = std::make_unique<TaskQueueSet>(policy_, n_workers_);
+    locked_parts_.resize(n_workers_);
+  }
+  prewarm();
+}
+
+void ParallelMatcher::prewarm() {
+  // Touch every per-worker structure from the (quiescent, single-threaded)
+  // constructor so first-touch growth can never land inside a measured
+  // cycle. Without this the allocation-free guarantee of DESIGN.md §10
+  // would depend on which workers happened to win tasks during an
+  // application's warm-up cycles: a worker that sat idle through warm-up —
+  // routine on a loaded machine — would charge its scratch-vector, queue-
+  // ring and pool-slab growth to the first steady-state cycle it joins.
+  // All the touches below are owner-only operations, legal here because no
+  // worker thread has been dispatched yet (same contract as the seed
+  // distribution in run_steal).
+  constexpr size_t kScratch = 64;  // matches the rings' initial capacity
+  for (size_t w = 0; w < n_workers_; ++w) {
+    WorkerSlot& s = *slots_[w];
+    s.emit_batch.reserve(kScratch);
+    s.scratch_children.reserve(kScratch);
+    s.scratch_emissions.reserve(kScratch);
+    apool_.warm(w);
+  }
+  if (queues_ != nullptr) {
+    queues_->warm(kScratch);
+    for (auto& part : locked_parts_) part.reserve(kScratch);
   }
 }
 
@@ -168,15 +235,25 @@ void ParallelMatcher::reset_slots() {
 }
 
 ParallelStats ParallelMatcher::run_cycle(std::vector<Activation> seeds) {
-  return run_impl(std::move(seeds), nullptr);
+  return run_impl(seeds, nullptr);
 }
 
 ParallelStats ParallelMatcher::run_update(std::vector<Activation> seeds,
                                           const UpdateFilter& filter) {
-  return run_impl(std::move(seeds), &filter);
+  return run_impl(seeds, &filter);
 }
 
-ParallelStats ParallelMatcher::run_impl(std::vector<Activation> seeds,
+ParallelStats ParallelMatcher::run_cycle_inplace(
+    std::vector<Activation>& seeds) {
+  return run_impl(seeds, nullptr);
+}
+
+ParallelStats ParallelMatcher::run_update_inplace(
+    std::vector<Activation>& seeds, const UpdateFilter& filter) {
+  return run_impl(seeds, &filter);
+}
+
+ParallelStats ParallelMatcher::run_impl(std::vector<Activation>& seeds,
                                         const UpdateFilter* filter) {
   // Epoch lifecycle, pinned to the drain: every worker of this cycle enters
   // the new epoch before dispatch; the sweep runs after the pool join (the
@@ -184,8 +261,8 @@ ParallelStats ParallelMatcher::run_impl(std::vector<Activation> seeds,
   // all transient token copies of previous epochs are dead.
   net_.arena().begin_drain(n_workers_);
   ParallelStats st = policy_ == TaskQueueSet::Policy::Steal
-                         ? run_steal(std::move(seeds), filter)
-                         : run_locked(std::move(seeds), filter);
+                         ? run_steal(seeds, filter)
+                         : run_locked(seeds, filter);
   net_.arena().reclaim_at_quiescence();
   st.arena = net_.arena().stats();
   st.pool_slabs = apool_.slab_allocs();
@@ -238,6 +315,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
   WorkerSlot& me = *slots_[worker];
   BatchCtx ctx(net_, filter);
   ctx.worker = worker;  // child tokens spill into this worker's arena pool
+  ScratchLease lease(ctx, me, &ctx.batch);
   uint32_t idle = 0;
   for (;;) {
     Activation* a = take_task(worker);
@@ -294,7 +372,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
   lot_.unpark_all();
 }
 
-ParallelStats ParallelMatcher::run_steal(std::vector<Activation> seeds,
+ParallelStats ParallelMatcher::run_steal(std::vector<Activation>& seeds,
                                          const UpdateFilter* filter) {
   reset_slots();
 
@@ -317,7 +395,19 @@ ParallelStats ParallelMatcher::run_steal(std::vector<Activation> seeds,
 
   std::atomic<bool> abort{false};
   const auto t0 = std::chrono::steady_clock::now();
-  pool_.run([&](size_t worker) { steal_loop(worker, filter, abort); });
+  // Raw-pointer dispatch over a stack job: a capturing lambda through the
+  // std::function overload would heap-allocate its closure every cycle.
+  struct Job {
+    ParallelMatcher* self;
+    const UpdateFilter* filter;
+    std::atomic<bool>* abort;
+  } job{this, filter, &abort};
+  pool_.run(
+      [](void* arg, size_t worker) {
+        auto* j = static_cast<Job*>(arg);
+        j->self->steal_loop(worker, j->filter, *j->abort);
+      },
+      &job);
 
   ParallelStats st;
   st.wall_seconds =
@@ -332,22 +422,52 @@ ParallelStats ParallelMatcher::run_steal(std::vector<Activation> seeds,
   return st;
 }
 
-ParallelStats ParallelMatcher::run_locked(std::vector<Activation> seeds,
+void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
+                                  std::atomic<uint64_t>& executed) {
+  TaskQueueSet& queues = *queues_;
+  LockedCtx ctx(net_, queues, outstanding_, worker, filter);
+  ScratchLease lease(ctx, *slots_[worker]);
+  Activation a;
+  uint32_t idle = 0;
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    if (queues.pop(worker, a)) {
+      idle = 0;
+      try {
+        net_.execute(a, ctx);
+      } catch (...) {
+        // Zero the counter so the other workers exit instead of spinning
+        // on a count that can no longer drain, then fail the cycle.
+        outstanding_.store(0, std::memory_order_release);
+        throw;
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      // Nothing found anywhere: bounded exponential backoff instead of a
+      // raw yield loop, so an idle worker on an oversubscribed machine
+      // stops burning a full core (it still re-checks every few µs).
+      idle_backoff(idle++);
+    }
+  }
+}
+
+ParallelStats ParallelMatcher::run_locked(std::vector<Activation>& seeds,
                                           const UpdateFilter* filter) {
   TaskQueueSet& queues = *queues_;
   queues.reset_stats();  // per-cycle numbers, like the pre-pool matcher
   std::atomic<uint64_t> executed{0};
 
-  // Seed distribution: partition round-robin, then one push_batch (one lock
-  // acquisition) per home queue instead of one per seed.
+  // Seed distribution: partition round-robin into the persistent member
+  // buffers, then one push_batch (one lock acquisition) per home queue
+  // instead of one per seed.
   {
     BatchCtx seed_ctx(net_, filter);
-    std::vector<std::vector<Activation>> per_worker(n_workers_);
+    for (auto& part : locked_parts_) part.clear();
     size_t w = 0;
     int64_t kept = 0;
     for (Activation& s : seeds) {
       if (!net_.should_execute(s, seed_ctx)) continue;
-      per_worker[w].push_back(std::move(s));
+      locked_parts_[w].push_back(std::move(s));
       w = (w + 1) % n_workers_;
       ++kept;
     }
@@ -355,36 +475,22 @@ ParallelStats ParallelMatcher::run_locked(std::vector<Activation> seeds,
     // can only reach zero at true quiescence.
     outstanding_.store(kept, std::memory_order_release);
     for (size_t i = 0; i < n_workers_; ++i) {
-      queues.push_batch(i, std::move(per_worker[i]));
+      queues.push_batch(i, std::move(locked_parts_[i]));
     }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  pool_.run([&](size_t worker) {
-    LockedCtx ctx(net_, queues, outstanding_, worker, filter);
-    Activation a;
-    uint32_t idle = 0;
-    while (outstanding_.load(std::memory_order_acquire) > 0) {
-      if (queues.pop(worker, a)) {
-        idle = 0;
-        try {
-          net_.execute(a, ctx);
-        } catch (...) {
-          // Zero the counter so the other workers exit instead of spinning
-          // on a count that can no longer drain, then fail the cycle.
-          outstanding_.store(0, std::memory_order_release);
-          throw;
-        }
-        executed.fetch_add(1, std::memory_order_relaxed);
-        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-      } else {
-        // Nothing found anywhere: bounded exponential backoff instead of a
-        // raw yield loop, so an idle worker on an oversubscribed machine
-        // stops burning a full core (it still re-checks every few µs).
-        idle_backoff(idle++);
-      }
-    }
-  });
+  struct Job {
+    ParallelMatcher* self;
+    const UpdateFilter* filter;
+    std::atomic<uint64_t>* executed;
+  } job{this, filter, &executed};
+  pool_.run(
+      [](void* arg, size_t worker) {
+        auto* j = static_cast<Job*>(arg);
+        j->self->locked_loop(worker, j->filter, *j->executed);
+      },
+      &job);
 
   ParallelStats st;
   st.wall_seconds =

@@ -86,6 +86,11 @@ class ActivationPool {
   /// shortcut the CAS when a task dies on its home shard).
   void release(size_t worker, Activation* a);
 
+  /// Materializes shard `worker`'s first slab (and the slab vector's
+  /// buffer) so the shard's first real allocation is a free-list pop, not a
+  /// malloc. Owner-only or pre-dispatch, like alloc().
+  void warm(size_t worker);
+
   [[nodiscard]] uint64_t slab_allocs() const;
 
  private:
@@ -140,6 +145,14 @@ class ParallelMatcher {
   ParallelStats run_update(std::vector<Activation> seeds,
                            const UpdateFilter& filter);
 
+  /// In-place primaries: the seed vector is caller-owned scratch (elements
+  /// are consumed, capacity is retained), so a persistent caller (Engine)
+  /// pays no per-cycle seed-vector allocation. The by-value forms above
+  /// delegate here.
+  ParallelStats run_cycle_inplace(std::vector<Activation>& seeds);
+  ParallelStats run_update_inplace(std::vector<Activation>& seeds,
+                                   const UpdateFilter& filter);
+
   [[nodiscard]] TaskQueueSet::Policy policy() const { return policy_; }
   [[nodiscard]] size_t workers() const { return n_workers_; }
 
@@ -156,7 +169,7 @@ class ParallelMatcher {
   struct alignas(64) WorkerSlot {
     explicit WorkerSlot(uint64_t seed) : rng(seed) {}
 
-    WsDeque<Activation> deque;
+    WsDeque<Activation> deque;  // Steal only
     // Termination counters: written by the owner, swept by idle workers.
     std::atomic<uint64_t> created{0};
     std::atomic<uint64_t> executed{0};
@@ -166,20 +179,30 @@ class ParallelMatcher {
     uint64_t failed_steals = 0;
     uint64_t parks = 0;
     Rng rng;
+    // Persistent per-worker scratch, leased into the worker's ExecContext
+    // for the duration of a cycle (see Lease in parallel_match.cpp): emit
+    // bursts and execute()'s under-lock child buffers reuse their
+    // high-water capacity across every cycle this matcher ever runs.
+    std::vector<Activation> emit_batch;
+    std::vector<Token> scratch_children;
+    std::vector<std::pair<Token, bool>> scratch_emissions;
   };
 
-  ParallelStats run_impl(std::vector<Activation> seeds,
+  ParallelStats run_impl(std::vector<Activation>& seeds,
                          const UpdateFilter* filter);
-  ParallelStats run_steal(std::vector<Activation> seeds,
+  ParallelStats run_steal(std::vector<Activation>& seeds,
                           const UpdateFilter* filter);
-  ParallelStats run_locked(std::vector<Activation> seeds,
+  ParallelStats run_locked(std::vector<Activation>& seeds,
                            const UpdateFilter* filter);
 
   void steal_loop(size_t worker, const UpdateFilter* filter,
                   std::atomic<bool>& abort);
+  void locked_loop(size_t worker, const UpdateFilter* filter,
+                   std::atomic<uint64_t>& executed);
   Activation* take_task(size_t worker);
   [[nodiscard]] bool quiescent() const;
   void reset_slots();
+  void prewarm();
 
   Network& net_;
   size_t n_workers_;
@@ -187,9 +210,12 @@ class ParallelMatcher {
   WorkerPool pool_;
   ParkingLot lot_;
   ActivationPool apool_;
-  std::vector<std::unique_ptr<WorkerSlot>> slots_;  // Steal policy
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;  // all policies (scratch)
   std::unique_ptr<TaskQueueSet> queues_;            // Single/Multi, persistent
   std::atomic<int64_t> outstanding_{0};             // locked-policy counter
+  // Locked-policy seed partition, reused across cycles (inner vectors keep
+  // their capacity; Activation owns no heap so clear() frees nothing).
+  std::vector<std::vector<Activation>> locked_parts_;
   uint64_t lifetime_tasks_ = 0;
   uint64_t lifetime_cycles_ = 0;
 };

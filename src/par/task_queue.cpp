@@ -9,15 +9,22 @@ TaskQueueSet::TaskQueueSet(Policy policy, size_t n_workers)
 void TaskQueueSet::push(size_t worker, Activation&& a) {
   Q& q = queues_[home_queue(worker)];
   SpinGuard g(q.lock);
-  q.items.push_back(std::move(a));
+  q.items.push_back(a);
 }
 
 void TaskQueueSet::push_batch(size_t worker, std::vector<Activation>&& batch) {
   if (batch.empty()) return;
   Q& q = queues_[home_queue(worker)];
   SpinGuard g(q.lock);
-  for (Activation& a : batch) q.items.push_back(std::move(a));
+  for (const Activation& a : batch) q.items.push_back(a);
   batch.clear();
+}
+
+void TaskQueueSet::warm(size_t per_queue_capacity) {
+  for (Q& q : queues_) {
+    SpinGuard g(q.lock);
+    q.items.reserve(per_queue_capacity);
+  }
 }
 
 bool TaskQueueSet::pop(size_t worker, Activation& out) {
@@ -27,7 +34,7 @@ bool TaskQueueSet::pop(size_t worker, Activation& out) {
     Q& q = queues_[(home + k) % n];
     SpinGuard g(q.lock);
     if (!q.items.empty()) {
-      out = std::move(q.items.front());
+      out = q.items.front();
       q.items.pop_front();
       return true;
     }

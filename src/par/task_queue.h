@@ -16,9 +16,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "base/ring.h"
 #include "base/thread_annotations.h"
 #include "par/spinlock.h"
 #include "rete/network.h"
@@ -45,6 +45,12 @@ class TaskQueueSet {
   /// empty (each empty look is counted as a failed pop).
   bool pop(size_t worker, Activation& out);
 
+  /// Pre-sizes every queue's ring so the first `per_queue_capacity` queued
+  /// tasks never allocate. Called once from the matcher constructor
+  /// (quiescent), so cold queues can't charge their first-touch ring growth
+  /// to a measured cycle; safe mid-run too (takes each queue's lock).
+  void warm(size_t per_queue_capacity);
+
   [[nodiscard]] Policy policy() const { return policy_; }
   [[nodiscard]] size_t queue_count() const { return queues_.size(); }
 
@@ -56,9 +62,12 @@ class TaskQueueSet {
   void reset_stats();
 
  private:
+  // FIFO over a recycled power-of-two ring (base/ring.h): std::deque
+  // allocates/frees map blocks as the queue breathes, the ring only grows to
+  // its high-water capacity and is heap-silent from then on.
   struct Q {
     Spinlock lock{LockRank::Queue, "task-queue"};
-    std::deque<Activation> items PSME_GUARDED_BY(lock);
+    RingBuffer<Activation> items PSME_GUARDED_BY(lock);
   };
 
   [[nodiscard]] size_t home_queue(size_t worker) const {

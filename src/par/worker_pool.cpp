@@ -44,16 +44,18 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::thread_main(size_t index) {
   uint64_t seen = 0;
   for (;;) {
-    const std::function<void(size_t)>* job = nullptr;
+    void (*fn)(void*, size_t) = nullptr;
+    void* arg = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       job_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
-      job = job_;
+      fn = job_fn_;
+      arg = job_arg_;
     }
     try {
-      (*job)(index);
+      fn(arg, index);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
@@ -65,14 +67,15 @@ void WorkerPool::thread_main(size_t index) {
   }
 }
 
-void WorkerPool::run(const std::function<void(size_t)>& fn) {
+void WorkerPool::run(void (*fn)(void* arg, size_t worker), void* arg) {
   if (n_ == 1) {
-    fn(0);
+    fn(arg, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    job_ = &fn;
+    job_fn_ = fn;
+    job_arg_ = arg;
     active_ = n_ - 1;
     ++epoch_;
     job_cv_.notify_all();
@@ -81,7 +84,7 @@ void WorkerPool::run(const std::function<void(size_t)>& fn) {
   // pool is reusable afterwards.
   std::exception_ptr own_error;
   try {
-    fn(0);
+    fn(arg, 0);
   } catch (...) {
     own_error = std::current_exception();
   }
@@ -89,9 +92,18 @@ void WorkerPool::run(const std::function<void(size_t)>& fn) {
   done_cv_.wait(lk, [&] { return active_ == 0; });
   std::exception_ptr err = own_error ? own_error : error_;
   error_ = nullptr;
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_arg_ = nullptr;
   lk.unlock();
   if (err) std::rethrow_exception(err);
+}
+
+void WorkerPool::run(const std::function<void(size_t)>& fn) {
+  run(
+      [](void* arg, size_t worker) {
+        (*static_cast<const std::function<void(size_t)>*>(arg))(worker);
+      },
+      const_cast<std::function<void(size_t)>*>(&fn));
 }
 
 }  // namespace psme

@@ -145,6 +145,14 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  /// Primary dispatch: a raw function pointer plus context. Capturing
+  /// lambdas over a couple of pointers overflow libstdc++'s 16-byte
+  /// std::function SBO and heap-allocate per call; per-cycle callers
+  /// (ParallelMatcher) pass a captureless trampoline over a stack-held job
+  /// struct instead, keeping dispatch allocation-free.
+  void run(void (*fn)(void* arg, size_t worker), void* arg);
+
+  /// Convenience overload for setup/test call sites.
   void run(const std::function<void(size_t)>& fn);
 
   [[nodiscard]] size_t size() const { return n_; }
@@ -158,7 +166,8 @@ class WorkerPool {
   std::condition_variable job_cv_;
   std::condition_variable done_cv_;
   uint64_t epoch_ = 0;
-  const std::function<void(size_t)>* job_ = nullptr;
+  void (*job_fn_)(void*, size_t) = nullptr;
+  void* job_arg_ = nullptr;
   size_t active_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;

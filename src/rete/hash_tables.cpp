@@ -28,6 +28,13 @@ PairedHashTables::harvest_cycle_accesses() {
   return out;
 }
 
+void PairedHashTables::reset_cycle_accesses() {
+  for (Line& ln : lines_) {
+    ln.left_accesses_cycle = 0;
+    ln.right_accesses_cycle = 0;
+  }
+}
+
 size_t PairedHashTables::total_left_entries() const {
   size_t n = 0;
   for (const auto& ln : lines_) n += ln.left.size();

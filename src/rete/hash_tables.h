@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/chunk_list.h"
 #include "base/thread_annotations.h"
 #include "par/spinlock.h"
 #include "rete/token.h"
@@ -56,12 +57,20 @@ struct RightEntry {
   const Wme* wme = nullptr;
 };
 
+/// Right entries live in recycled chunks (base/chunk_list.h) instead of one
+/// heap vector per line: the right-probe scan walks contiguous chunk
+/// payloads, and a line whose population shrinks hands its chunks to lines
+/// that grow — zero steady-state heap traffic on the paper's dominant path.
+constexpr size_t kRightEntriesPerChunk = 8;
+using RightEntryList = ChunkedList<RightEntry, kRightEntriesPerChunk>;
+using RightEntryPool = ChunkPool<RightEntry, kRightEntriesPerChunk>;
+
 class PairedHashTables {
  public:
   struct Line {
     Spinlock lock{LockRank::Bucket, "rete-line"};
     std::vector<LeftEntry> left PSME_GUARDED_BY(lock);
-    std::vector<RightEntry> right PSME_GUARDED_BY(lock);
+    RightEntryList right PSME_GUARDED_BY(lock);
     // Per-cycle access counts, maintained under the line lock; harvested by
     // the trace recorder for the Figure 6-2 contention histogram.
     uint32_t left_accesses_cycle PSME_GUARDED_BY(lock) = 0;
@@ -94,6 +103,11 @@ class PairedHashTables {
   Line& line_at(size_t index) { return lines_[index]; }
   Line& line_for(uint64_t hash) { return lines_[line_index(hash)]; }
 
+  /// Shared chunk recycler for every line's right-entry list. Callers pass
+  /// it to RightEntryList mutators while holding the line's Bucket lock;
+  /// the pool's own lock ranks SlabPool, strictly above Bucket.
+  [[nodiscard]] RightEntryPool& right_pool() { return right_pool_; }
+
   /// Collects nonzero (left, right) per-cycle access counts and resets them.
   struct LineAccess {
     uint32_t line;
@@ -104,6 +118,11 @@ class PairedHashTables {
   /// line locks, relying on the worker join for ordering.
   std::vector<LineAccess> harvest_cycle_accesses()
       PSME_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Zeroes the per-cycle access counters without building the harvest
+  /// vector; the non-recording serial executor uses this so a no-trace
+  /// cycle stays allocation-free. Quiescent-only, like harvest.
+  void reset_cycle_accesses() PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Total entries (diagnostics / tests). Quiescent-only.
   [[nodiscard]] size_t total_left_entries() const
@@ -135,6 +154,7 @@ class PairedHashTables {
 
  private:
   std::vector<Line> lines_;
+  RightEntryPool right_pool_;
   size_t mask_ = 0;
 };
 

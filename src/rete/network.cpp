@@ -5,8 +5,12 @@
 
 namespace psme {
 
-Network::Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines)
-    : syms_(syms), schemas_(schemas), tables_(hash_lines) {}
+Network::Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines,
+                 uint32_t arena_chunk_bytes)
+    : syms_(syms),
+      schemas_(schemas),
+      tables_(hash_lines),
+      arena_(1, arena_chunk_bytes) {}
 
 uint32_t Network::root_slot(Symbol cls) {
   auto it = roots_.find(cls);
@@ -187,10 +191,14 @@ void Network::exec_alpha(AlphaMemNode& n, const Activation& a,
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ++ctx.stats.inserts;
     if (a.add) {
-      n.wmes.push_back(w);
+      n.wmes.push_back(w, alpha_pool_);
     } else {
-      auto it = std::find(n.wmes.begin(), n.wmes.end(), w);
-      if (it != n.wmes.end()) n.wmes.erase(it);
+      for (auto it = n.wmes.begin(); it != n.wmes.end(); ++it) {
+        if (*it == w) {
+          n.wmes.erase(it, alpha_pool_);
+          break;
+        }
+      }
     }
   }
   emit_succs(n.jt_slot, a.token, a.add, ctx, /*from_alpha=*/true);
@@ -261,11 +269,11 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
     ++line.right_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
-      line.right.push_back(RightEntry{h, n.id, w});
+      line.right.push_back(RightEntry{h, n.id, w}, tables_.right_pool());
     } else {
       for (auto it = line.right.begin(); it != line.right.end(); ++it) {
         if (it->node_id == n.id && it->wme == w) {
-          line.right.erase(it);
+          line.right.erase(it, tables_.right_pool());
           break;
         }
       }
@@ -350,7 +358,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
     ++line.right_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
-      line.right.push_back(RightEntry{h, n.id, w});
+      line.right.push_back(RightEntry{h, n.id, w}, tables_.right_pool());
       for (LeftEntry& l : line.left) {
         ++ctx.stats.probes;
         if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
@@ -361,7 +369,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
     } else {
       for (auto it = line.right.begin(); it != line.right.end(); ++it) {
         if (it->node_id == n.id && it->wme == w) {
-          line.right.erase(it);
+          line.right.erase(it, tables_.right_pool());
           break;
         }
       }
@@ -505,12 +513,17 @@ void Network::exec_prod(const ProdNode& n, const Activation& a,
 }
 
 std::vector<Token> Network::node_outputs(uint32_t node_id) const {
-  const Node* n = nodes_[node_id].get();
   std::vector<Token> out;
+  node_outputs_into(node_id, out);
+  return out;
+}
+
+void Network::node_outputs_into(uint32_t node_id,
+                                std::vector<Token>& out) const {
+  const Node* n = nodes_[node_id].get();
   switch (n->type) {
     case NodeType::AlphaMem: {
       const auto& am = static_cast<const AlphaMemNode&>(*n);
-      out.reserve(am.wmes.size());
       for (const Wme* w : am.wmes) out.push_back(Token{w});
       break;
     }
@@ -543,7 +556,6 @@ std::vector<Token> Network::node_outputs(uint32_t node_id) const {
       assert(false && "node_outputs: not a share-point node type");
       break;
   }
-  return out;
 }
 
 Network::Census Network::census() const {

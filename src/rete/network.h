@@ -85,7 +85,10 @@ class ExecContext {
 
 class Network {
  public:
-  Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines = 4096);
+  /// `arena_chunk_bytes` sizes the TokenArena spill chunks (see base/arena.h;
+  /// EngineOptions exposes it, bench_tokens sweeps it).
+  Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines = 4096,
+          uint32_t arena_chunk_bytes = TokenArena::kDefaultChunkBytes);
 
   SymbolTable& syms() { return syms_; }
   ClassSchemas& schemas() { return schemas_; }
@@ -97,6 +100,10 @@ class Network {
   /// Token spill storage. Executors call begin_drain/reclaim_at_quiescence
   /// around each drain (see base/arena.h for the lifecycle contract).
   TokenArena& arena() const { return arena_; }
+
+  /// Shared chunk recycler for every alpha memory's wme list (see
+  /// AlphaWmeList in rete/nodes.h).
+  AlphaWmePool& alpha_pool() { return alpha_pool_; }
 
   void set_sink(MatchSink* sink) { sink_ = sink; }
   [[nodiscard]] MatchSink* sink() const { return sink_; }
@@ -146,6 +153,12 @@ class Network {
   [[nodiscard]] std::vector<Token> node_outputs(uint32_t node_id) const
       PSME_NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Allocation-conscious form: appends into a caller-owned buffer whose
+  /// capacity survives across replays (the §5.2 phase-C scratch; see
+  /// UpdateScratch in rete/update.h). `out` is not cleared.
+  void node_outputs_into(uint32_t node_id, std::vector<Token>& out) const
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
+
   /// Node census for diagnostics and the code-size model.
   struct Census {
     uint32_t consts = 0, disjs = 0, intras = 0, alpha_mems = 0, joins = 0,
@@ -180,6 +193,7 @@ class Network {
   PairedHashTables tables_;
   // mutable: the const node_outputs() replay builds fresh (transient) tokens.
   mutable TokenArena arena_;
+  AlphaWmePool alpha_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<Symbol, uint32_t> roots_;  // class -> jumptable slot
   MatchSink* sink_ = nullptr;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/chunk_list.h"
 #include "base/thread_annotations.h"
 #include "lang/ast.h"
 #include "par/spinlock.h"
@@ -119,15 +120,23 @@ struct IntraNode final : Node {
   Pred pred = Pred::Eq;
 };
 
+/// Alpha wme lists share one recycled chunk pool (owned by the Network):
+/// like the right-entry lists, steady-state add/remove churn reuses chunks
+/// instead of hitting the heap. Unordered storage (swap-with-last erase).
+constexpr size_t kAlphaWmesPerChunk = 16;
+using AlphaWmeList = ChunkedList<const Wme*, kAlphaWmesPerChunk>;
+using AlphaWmePool = ChunkPool<const Wme*, kAlphaWmesPerChunk>;
+
 struct AlphaMemNode final : Node {
   AlphaMemNode() : Node(NodeType::AlphaMem) {}
   // Guards `wmes` during parallel match. Ranked Bucket like the table lines:
-  // a worker holds at most one match-state lock at a time.
+  // a worker holds at most one match-state Bucket lock at a time (the chunk
+  // pool's SlabPool lock may nest inside).
   mutable Spinlock lock{LockRank::Bucket, "alpha-mem"};
   // Plain wme list; the authoritative probe structures are the per-join right
   // entries in the global tables. This list is what §5.2 update replays and
   // what Figure 2-2 draws as the memory under each constant chain.
-  std::vector<const Wme*> wmes PSME_GUARDED_BY(lock);
+  AlphaWmeList wmes PSME_GUARDED_BY(lock);
 };
 
 /// One consistency test at a two-input node: compares a slot of an earlier

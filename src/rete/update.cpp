@@ -1,7 +1,5 @@
 #include "rete/update.h"
 
-#include <deque>
-
 namespace psme {
 namespace {
 
@@ -24,24 +22,29 @@ bool prefix_passes(const AlphaFrontier& f, const Wme* w) {
 
 }  // namespace
 
-std::vector<Activation> update_alpha_seeds(Network& net,
-                                           const CompiledProduction& cp,
-                                           const std::vector<const Wme*>& wm) {
+void update_alpha_seeds_into(Network& net, const CompiledProduction& cp,
+                             const std::vector<const Wme*>& wm,
+                             std::vector<Activation>& out) {
   (void)net;
-  std::vector<Activation> seeds;
   for (const AlphaFrontier& f : cp.alpha_frontiers) {
     for (const Wme* w : wm) {
       if (w->cls != f.cls) continue;
       if (!prefix_passes(f, w)) continue;
-      seeds.push_back(Activation{f.entry_node, Side::Left, true, Token{w}});
+      out.push_back(Activation{f.entry_node, Side::Left, true, Token{w}});
     }
   }
+}
+
+std::vector<Activation> update_alpha_seeds(Network& net,
+                                           const CompiledProduction& cp,
+                                           const std::vector<const Wme*>& wm) {
+  std::vector<Activation> seeds;
+  update_alpha_seeds_into(net, cp, wm, seeds);
   return seeds;
 }
 
-std::vector<Activation> update_right_seeds(Network& net,
-                                           const CompiledProduction& cp) {
-  std::vector<Activation> seeds;
+void update_right_seeds_into(Network& net, const CompiledProduction& cp,
+                             std::vector<Activation>& out) {
   for (const uint32_t id : cp.new_nodes) {
     const Node* n = net.node(id);
     if (n->type != NodeType::Join && n->type != NodeType::Not) continue;
@@ -49,42 +52,70 @@ std::vector<Activation> update_right_seeds(Network& net,
     if (t->alpha_mem >= cp.first_new_id) continue;  // new amem: phase A fed it
     const auto* am = static_cast<const AlphaMemNode*>(net.node(t->alpha_mem));
     for (const Wme* w : am->wmes) {
-      seeds.push_back(Activation{id, Side::Right, true, Token{w}});
+      out.push_back(Activation{id, Side::Right, true, Token{w}});
     }
   }
+}
+
+std::vector<Activation> update_right_seeds(Network& net,
+                                           const CompiledProduction& cp) {
+  std::vector<Activation> seeds;
+  update_right_seeds_into(net, cp, seeds);
   return seeds;
+}
+
+void update_left_seeds_into(Network& net, const CompiledProduction& cp,
+                            UpdateScratch& scratch) {
+  scratch.seeds.clear();
+  scratch.outputs.clear();
+  net.node_outputs_into(cp.share_point, scratch.outputs);
+  const uint32_t slot = net.node(cp.share_point)->jt_slot;
+  for (const SuccessorRef& s : net.jumptable().peek(slot)) {
+    if (s.side != Side::Left || s.node < cp.first_new_id) continue;
+    for (const Token& t : scratch.outputs) {
+      scratch.seeds.push_back(Activation{s.node, Side::Left, true, t});
+    }
+  }
 }
 
 std::vector<Activation> update_left_seeds(Network& net,
                                           const CompiledProduction& cp) {
-  std::vector<Activation> seeds;
-  const auto outputs = net.node_outputs(cp.share_point);
-  const uint32_t slot = net.node(cp.share_point)->jt_slot;
-  for (const SuccessorRef& s : net.jumptable().peek(slot)) {
-    if (s.side != Side::Left || s.node < cp.first_new_id) continue;
-    for (const Token& t : outputs) {
-      seeds.push_back(Activation{s.node, Side::Left, true, t});
-    }
-  }
-  return seeds;
+  UpdateScratch scratch;
+  update_left_seeds_into(net, cp, scratch);
+  return std::move(scratch.seeds);
 }
 
 namespace {
 
+/// Serial FIFO drain over a caller-owned ring; leases the scratch's child/
+/// emission buffers into the ExecContext so a full three-phase update
+/// touches the heap only to raise high-water capacities.
 class DrainCtx final : public ExecContext {
  public:
-  explicit DrainCtx(Network& net) : net_(net) {}
-
-  void emit(Activation&& a) override {
-    if (net_.should_execute(a, *this)) queue_.push_back(std::move(a));
+  DrainCtx(Network& net, UpdateScratch& scratch)
+      : net_(net), scratch_(scratch) {
+    scratch_children.swap(scratch_.children);
+    scratch_emissions.swap(scratch_.emissions);
   }
 
-  uint64_t drain(std::vector<Activation> seeds) {
+  ~DrainCtx() override {
+    scratch_children.swap(scratch_.children);
+    scratch_emissions.swap(scratch_.emissions);
+  }
+
+  void emit(Activation&& a) override {
+    if (net_.should_execute(a, *this)) scratch_.queue.push_back(a);
+  }
+
+  uint64_t drain(const std::vector<Activation>& seeds) {
     uint64_t n = 0;
-    for (auto& s : seeds) emit(std::move(s));
-    while (!queue_.empty()) {
-      Activation a = std::move(queue_.front());
-      queue_.pop_front();
+    for (const Activation& s : seeds) {
+      Activation copy = s;
+      emit(std::move(copy));
+    }
+    while (!scratch_.queue.empty()) {
+      Activation a = scratch_.queue.front();
+      scratch_.queue.pop_front();
       ++n;
       net_.execute(a, *this);
     }
@@ -93,28 +124,41 @@ class DrainCtx final : public ExecContext {
 
  private:
   Network& net_;
-  std::deque<Activation> queue_;
+  UpdateScratch& scratch_;
 };
 
 }  // namespace
 
 uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
-                           const std::vector<const Wme*>& wm) {
+                           const std::vector<const Wme*>& wm,
+                           UpdateScratch& scratch) {
   // One epoch for the whole three-phase update: the replay seeds built
   // between phases are transient tokens, and opening the epoch before any
   // seed is built keeps them inside the drain's deferral window.
   net.arena().begin_drain(1);
   uint64_t tasks = 0;
-  DrainCtx ctx(net);
+  scratch.queue.clear();
+  DrainCtx ctx(net, scratch);
   ctx.update_mode = true;
   ctx.min_node_id = cp.first_new_id;
   ctx.suppress_alpha_left = true;
-  tasks += ctx.drain(update_alpha_seeds(net, cp, wm));
+  scratch.seeds.clear();
+  update_alpha_seeds_into(net, cp, wm, scratch.seeds);
+  tasks += ctx.drain(scratch.seeds);
   ctx.suppress_alpha_left = false;
-  tasks += ctx.drain(update_right_seeds(net, cp));
-  tasks += ctx.drain(update_left_seeds(net, cp));
+  scratch.seeds.clear();
+  update_right_seeds_into(net, cp, scratch.seeds);
+  tasks += ctx.drain(scratch.seeds);
+  update_left_seeds_into(net, cp, scratch);  // fills scratch.seeds
+  tasks += ctx.drain(scratch.seeds);
   net.arena().reclaim_at_quiescence();
   return tasks;
+}
+
+uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+                           const std::vector<const Wme*>& wm) {
+  UpdateScratch scratch;
+  return run_update_serial(net, cp, wm, scratch);
 }
 
 }  // namespace psme

@@ -19,12 +19,28 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "base/ring.h"
 #include "rete/builder.h"
 #include "rete/network.h"
 
 namespace psme {
+
+/// Reusable buffers for the three-phase update. A system that chunks
+/// continuously (the paper's whole premise) runs the §5.2 update once per
+/// chunk; holding one of these per engine keeps the replay's seed vector,
+/// the phase-C output buffer, and the serial drain queue at their high-water
+/// capacity instead of reallocating them per addition (the regression test
+/// in tests/rete_update_test.cpp asserts the allocation count stays flat).
+struct UpdateScratch {
+  std::vector<Activation> seeds;
+  std::vector<Token> outputs;              // phase-C node_outputs_into target
+  RingBuffer<Activation> queue;            // serial drain FIFO
+  std::vector<Token> children;             // ExecContext scratch, leased
+  std::vector<std::pair<Token, bool>> emissions;
+};
 
 /// Phase A seeds: for each new alpha-network chain, every wme of the right
 /// class that passes the shared prefix tests is seeded at the chain's entry
@@ -36,19 +52,40 @@ std::vector<Activation> update_alpha_seeds(Network& net,
                                            const CompiledProduction& cp,
                                            const std::vector<const Wme*>& wm);
 
+/// Appends into a caller-owned buffer (capacity retained across additions).
+void update_alpha_seeds_into(Network& net, const CompiledProduction& cp,
+                             const std::vector<const Wme*>& wm,
+                             std::vector<Activation>& out);
+
 /// Quiescent-only: reads alpha memories without their locks (the §5.2
 /// contract — structural add and seeding happen while match is quiescent).
 std::vector<Activation> update_right_seeds(Network& net,
                                            const CompiledProduction& cp)
     PSME_NO_THREAD_SAFETY_ANALYSIS;
 
+void update_right_seeds_into(Network& net, const CompiledProduction& cp,
+                             std::vector<Activation>& out)
+    PSME_NO_THREAD_SAFETY_ANALYSIS;
+
 /// Must be called after phases A and B have fully drained.
 std::vector<Activation> update_left_seeds(Network& net,
                                           const CompiledProduction& cp);
+
+/// Phase-C replay without per-seed allocation: the share point's stored
+/// outputs land in `scratch.outputs`, the seeds in `scratch.seeds` (both
+/// cleared first, capacity retained).
+void update_left_seeds_into(Network& net, const CompiledProduction& cp,
+                            UpdateScratch& scratch);
 
 /// Serial convenience used by tests and the incremental-vs-rebuild property
 /// checks. Returns the number of tasks executed.
 uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm);
+
+/// Same, draining through caller-owned scratch so repeated run-time
+/// additions stop paying per-addition heap traffic.
+uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+                           const std::vector<const Wme*>& wm,
+                           UpdateScratch& scratch);
 
 }  // namespace psme

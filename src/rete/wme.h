@@ -32,10 +32,17 @@ struct Wme {
     return cls == o.cls && fields == o.fields;
   }
 
-  [[nodiscard]] size_t contents_hash() const {
+  /// Span form so callers can hash prospective contents without building a
+  /// probe Wme (WorkingMemory::find's allocation-free lookup).
+  [[nodiscard]] static size_t contents_hash_of(Symbol cls, const Value* fields,
+                                               size_t n) {
     size_t h = std::hash<Symbol>()(cls);
-    for (const auto& v : fields) h = h * 0x100000001b3ull ^ v.hash();
+    for (size_t i = 0; i < n; ++i) h = h * 0x100000001b3ull ^ fields[i].hash();
     return h;
+  }
+
+  [[nodiscard]] size_t contents_hash() const {
+    return contents_hash_of(cls, fields.data(), fields.size());
   }
 
   [[nodiscard]] std::string to_string(const SymbolTable& syms,

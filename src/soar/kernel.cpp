@@ -180,8 +180,12 @@ void SoarKernel::apply_fire_delta(const Instantiation* inst,
   engine_.cs().mark_fired(inst);
 
   for (const auto& add : delta.adds) {
-    if (engine_.wm().find(add.cls, add.fields) != nullptr) continue;  // dedup
-    const Wme* w = engine_.add_wme(add.cls, add.fields);
+    if (engine_.wm().find(add.cls, add.fields.data(), add.fields.size()) !=
+        nullptr) {
+      continue;  // dedup
+    }
+    const Wme* w =
+        engine_.add_wme(add.cls, add.fields.data(), add.fields.size());
     int wl = lvl;
     if (!add.fields.empty() && add.fields[0].is_sym()) {
       const int l0 = id_level(add.fields[0].sym());
@@ -257,7 +261,8 @@ void SoarKernel::elaborate(SoarRunStats& stats) {
     // created by the previous firing batch are compiled and updated now
     // ("Soar adds chunks only at the end of an elaboration cycle").
     flush_chunks(stats);
-    const auto insts = engine_.cs().unfired();
+    engine_.cs().unfired_into(unfired_scratch_);
+    const auto& insts = unfired_scratch_;
     if (insts.empty()) {
       if (!engine_.has_pending_changes()) break;
       continue;

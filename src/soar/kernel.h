@@ -215,6 +215,7 @@ class SoarKernel {
   };
   std::vector<PendingResult> pending_results_;
   std::vector<std::string> chunk_signatures_;  // dedup
+  std::vector<const Instantiation*> unfired_scratch_;  // per-elab harvest
   int current_fire_level_ = 1;
 
   friend struct SoarAccess;

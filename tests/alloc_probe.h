@@ -1,0 +1,65 @@
+// Counting global allocator for allocation-discipline tests.
+//
+// Including this header replaces the process-wide operator new/delete with
+// counting versions; psme::test::heap_allocs() reads the running count.
+// Tests snapshot the counter around a measured window (gtest's own
+// allocations happen outside those windows).
+//
+// Because it *defines* the global operators, this header may be included by
+// exactly ONE translation unit per test binary. Every psme_test target is a
+// single .cpp, so including it from the test file is always safe; never put
+// it in a shared utility TU.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace psme::test {
+inline std::atomic<uint64_t> g_heap_allocs{0};
+
+inline uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace psme::test
+
+namespace {
+inline void* psme_counted_alloc(std::size_t n) {
+  psme::test::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return psme_counted_alloc(n); }
+void* operator new[](std::size_t n) { return psme_counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  psme::test::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+void* operator new(std::size_t n, std::align_val_t a) {
+  psme::test::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return operator new(n, a);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

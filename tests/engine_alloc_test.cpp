@@ -1,0 +1,84 @@
+// Allocation-free engine cycle (DESIGN.md §10): after warm-up, the full
+// match → select → fire → apply loop performs ZERO heap allocations, for
+// every match policy. The workload is a ping-pong pair driven through the
+// network-retraction regime (fire in place, let the match retract the fired
+// instantiation), so every storage structure in the cycle is exercised:
+//
+//   make-it fires  -> adds (thing ^v 1)   [negation retracts make-it's PI,
+//                                          join inserts del-it's PI]
+//   del-it fires   -> removes the thing   [join retracts del-it's PI,
+//                                          negation re-inserts make-it's PI]
+//
+// Each iteration recycles: a WorkingMemory rec, alpha-memory chunk entries,
+// hash-line right entries, conflict-set slab nodes, the fire delta's add
+// slots, the seed/queue scratch, and (parallel policies) the per-worker
+// batches. Timetags grow monotonically, so hash keys shift every cycle —
+// placement changes must not trigger growth once high-water capacity exists.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alloc_probe.h"
+#include "engine/engine.h"
+#include "par/parallel_match.h"
+
+namespace psme {
+namespace {
+
+using test::heap_allocs;
+
+constexpr const char* kPingPong =
+    "(p make-it (ctl ^phase go) -(thing ^v 1) --> (make thing ^v 1))\n"
+    "(p del-it (ctl ^phase go) (thing ^v 1) --> (remove 2))";
+
+/// One engine cycle: fire the single unfired instantiation (in place; the
+/// next match's retraction removes it) and drain the match.
+void cycle(Engine& e) {
+  const Instantiation* inst = e.cs().select_lex();
+  ASSERT_NE(inst, nullptr) << "ping-pong must never go quiescent";
+  e.fire(inst, /*remove_after_fire=*/false, /*dedup_adds=*/false);
+  e.match();
+}
+
+void expect_allocation_free_cycles(size_t workers,
+                                   TaskQueueSet::Policy policy) {
+  EngineOptions opts;
+  opts.record_traces = false;  // trace recording allocates by design
+  opts.match_workers = workers;
+  opts.match_policy = policy;
+  Engine e(opts);
+  e.load(kPingPong);
+  e.add_wme_text("(ctl ^phase go)");
+  e.match();
+
+  // Warm-up: reach high-water capacity in every pool, ring, and scratch
+  // buffer (and spin up the worker pool for parallel policies).
+  for (int i = 0; i < 32; ++i) cycle(e);
+
+  const uint64_t before = heap_allocs();
+  for (int i = 0; i < 1000; ++i) cycle(e);
+  EXPECT_EQ(heap_allocs() - before, 0u)
+      << "steady-state engine cycles must not touch the heap";
+
+  // The regime stayed balanced: exactly one live instantiation remains.
+  EXPECT_EQ(e.cs().size(), 1u);
+}
+
+TEST(EngineAlloc, SerialCycleIsAllocationFree) {
+  expect_allocation_free_cycles(0, TaskQueueSet::Policy::Steal);
+}
+
+TEST(EngineAlloc, SingleQueueCycleIsAllocationFree) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Single);
+}
+
+TEST(EngineAlloc, MultiQueueCycleIsAllocationFree) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Multi);
+}
+
+TEST(EngineAlloc, StealCycleIsAllocationFree) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal);
+}
+
+}  // namespace
+}  // namespace psme

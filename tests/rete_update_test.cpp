@@ -1,8 +1,10 @@
 // Focused tests of the §5.2 run-time state update machinery: alpha-frontier
-// seeding, phase ordering, sequential run-time adds, and update behaviour
-// for every condition-element kind.
+// seeding, phase ordering, sequential run-time adds, update behaviour for
+// every condition-element kind, and the scratch-buffered replay's
+// allocation discipline.
 #include <gtest/gtest.h>
 
+#include "alloc_probe.h"
 #include "engine/engine.h"
 #include "lang/parser.h"
 #include "rete/update.h"
@@ -12,6 +14,7 @@ namespace psme {
 namespace {
 
 using test::cs_fingerprint;
+using test::heap_allocs;
 using test::instantiation_count;
 
 Production parse_one(Engine& e, std::string_view src) {
@@ -205,6 +208,52 @@ TEST(Update, UpdateTaskCountScalesWithSharing) {
   EXPECT_LT(shared_res.update_tasks, fresh_res.update_tasks);
   EXPECT_EQ(test::instantiation_count(shared_engine, "p2"), 8);
   EXPECT_EQ(test::instantiation_count(fresh_engine, "p2"), 8);
+}
+
+TEST(Update, ScratchReplayIsAllocationFlat) {
+  // A chunking system runs the §5.2 update once per chunk, forever. With a
+  // persistent UpdateScratch the replay must stop allocating once its
+  // buffers reach high-water capacity — even for spill-length tokens (six
+  // CEs, so every full token exceeds the inline cap and lands in the arena).
+  Engine e;
+  e.load("(p base (a ^v <x>) (b ^v <x>) --> (halt))");
+  for (const char* cls : {"a", "b", "c", "d", "e", "f"}) {
+    for (int v = 0; v < 3; ++v) {
+      e.add_wme_text("(" + std::string(cls) + " ^v " + std::to_string(v) +
+                     ")");
+    }
+  }
+  e.match();
+  const int base_insts = instantiation_count(e, "base");
+
+  const auto wm = e.wm().live();
+  Builder& builder = e.builder();
+  static std::vector<std::unique_ptr<Production>> keep;
+  UpdateScratch scratch;
+  for (int round = 0; round < 8; ++round) {
+    const std::string name = "spill" + std::to_string(round);
+    keep.push_back(std::make_unique<Production>(parse_one(
+        e, "(p " + name +
+               " (a ^v <x>) (b ^v <x>) (c ^v <x>) (d ^v <x>) (e ^v <x>)"
+               " (f ^v <x>) --> (halt))")));
+    // Structural compile may allocate (new nodes, code); only the state
+    // update itself is measured.
+    CompiledProduction cp = builder.add_production(*keep.back());
+    const uint64_t before = heap_allocs();
+    run_update_serial(e.net(), cp, wm, scratch);
+    const uint64_t used = heap_allocs() - before;
+    EXPECT_EQ(instantiation_count(e, name), 3);
+    if (round >= 2) {
+      // Round 0 builds the chain and fills the scratch; round 1 may still
+      // grow capacity. From then on the replay is allocation-free.
+      EXPECT_EQ(used, 0u) << "update " << round << " touched the heap";
+    }
+  }
+
+  // The task filter dropped every activation of pre-existing stateful
+  // nodes: old productions saw no duplicate matches from the re-seeded wmes.
+  EXPECT_EQ(instantiation_count(e, "base"), base_insts);
+  EXPECT_EQ(instantiation_count(e, "spill0"), 3);
 }
 
 }  // namespace

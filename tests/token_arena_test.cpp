@@ -12,73 +12,21 @@
 //     match (serial equivalence) while actually freeing chunks.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <string>
 #include <vector>
 
+#include "alloc_probe.h"
 #include "engine/engine.h"
 #include "par/parallel_match.h"
 #include "rete/network.h"
 #include "rete/token.h"
 #include "test_util.h"
 
-// ---- counting global allocator --------------------------------------------
-// Counts every operator-new on the process. Tests snapshot the counter
-// around a measured window; gtest's own allocations happen outside those
-// windows.
-namespace {
-std::atomic<uint64_t> g_heap_allocs{0};
-
-void* counted_alloc(std::size_t n) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(n != 0 ? n : 1);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-
-void* operator new(std::size_t n, std::align_val_t a) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
-                                   (n + static_cast<std::size_t>(a) - 1) &
-                                       ~(static_cast<std::size_t>(a) - 1))) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n, std::align_val_t a) {
-  return operator new(n, a);
-}
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-
 namespace psme {
 namespace {
 
 using test::cs_fingerprint;
-
-uint64_t heap_allocs() {
-  return g_heap_allocs.load(std::memory_order_relaxed);
-}
+using test::heap_allocs;
 
 // ---- token representation --------------------------------------------------
 
@@ -217,9 +165,8 @@ TEST(TokenArena, SteadyStateActivationsAreHeapFree) {
   e.match();
 
   Network& net = e.net();
-  // The conflict set buys its list/index nodes from the heap by design;
-  // detach it to isolate the match-network path the tentpole claims is
-  // allocation-free.
+  // Detach the conflict set to isolate the match-network path; the full
+  // engine cycle (CS included) is covered by engine_alloc_test.
   net.set_sink(nullptr);
 
   const Wme* toggle = nullptr;
