@@ -21,6 +21,7 @@
 
 #include "engine/engine.h"
 #include "harness.h"
+#include "obs/export.h"
 #include "par/parallel_match.h"
 
 using namespace psme;
@@ -70,30 +71,19 @@ const char* policy_name(TaskQueueSet::Policy p) {
 }
 
 /// Runs the full wave script on a fresh engine through one persistent
-/// matcher; every configuration sees the identical workload.
+/// matcher; every configuration sees the identical workload. A non-null
+/// `tracer` records per-worker task/steal/park events (the PSME_TRACE run).
 Record run_config(TaskQueueSet::Policy policy, size_t workers, int rounds,
-                  int wave) {
+                  int wave, obs::Tracer* tracer = nullptr) {
   Record r;
   r.policy = policy_name(policy);
   r.workers = workers;
 
   Engine e;
   e.load(bench_productions());
-  ParallelMatcher matcher(e.net(), workers, policy);
+  ParallelMatcher matcher(e.net(), workers, policy, tracer);
 
-  auto accumulate = [&r](const ParallelStats& st) {
-    r.stats.tasks += st.tasks;
-    r.stats.failed_pops += st.failed_pops;
-    r.stats.queue_lock_spins += st.queue_lock_spins;
-    r.stats.queue_lock_acquires += st.queue_lock_acquires;
-    r.stats.steals += st.steals;
-    r.stats.failed_steals += st.failed_steals;
-    r.stats.parks += st.parks;
-    r.stats.wall_seconds += st.wall_seconds;
-    // Lifetime gauges of this config's fresh engine: the last snapshot wins.
-    r.stats.pool_slabs = st.pool_slabs;
-    r.stats.arena = st.arena;
-  };
+  auto accumulate = [&r](const ParallelStats& st) { r.stats.accumulate(st); };
 
   for (int round = 0; round < rounds; ++round) {
     std::vector<const Wme*> before = e.wm().live();
@@ -202,6 +192,56 @@ int main(int argc, char** argv) {
                  steal < multi ? "steal wins" : "multi wins");
   }
 
+  // Optional traced run (PSME_TRACE=<path>): one extra 8-worker Steal config
+  // with per-worker event rings, exported as Chrome trace JSON, plus an
+  // idle-time accounting table on stderr. Stdout's JSON document is
+  // unaffected, so bench_json.sh captures the same schema either way.
+  if (obs::env_trace_path() != nullptr) {
+    obs::TraceOptions topt;
+    topt.enabled = true;
+    obs::Tracer tracer(topt);
+    std::fprintf(stderr, "\ntraced run: steal policy, 8 workers\n");
+    const Record tr =
+        run_config(TaskQueueSet::Policy::Steal, 8, rounds, wave, &tracer);
+    obs::export_env_trace(tracer);
+    obs::print_trace_summary(tracer, stderr);
+
+    // Idle accounting per worker from the rings: busy = sum of task-span
+    // durations, parked = sum of park-span durations; failed steals count
+    // full empty sweeps. The gap between the busiest and idlest worker's
+    // busy time is the drain-tail imbalance the trace makes visible.
+    std::fprintf(stderr, "%-8s %10s %10s %8s %8s %8s\n", "track", "busy_ms",
+                 "parked_ms", "tasks", "steals", "fail_st");
+    uint64_t busy_min = UINT64_MAX, busy_max = 0;
+    for (size_t t = 1; t < tracer.tracks(); ++t) {
+      const obs::EventRing& ring = tracer.ring(t);
+      uint64_t busy = 0, parked = 0, tasks = 0, steals = 0, fails = 0;
+      for (size_t i = 0; i < ring.size(); ++i) {
+        const obs::TraceEvent& ev = ring[i];
+        switch (ev.kind) {
+          case obs::EventKind::TaskExec: busy += ev.dur_ns; ++tasks; break;
+          case obs::EventKind::Park: parked += ev.dur_ns; break;
+          case obs::EventKind::StealOk: ++steals; break;
+          case obs::EventKind::StealFail: ++fails; break;
+          default: break;
+        }
+      }
+      busy_min = busy < busy_min ? busy : busy_min;
+      busy_max = busy > busy_max ? busy : busy_max;
+      std::fprintf(stderr, "w%-7zu %10.2f %10.2f %8llu %8llu %8llu\n", t - 1,
+                   busy / 1e6, parked / 1e6,
+                   static_cast<unsigned long long>(tasks),
+                   static_cast<unsigned long long>(steals),
+                   static_cast<unsigned long long>(fails));
+    }
+    std::fprintf(stderr,
+                 "idle sources: parks %llu, failed steals %llu, drain-tail "
+                 "busy-time spread %.2f ms (min %.2f / max %.2f)\n",
+                 static_cast<unsigned long long>(tr.stats.parks),
+                 static_cast<unsigned long long>(tr.stats.failed_steals),
+                 (busy_max - busy_min) / 1e6, busy_min / 1e6, busy_max / 1e6);
+  }
+
   // Machine-readable document on stdout.
   JsonWriter j(stdout);
   j.begin_object();
@@ -232,6 +272,11 @@ int main(int argc, char** argv) {
     j.field("arena_chunks_freed", r.stats.arena.chunks_freed);
     j.field("arena_chunks_live", r.stats.arena.chunks_live);
     j.field("final_cs_size", static_cast<uint64_t>(r.cs_size));
+    // The same numbers under registry naming ("par.*"/"arena.*"), so every
+    // consumer of bench JSON can share one metric-name vocabulary.
+    obs::MetricsRegistry reg;
+    obs::collect(reg, r.stats);
+    write_metrics(j, "metrics", reg);
     j.end_object();
   }
   j.end_array();

@@ -176,17 +176,6 @@ const char* policy_name(TaskQueueSet::Policy p) {
   return "?";
 }
 
-MatchStats stats_delta(const MatchStats& a, const MatchStats& b) {
-  MatchStats d;
-  d.spill_allocs = b.spill_allocs - a.spill_allocs;
-  d.spill_bytes = b.spill_bytes - a.spill_bytes;
-  d.chunks_allocated = b.chunks_allocated - a.chunks_allocated;
-  d.chunks_freed = b.chunks_freed - a.chunks_freed;
-  d.chunks_live = b.chunks_live;
-  d.sealed_pending = b.sealed_pending;
-  d.epoch = b.epoch;
-  return d;
-}
 
 EngineRecord run_config(TaskQueueSet::Policy policy, size_t workers,
                         int rounds, int warmup, int wave) {
@@ -251,7 +240,7 @@ EngineRecord run_config(TaskQueueSet::Policy policy, size_t workers,
     one_round(round, true);
   }
   r.heap = {allocs_now() - a0, bytes_now() - b0};
-  r.arena_delta = stats_delta(arena0, e.net().arena().stats());
+  r.arena_delta = e.net().arena().stats().delta(arena0);
   r.pool_slabs = pool_slabs;
   return r;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "psim/report.h"
 #include "psim/sim.h"
 #include "tasks/registry.h"
@@ -87,7 +88,10 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::FILE* out) : out_(out) {}
 
-  void begin_object() { open('{'); }
+  void begin_object(const char* key = nullptr) {
+    if (key != nullptr) emit_key(key);
+    open('{');
+  }
   void end_object() { close('}'); }
   void begin_array(const char* key = nullptr) {
     if (key != nullptr) emit_key(key);
@@ -154,5 +158,17 @@ class JsonWriter {
   bool first_ = true;
   bool after_key_ = false;
 };
+
+/// Streams a registry as one JSON object: {"par.tasks": 123, ...}. Dotted
+/// metric names are kept verbatim as keys, so bench JSON and the demos'
+/// --stats tables agree on naming. Emits the object under `key`.
+inline void write_metrics(JsonWriter& j, const char* key,
+                          const obs::MetricsRegistry& m) {
+  j.begin_object(key);
+  for (const obs::Metric& metric : m.metrics()) {
+    j.field(metric.name.c_str(), metric.value);
+  }
+  j.end_object();
+}
 
 }  // namespace psme::bench

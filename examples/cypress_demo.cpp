@@ -2,21 +2,29 @@
 // chunking, showing the derivation tree the run builds and the learned
 // rule-selection chunks.
 //
-//   $ ./cypress_demo
+//   $ ./cypress_demo [--stats]
+//   $ PSME_TRACE=trace.json ./cypress_demo
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <vector>
 
+#include "obs/export.h"
 #include "tasks/registry.h"
 
 using namespace psme;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+  }
   Task task = make_cypress();
   SoarOptions opts;
   opts.learning = true;
   opts.max_decisions = task.max_decisions;
+  opts.engine.trace.enabled = obs::env_trace_path() != nullptr;
   SoarKernel kernel(opts);
   kernel.load_productions(task.productions);
   task.init(kernel);
@@ -72,6 +80,17 @@ int main() {
   if (!stats.chunk_texts.empty()) {
     std::printf("\nfirst learned rule-selection chunk:\n%s\n",
                 stats.chunk_texts.front().c_str());
+  }
+
+  if (want_stats) {
+    obs::MetricsRegistry metrics;
+    obs::collect(metrics, stats);
+    kernel.engine().collect_metrics(metrics);
+    std::printf("\nend-of-run metrics:\n");
+    obs::print_metrics_table(metrics, stdout);
+  }
+  if (kernel.engine().tracer() != nullptr) {
+    obs::export_env_trace(*kernel.engine().tracer());
   }
   return 0;
 }

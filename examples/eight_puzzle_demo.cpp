@@ -2,9 +2,18 @@
 // again with chunking on (watch the chunks being built), then re-solve with
 // the learned chunks preloaded and compare the effort.
 //
-//   $ ./eight_puzzle_demo
+//   $ ./eight_puzzle_demo [--stats]
+//   $ PSME_TRACE=trace.json ./eight_puzzle_demo
+//
+// With PSME_TRACE set, the during-chunking run repeats on a 3-worker
+// parallel matcher with tracing on and exports a Perfetto-loadable Chrome
+// trace: per-worker task spans plus the §5.2 update-phase spans of every
+// chunk added at run time. (3 workers, not more: learning runs at >= 4
+// workers currently diverge from the serial oracle — see ROADMAP.md.)
 #include <cstdio>
+#include <cstring>
 
+#include "obs/export.h"
 #include "tasks/registry.h"
 
 using namespace psme;
@@ -27,7 +36,11 @@ void report(const char* label, const TaskRunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+  }
   const Task task = make_eight_puzzle();
   std::printf("Eight-Puzzle-Soar: %zu-byte production source, solving a "
               "board scrambled 8 moves from the goal.\n\n",
@@ -55,5 +68,25 @@ int main() {
               "first run needed:\n%llu impasses -> %llu.\n",
               static_cast<unsigned long long>(without.stats.impasses),
               static_cast<unsigned long long>(after.stats.impasses));
+
+  if (want_stats) {
+    std::printf("\nend-of-run metrics (during-chunking run):\n");
+    psme::obs::print_metrics_table(during.metrics, stdout);
+  }
+
+  if (psme::obs::env_trace_path() != nullptr) {
+    // Traced repeat of the during-chunking run on a 3-worker matcher:
+    // run_task exports the Chrome JSON to $PSME_TRACE before teardown.
+    std::printf("\ntracing during-chunking run (3 workers) ...\n");
+    EngineOptions eo;
+    eo.match_workers = 3;
+    eo.trace.enabled = true;
+    const auto traced = run_task(task, /*learning=*/true, nullptr, eo);
+    report("traced (3 workers)", traced);
+    if (want_stats) {
+      std::printf("\nend-of-run metrics (traced run):\n");
+      psme::obs::print_metrics_table(traced.metrics, stdout);
+    }
+  }
   return 0;
 }

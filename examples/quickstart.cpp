@@ -1,16 +1,26 @@
 // Quickstart: load OPS5-style productions from text, add working memory,
 // run the match-select-fire loop, and inspect what happened.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--stats]
+//   $ PSME_TRACE=trace.json ./quickstart   # Perfetto-loadable trace
 //
 // This is the paper's Figure 2-1 example grown into a tiny blocks-world
 // program: find a graspable block, grasp it, and announce the result.
 #include <cstdio>
+#include <cstring>
 
 #include "engine/engine.h"
+#include "obs/export.h"
 
-int main() {
-  psme::Engine engine;
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+  }
+
+  psme::EngineOptions opts;
+  opts.trace.enabled = psme::obs::env_trace_path() != nullptr;
+  psme::Engine engine(opts);
 
   // Productions (see README for the full grammar). Note the negated CE:
   // a block is graspable only if nothing is on it.
@@ -70,6 +80,16 @@ int main() {
   for (const psme::Wme* w : engine.wm().live()) {
     std::printf("  %s\n",
                 w->to_string(engine.syms(), engine.schemas()).c_str());
+  }
+
+  if (want_stats) {
+    psme::obs::MetricsRegistry metrics;
+    engine.collect_metrics(metrics);
+    std::printf("\nend-of-run metrics:\n");
+    psme::obs::print_metrics_table(metrics, stdout);
+  }
+  if (engine.tracer() != nullptr) {
+    psme::obs::export_env_trace(*engine.tracer());
   }
   return 0;
 }

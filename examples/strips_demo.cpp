@@ -1,18 +1,26 @@
 // Strips-Soar planning demo with a decision-by-decision trace: watch the
 // robot walk the corridor, open doors and push the box, with chunking on.
 //
-//   $ ./strips_demo
+//   $ ./strips_demo [--stats]
+//   $ PSME_TRACE=trace.json ./strips_demo
 #include <cstdio>
+#include <cstring>
 
+#include "obs/export.h"
 #include "tasks/registry.h"
 
 using namespace psme;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+  }
   Task task = make_strips();
   SoarOptions opts;
   opts.learning = true;
   opts.max_decisions = task.max_decisions;
+  opts.engine.trace.enabled = obs::env_trace_path() != nullptr;
   SoarKernel kernel(opts);
   kernel.load_productions(task.productions);
   task.init(kernel);
@@ -54,5 +62,16 @@ int main() {
               static_cast<unsigned long long>(stats.decisions),
               static_cast<unsigned long long>(stats.impasses),
               static_cast<unsigned long long>(stats.chunks_built));
+
+  if (want_stats) {
+    obs::MetricsRegistry metrics;
+    obs::collect(metrics, stats);
+    kernel.engine().collect_metrics(metrics);
+    std::printf("\nend-of-run metrics:\n");
+    obs::print_metrics_table(metrics, stdout);
+  }
+  if (kernel.engine().tracer() != nullptr) {
+    obs::export_env_trace(*kernel.engine().tracer());
+  }
   return 0;
 }

@@ -59,6 +59,18 @@ struct MatchStats {
   uint64_t chunks_live = 0;      // allocated - freed (point in time)
   uint64_t sealed_pending = 0;   // sealed, awaiting pins/epoch (gauge)
   uint64_t epoch = 0;            // current reclamation epoch (gauge)
+
+  /// this − base, counter fields only; gauges keep this snapshot's value
+  /// (same semantics as obs::MetricsRegistry::delta). Benches use this for
+  /// measured-window accounting instead of hand-subtracting field lists.
+  [[nodiscard]] MatchStats delta(const MatchStats& base) const {
+    MatchStats d = *this;
+    d.spill_allocs -= base.spill_allocs;
+    d.spill_bytes -= base.spill_bytes;
+    d.chunks_allocated -= base.chunks_allocated;
+    d.chunks_freed -= base.chunks_freed;
+    return d;
+  }
 };
 
 class TokenArena {

@@ -24,6 +24,10 @@ Engine::Engine(EngineOptions opts)
       rhs_(syms_, schemas_),
       serial_exec_(net_, opts.record_traces) {
   net_.set_sink(&cs_);
+  if (opts_.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(opts_.trace);
+    serial_exec_.set_tracer(tracer_.get(), 0);
+  }
 }
 
 std::vector<const Production*> Engine::load(std::string_view src) {
@@ -35,7 +39,7 @@ std::vector<const Production*> Engine::load(std::string_view src) {
     const Production* adopted = store_.adopt(std::move(p));
     CompiledProduction cp = builder_.add_production(*adopted);
     if (!wm_snapshot.empty()) {
-      run_update_serial(net_, cp, wm_snapshot);
+      run_update_serial(net_, cp, wm_snapshot, update_scratch_, tracer_.get());
     }
     records_.emplace(adopted, AddRecord{adopted, std::move(cp)});
     productions_.push_back(adopted);
@@ -54,8 +58,8 @@ const AddRecord& Engine::record(const Production* p) const {
 
 ParallelMatcher& Engine::matcher() {
   if (!matcher_) {
-    matcher_ = std::make_unique<ParallelMatcher>(net_, opts_.match_workers,
-                                                 opts_.match_policy);
+    matcher_ = std::make_unique<ParallelMatcher>(
+        net_, opts_.match_workers, opts_.match_policy, tracer_.get());
   }
   return *matcher_;
 }
@@ -63,7 +67,10 @@ ParallelMatcher& Engine::matcher() {
 Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
   RuntimeAddResult res;
   const Production* p = store_.adopt(std::move(ast));
+  obs::Span compile_span(tracer_.get(), 0, obs::EventKind::ChunkCompile);
   CompiledProduction cp = builder_.add_production(*p);
+  compile_span.set_node(cp.first_new_id);
+  compile_span.end();
   res.prod = p;
   res.compile_seconds = cp.compile_seconds;
   res.code_bytes = cp.code_bytes();
@@ -74,23 +81,50 @@ Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
     // regime): phases A and B under the task filter, then the
     // last-shared-node replay once both have drained.
     ParallelMatcher& m = matcher();
-    ParallelStats st = m.run_update(update_alpha_seeds(net_, cp, wm_snapshot),
-                                    {cp.first_new_id, true});
-    res.update_tasks += st.tasks;
-    st = m.run_update(update_right_seeds(net_, cp), {cp.first_new_id, false});
-    res.update_tasks += st.tasks;
-    st = m.run_update(update_left_seeds(net_, cp), {cp.first_new_id, false});
-    res.update_tasks += st.tasks;
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateA,
+                     cp.first_new_id);
+      const ParallelStats st = m.run_update(
+          update_alpha_seeds(net_, cp, wm_snapshot), {cp.first_new_id, true});
+      res.update_tasks += st.tasks;
+    }
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateB,
+                     cp.first_new_id);
+      const ParallelStats st =
+          m.run_update(update_right_seeds(net_, cp), {cp.first_new_id, false});
+      res.update_tasks += st.tasks;
+    }
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateC,
+                     cp.first_new_id);
+      const ParallelStats st =
+          m.run_update(update_left_seeds(net_, cp), {cp.first_new_id, false});
+      res.update_tasks += st.tasks;
+    }
   } else {
     TraceExecutor ex(net_, opts_.record_traces);
+    ex.set_tracer(tracer_.get(), 0);
     ex.update_mode = true;
     ex.min_node_id = cp.first_new_id;
 
     ex.suppress_alpha_left = true;
-    res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateA,
+                     cp.first_new_id);
+      res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
+    }
     ex.suppress_alpha_left = false;
-    res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
-    res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateB,
+                     cp.first_new_id);
+      res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
+    }
+    {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateC,
+                     cp.first_new_id);
+      res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
+    }
     res.update_tasks = ex.executed();
   }
 
@@ -155,6 +189,7 @@ void Engine::remove_wme(const Wme* w) {
 
 CycleTrace Engine::match() {
   CycleTrace trace;
+  obs::Span cycle_span(tracer_.get(), 0, obs::EventKind::MatchCycle);
   std::vector<Activation>& seeds = seed_scratch_;  // capacity reused per cycle
   seeds.clear();
   if (opts_.match_workers > 1) {
@@ -168,21 +203,14 @@ CycleTrace Engine::match() {
     for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
     ParallelStats total;
     if (!seeds.empty() || pending_adds_.empty()) {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::DrainRemoves);
       total = matcher().run_cycle_inplace(seeds);
       seeds.clear();
     }
     if (!pending_adds_.empty()) {
+      obs::Span span(tracer_.get(), 0, obs::EventKind::DrainAdds);
       for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
-      const ParallelStats st = matcher().run_cycle_inplace(seeds);
-      total.tasks += st.tasks;
-      total.failed_pops += st.failed_pops;
-      total.queue_lock_spins += st.queue_lock_spins;
-      total.queue_lock_acquires += st.queue_lock_acquires;
-      total.steals += st.steals;
-      total.failed_steals += st.failed_steals;
-      total.parks += st.parks;
-      total.wall_seconds += st.wall_seconds;
-      total.arena = st.arena;  // snapshot: the later cycle's gauge wins
+      total.accumulate(matcher().run_cycle_inplace(seeds));
     }
     last_parallel_stats_ = total;
   } else {
@@ -227,6 +255,16 @@ bool Engine::fire(const Instantiation* inst, bool remove_after_fire,
   if (remove_after_fire) cs_.remove(inst);
   apply_delta(fire_delta_, dedup_adds);
   return fire_delta_.halt;
+}
+
+void Engine::collect_metrics(obs::MetricsRegistry& m) const {
+  if (opts_.match_workers > 1) {
+    // Includes the arena snapshot taken at the end of the last cycle.
+    obs::collect(m, last_parallel_stats_);
+  } else {
+    obs::collect(m, net_.arena().stats());
+  }
+  if (tracer_ != nullptr) obs::collect(m, *tracer_);
 }
 
 Engine::RunResult Engine::run(uint64_t max_cycles) {

@@ -17,6 +17,8 @@
 #include "engine/trace.h"
 #include "engine/working_memory.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "par/parallel_match.h"
 #include "rete/add_production.h"
 #include "rete/builder.h"
@@ -42,6 +44,14 @@ struct EngineOptions {
   /// the serial default for psim trace collection.
   size_t match_workers = 0;
   TaskQueueSet::Policy match_policy = TaskQueueSet::Policy::Steal;
+
+  /// Tracing (src/obs). When enabled the engine owns a Tracer: track 0
+  /// carries engine-level spans (match cycles, drain sub-phases, chunk
+  /// compiles, the §5.2 update phases, serial task spans) and tracks 1..N
+  /// the parallel workers' task/steal/park events. All rings are
+  /// preallocated (at Engine construction and ParallelMatcher::prewarm),
+  /// so tracing preserves the §10 zero-allocation guarantee.
+  obs::TraceOptions trace;
 };
 
 class Engine {
@@ -142,6 +152,14 @@ class Engine {
     return last_parallel_stats_;
   }
 
+  /// Null unless options().trace.enabled. Read rings only at quiescence.
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_.get(); }
+
+  /// Dumps the engine's current stats — last parallel cycle ("par.*"),
+  /// token arena ("arena.*"), tracer accounting ("obs.*") — into `m`.
+  /// Reporting-time only: allocates, never call from the match hot path.
+  void collect_metrics(obs::MetricsRegistry& m) const;
+
  private:
   void apply_delta(const WmeDelta& delta, bool dedup_adds);
   ParallelMatcher& matcher();
@@ -163,12 +181,14 @@ class Engine {
   std::vector<std::string> output_;
   std::unique_ptr<ParallelMatcher> matcher_;  // persistent across cycles
   ParallelStats last_parallel_stats_;
+  std::unique_ptr<obs::Tracer> tracer_;  // created at ctor when trace.enabled
   // Steady-state scratch, alive for the Engine's lifetime so repeated
   // cycles reuse high-water capacity (DESIGN.md §10): the serial executor
   // (ring + trace state), the per-cycle seed vector, and the fire delta.
   TraceExecutor serial_exec_;
   std::vector<Activation> seed_scratch_;
   WmeDelta fire_delta_;
+  UpdateScratch update_scratch_;  // load()'s §5.2 drains, capacity reused
 };
 
 }  // namespace psme

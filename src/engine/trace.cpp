@@ -1,5 +1,7 @@
 #include "engine/trace.h"
 
+#include "obs/record.h"
+
 namespace psme {
 
 void CycleTrace::append(CycleTrace&& other) {
@@ -42,7 +44,11 @@ CycleTrace TraceExecutor::run_to_quiescence_inplace(
     }
     stats.reset();
     current_parent_ = index;
+    const uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
     net_.execute(task.act, *this);
+    if (tracer_ != nullptr) {
+      obs::record_task(*tracer_, tracer_->ring(track_), t0, task.act, stats);
+    }
     if (record_) trace_.tasks[index].stats = stats;
   }
   current_parent_ = UINT32_MAX;

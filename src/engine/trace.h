@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/ring.h"
+#include "obs/tracer.h"
 #include "rete/hash_tables.h"
 #include "rete/network.h"
 
@@ -58,6 +59,15 @@ class TraceExecutor final : public ExecContext {
 
   [[nodiscard]] uint64_t executed() const { return executed_; }
 
+  /// Attaches an event ring (obs layer): every executed task additionally
+  /// records a TaskExec span into `tracer`'s ring `track`. Orthogonal to
+  /// the CycleTrace recording — task spans are fixed-size and drop on ring
+  /// overflow, so they stay allocation-free where CycleTrace cannot.
+  void set_tracer(obs::Tracer* tracer, size_t track) {
+    tracer_ = tracer;
+    track_ = static_cast<uint32_t>(track);
+  }
+
  private:
   // std::pair is not trivially copyable in libstdc++ (its operator= is
   // user-provided), so the FIFO ring carries this explicit POD instead.
@@ -69,6 +79,8 @@ class TraceExecutor final : public ExecContext {
 
   Network& net_;
   bool record_;
+  obs::Tracer* tracer_ = nullptr;  // null = no task spans
+  uint32_t track_ = 0;
   uint64_t executed_ = 0;
   uint32_t current_parent_ = UINT32_MAX;
   RingBuffer<QueuedTask> queue_;

@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include "base/arena.h"
+#include "obs/tracer.h"
+#include "par/parallel_match.h"
+#include "soar/kernel.h"
+
+namespace psme::obs {
+
+Metric& MetricsRegistry::slot(std::string_view name, MetricKind kind) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) return m;
+  }
+  metrics_.push_back(Metric{std::string(name), kind, 0});
+  return metrics_.back();
+}
+
+void MetricsRegistry::counter(std::string_view name, uint64_t v) {
+  slot(name, MetricKind::Counter).value += v;
+}
+
+void MetricsRegistry::gauge(std::string_view name, uint64_t v) {
+  Metric& m = slot(name, MetricKind::Gauge);
+  m.kind = MetricKind::Gauge;
+  m.value = v;
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+uint64_t MetricsRegistry::value(std::string_view name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const Metric& m : other.metrics_) {
+    if (m.kind == MetricKind::Counter) {
+      counter(m.name, m.value);
+    } else {
+      gauge(m.name, m.value);
+    }
+  }
+}
+
+MetricsRegistry MetricsRegistry::delta(const MetricsRegistry& base) const {
+  MetricsRegistry out;
+  for (const Metric& m : metrics_) {
+    if (m.kind == MetricKind::Gauge) {
+      out.gauge(m.name, m.value);
+      continue;
+    }
+    const uint64_t b = base.value(m.name);
+    out.counter(m.name, m.value >= b ? m.value - b : 0);
+  }
+  return out;
+}
+
+void collect(MetricsRegistry& m, const ParallelStats& st) {
+  m.counter("par.tasks", st.tasks);
+  m.counter("par.failed_pops", st.failed_pops);
+  m.counter("par.queue_lock_spins", st.queue_lock_spins);
+  m.counter("par.queue_lock_acquires", st.queue_lock_acquires);
+  m.counter("par.steals", st.steals);
+  m.counter("par.failed_steals", st.failed_steals);
+  m.counter("par.parks", st.parks);
+  m.gauge("par.pool_slabs", st.pool_slabs);
+  m.counter("par.wall_us", static_cast<uint64_t>(st.wall_seconds * 1e6));
+  collect(m, st.arena);
+}
+
+void collect(MetricsRegistry& m, const MatchStats& st) {
+  m.counter("arena.spill_allocs", st.spill_allocs);
+  m.counter("arena.spill_bytes", st.spill_bytes);
+  m.counter("arena.chunks_allocated", st.chunks_allocated);
+  m.counter("arena.chunks_freed", st.chunks_freed);
+  m.gauge("arena.chunks_live", st.chunks_live);
+  m.gauge("arena.sealed_pending", st.sealed_pending);
+  m.gauge("arena.epoch", st.epoch);
+}
+
+void collect(MetricsRegistry& m, const SoarRunStats& st) {
+  m.counter("soar.decisions", st.decisions);
+  m.counter("soar.elab_cycles", st.elab_cycles);
+  m.counter("soar.impasses", st.impasses);
+  m.counter("soar.chunks_built", st.chunks_built);
+  m.gauge("soar.goal_achieved", st.goal_achieved ? 1 : 0);
+  uint64_t match_tasks = 0;
+  for (const CycleTrace& t : st.traces) match_tasks += t.task_count();
+  m.counter("soar.match_tasks", match_tasks);
+  uint64_t update_tasks = 0;
+  for (const CycleTrace& t : st.update_ab) update_tasks += t.task_count();
+  for (const CycleTrace& t : st.update_c) update_tasks += t.task_count();
+  m.counter("soar.update_tasks", update_tasks);
+}
+
+void collect(MetricsRegistry& m, const Tracer& t) {
+  m.gauge("obs.tracks", t.tracks());
+  m.counter("obs.events", t.total_events());
+  m.counter("obs.events_dropped", t.total_dropped());
+}
+
+}  // namespace psme::obs

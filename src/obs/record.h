@@ -1,0 +1,43 @@
+// Shared hot-path recording helpers that need rete types (Activation,
+// TaskStats). Kept out of tracer.h so the core tracing header stays
+// dependency-free; included only by the executors that record task spans
+// (engine/trace.cpp, par/parallel_match.cpp).
+#pragma once
+
+#include "obs/tracer.h"
+#include "rete/network.h"
+
+namespace psme::obs {
+
+/// Pushes one TaskExec span: `t0` is the start stamp taken before
+/// Network::execute, `st` the per-task stats the context accumulated during
+/// it (callers reset the context's stats before execute when tracing).
+/// Allocation-free: one clock read plus an EventRing::push.
+inline void record_task(Tracer& t, EventRing& ring, uint64_t t0,
+                        const Activation& a, const TaskStats& st) {
+  TraceEvent e;
+  e.ts_ns = t0;
+  e.dur_ns = t.now_ns() - t0;
+  e.kind = EventKind::TaskExec;
+  e.flags = static_cast<uint8_t>((a.add ? kTaskFlagAdd : 0) |
+                                 (a.side == Side::Right ? kTaskFlagRight : 0));
+  e.node = a.node;
+  e.v0 = st.tests;
+  e.v1 = st.probes;
+  e.v2 = st.inserts;
+  e.v3 = st.emits;
+  ring.push(e);
+}
+
+/// Pushes an instant event (dur == 0) stamped now.
+inline void record_instant(Tracer& t, EventRing& ring, EventKind kind,
+                           uint32_t node = 0, uint32_t v0 = 0) {
+  TraceEvent e;
+  e.ts_ns = t.now_ns();
+  e.kind = kind;
+  e.node = node;
+  e.v0 = v0;
+  ring.push(e);
+}
+
+}  // namespace psme::obs

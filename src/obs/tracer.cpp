@@ -1,0 +1,12 @@
+#include "obs/tracer.h"
+
+#include <cstdlib>
+
+namespace psme::obs {
+
+const char* env_trace_path() {
+  const char* p = std::getenv("PSME_TRACE");
+  return (p != nullptr && p[0] != '\0') ? p : nullptr;
+}
+
+}  // namespace psme::obs

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/record.h"
+
 namespace psme {
 namespace {
 
@@ -167,10 +169,12 @@ uint64_t ActivationPool::slab_allocs() const {
 }
 
 ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
-                                 TaskQueueSet::Policy policy)
+                                 TaskQueueSet::Policy policy,
+                                 obs::Tracer* tracer)
     : net_(net),
       n_workers_(n_workers == 0 ? 1 : n_workers),
       policy_(policy),
+      tracer_(tracer),
       pool_(n_workers == 0 ? 1 : n_workers),
       apool_(n_workers == 0 ? 1 : n_workers) {
   // Give every worker its own arena pool before the first drain (quiescent
@@ -214,6 +218,12 @@ void ParallelMatcher::prewarm() {
   if (queues_ != nullptr) {
     queues_->warm(kScratch);
     for (auto& part : locked_parts_) part.reserve(kScratch);
+  }
+  if (tracer_ != nullptr) {
+    // One ring per worker (tracks 1..n; track 0 is the engine thread),
+    // allocated here — quiescent, single-threaded — so event recording
+    // inside a cycle is a pure bump-and-store (DESIGN.md §11).
+    tracer_->ensure_tracks(1 + n_workers_);
   }
 }
 
@@ -303,9 +313,22 @@ Activation* ParallelMatcher::take_task(size_t worker) {
     const size_t victim = (worker + 1 + ((start + i) % peers)) % n_workers_;
     if (Activation* a = slots_[victim]->deque.steal()) {
       ++me.steals;
+      if (tracer_ != nullptr) {
+        obs::record_instant(*tracer_, tracer_->ring(1 + worker),
+                            obs::EventKind::StealOk,
+                            static_cast<uint32_t>(victim));
+      }
       return a;
     }
     ++me.failed_steals;
+  }
+  // One event per *failed sweep*, not per failed probe: the sweep is the
+  // unit an idle worker pays for, and per-probe instants would flood the
+  // ring during the pre-park spin.
+  if (tracer_ != nullptr) {
+    obs::record_instant(*tracer_, tracer_->ring(1 + worker),
+                        obs::EventKind::StealFail, 0,
+                        static_cast<uint32_t>(peers));
   }
   return nullptr;
 }
@@ -313,6 +336,8 @@ Activation* ParallelMatcher::take_task(size_t worker) {
 void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
                                  std::atomic<bool>& abort) {
   WorkerSlot& me = *slots_[worker];
+  obs::EventRing* ring =
+      tracer_ != nullptr ? &tracer_->ring(1 + worker) : nullptr;
   BatchCtx ctx(net_, filter);
   ctx.worker = worker;  // child tokens spill into this worker's arena pool
   ScratchLease lease(ctx, me, &ctx.batch);
@@ -327,7 +352,18 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       if (a == nullptr) {
         if (abort.load(std::memory_order_acquire) || quiescent()) break;
         ++me.parks;
-        lot_.park(ticket);
+        if (ring != nullptr) {
+          // The park interval is the span the idle-time accounting sums.
+          const uint64_t p0 = tracer_->now_ns();
+          lot_.park(ticket);
+          obs::TraceEvent e;
+          e.ts_ns = p0;
+          e.dur_ns = tracer_->now_ns() - p0;
+          e.kind = obs::EventKind::Park;
+          ring->push(e);
+        } else {
+          lot_.park(ticket);
+        }
         idle = 0;
         continue;
       }
@@ -338,6 +374,11 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       continue;
     }
     idle = 0;
+    uint64_t t0 = 0;
+    if (ring != nullptr) {
+      t0 = tracer_->now_ns();
+      ctx.stats.reset();  // per-task deltas, like the serial recorder
+    }
     try {
       net_.execute(*a, ctx);
     } catch (...) {
@@ -349,6 +390,7 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       lot_.unpark_all();
       throw;
     }
+    if (ring != nullptr) obs::record_task(*tracer_, *ring, t0, *a, ctx.stats);
     apool_.release(worker, a);
     ++me.done;
     if (!ctx.batch.empty()) {
@@ -365,6 +407,13 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
       }
       ctx.batch.clear();
       lot_.unpark_one();
+      if (ring != nullptr) {
+        // Depth sampled at the natural load-balance point: right after an
+        // emit burst is the moment thieves decide whether this deque is
+        // worth raiding.
+        obs::record_instant(*tracer_, *ring, obs::EventKind::QueueDepth, 0,
+                            static_cast<uint32_t>(me.deque.size()));
+      }
     }
     me.executed.fetch_add(1, std::memory_order_seq_cst);
   }
@@ -425,6 +474,8 @@ ParallelStats ParallelMatcher::run_steal(std::vector<Activation>& seeds,
 void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
                                   std::atomic<uint64_t>& executed) {
   TaskQueueSet& queues = *queues_;
+  obs::EventRing* ring =
+      tracer_ != nullptr ? &tracer_->ring(1 + worker) : nullptr;
   LockedCtx ctx(net_, queues, outstanding_, worker, filter);
   ScratchLease lease(ctx, *slots_[worker]);
   Activation a;
@@ -432,6 +483,11 @@ void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
   while (outstanding_.load(std::memory_order_acquire) > 0) {
     if (queues.pop(worker, a)) {
       idle = 0;
+      uint64_t t0 = 0;
+      if (ring != nullptr) {
+        t0 = tracer_->now_ns();
+        ctx.stats.reset();
+      }
       try {
         net_.execute(a, ctx);
       } catch (...) {
@@ -440,6 +496,7 @@ void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
         outstanding_.store(0, std::memory_order_release);
         throw;
       }
+      if (ring != nullptr) obs::record_task(*tracer_, *ring, t0, a, ctx.stats);
       executed.fetch_add(1, std::memory_order_relaxed);
       outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     } else {

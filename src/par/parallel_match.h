@@ -42,6 +42,7 @@
 
 #include "base/arena.h"
 #include "base/rng.h"
+#include "obs/tracer.h"
 #include "par/task_queue.h"
 #include "par/worker_pool.h"
 #include "par/ws_deque.h"
@@ -62,6 +63,23 @@ struct ParallelStats {
   /// Token-arena snapshot taken at the end of the cycle (counters are
   /// lifetime totals; benches difference consecutive snapshots).
   MatchStats arena;
+
+  /// Folds another cycle's numbers into this accumulator: traffic counters
+  /// and wall time add; the lifetime gauges (pool slabs, arena snapshot)
+  /// take the newer cycle's value. The one merge rule for every call site
+  /// (Engine::match, bench_scheduler, ...) instead of per-site field lists.
+  void accumulate(const ParallelStats& st) {
+    tasks += st.tasks;
+    failed_pops += st.failed_pops;
+    queue_lock_spins += st.queue_lock_spins;
+    queue_lock_acquires += st.queue_lock_acquires;
+    steals += st.steals;
+    failed_steals += st.failed_steals;
+    parks += st.parks;
+    wall_seconds += st.wall_seconds;
+    pool_slabs = st.pool_slabs;
+    arena = st.arena;
+  }
 };
 
 /// Slab recycler for the heap Activations the Steal deques point at. Each
@@ -114,8 +132,14 @@ class ActivationPool {
 
 class ParallelMatcher {
  public:
+  /// `tracer`, when non-null, turns on event recording: prewarm() sizes one
+  /// ring per worker (tracks 1..n; track 0 belongs to the engine thread)
+  /// before any worker runs, and the scheduler loops record task spans,
+  /// steal attempts/outcomes, park intervals and queue-depth samples into
+  /// their own track. The tracer must outlive the matcher.
   ParallelMatcher(Network& net, size_t n_workers,
-                  TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal);
+                  TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
+                  obs::Tracer* tracer = nullptr);
   ~ParallelMatcher();
   ParallelMatcher(const ParallelMatcher&) = delete;
   ParallelMatcher& operator=(const ParallelMatcher&) = delete;
@@ -207,6 +231,7 @@ class ParallelMatcher {
   Network& net_;
   size_t n_workers_;
   TaskQueueSet::Policy policy_;
+  obs::Tracer* tracer_;  // null = tracing off (one branch per event site)
   WorkerPool pool_;
   ParkingLot lot_;
   ActivationPool apool_;

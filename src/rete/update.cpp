@@ -131,7 +131,8 @@ class DrainCtx final : public ExecContext {
 
 uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm,
-                           UpdateScratch& scratch) {
+                           UpdateScratch& scratch, obs::Tracer* tracer,
+                           size_t track) {
   // One epoch for the whole three-phase update: the replay seeds built
   // between phases are transient tokens, and opening the epoch before any
   // seed is built keeps them inside the drain's deferral window.
@@ -142,15 +143,24 @@ uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
   ctx.update_mode = true;
   ctx.min_node_id = cp.first_new_id;
   ctx.suppress_alpha_left = true;
-  scratch.seeds.clear();
-  update_alpha_seeds_into(net, cp, wm, scratch.seeds);
-  tasks += ctx.drain(scratch.seeds);
+  {
+    obs::Span span(tracer, track, obs::EventKind::UpdateA, cp.first_new_id);
+    scratch.seeds.clear();
+    update_alpha_seeds_into(net, cp, wm, scratch.seeds);
+    tasks += ctx.drain(scratch.seeds);
+  }
   ctx.suppress_alpha_left = false;
-  scratch.seeds.clear();
-  update_right_seeds_into(net, cp, scratch.seeds);
-  tasks += ctx.drain(scratch.seeds);
-  update_left_seeds_into(net, cp, scratch);  // fills scratch.seeds
-  tasks += ctx.drain(scratch.seeds);
+  {
+    obs::Span span(tracer, track, obs::EventKind::UpdateB, cp.first_new_id);
+    scratch.seeds.clear();
+    update_right_seeds_into(net, cp, scratch.seeds);
+    tasks += ctx.drain(scratch.seeds);
+  }
+  {
+    obs::Span span(tracer, track, obs::EventKind::UpdateC, cp.first_new_id);
+    update_left_seeds_into(net, cp, scratch);  // fills scratch.seeds
+    tasks += ctx.drain(scratch.seeds);
+  }
   net.arena().reclaim_at_quiescence();
   return tasks;
 }

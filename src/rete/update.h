@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/ring.h"
+#include "obs/tracer.h"
 #include "rete/builder.h"
 #include "rete/network.h"
 
@@ -83,9 +84,12 @@ uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm);
 
 /// Same, draining through caller-owned scratch so repeated run-time
-/// additions stop paying per-addition heap traffic.
+/// additions stop paying per-addition heap traffic. A non-null `tracer`
+/// records one UpdateA/B/C span per phase into `track` (the engine track),
+/// so Perfetto shows exactly where a chunk's state update spent its time.
 uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm,
-                           UpdateScratch& scratch);
+                           UpdateScratch& scratch,
+                           obs::Tracer* tracer = nullptr, size_t track = 0);
 
 }  // namespace psme

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lang/print.h"
+#include "obs/tracer.h"
 #include "soar/chunker.h"
 
 namespace psme {
@@ -222,7 +223,9 @@ void SoarKernel::flush_chunks(SoarRunStats& stats) {
   for (const PendingResult& pr : pending_results_) {
     if (!engine_.wm().is_live(pr.wme)) continue;
     std::string sig;
+    obs::Span build_span(engine_.tracer(), 0, obs::EventKind::ChunkBuild);
     auto chunk = chunker.build_chunk(pr.wme, pr.result_level, &sig);
+    build_span.end();
     if (!chunk) continue;
     if (std::find(chunk_signatures_.begin(), chunk_signatures_.end(), sig) !=
         chunk_signatures_.end()) {
@@ -276,7 +279,10 @@ void SoarKernel::elaborate(SoarRunStats& stats) {
 SoarRunStats SoarKernel::run() {
   SoarRunStats stats;
   for (;;) {
-    elaborate(stats);
+    {
+      obs::Span span(engine_.tracer(), 0, obs::EventKind::Elaborate);
+      elaborate(stats);
+    }
     if (goal_test_ && goal_test_(*this)) {
       stats.goal_achieved = true;
       break;
@@ -286,8 +292,15 @@ SoarRunStats SoarKernel::run() {
       break;
     }
     ++stats.decisions;
-    const bool changed = decide(stats);
-    if (changed) gc_unreachable();
+    bool changed = false;
+    {
+      obs::Span span(engine_.tracer(), 0, obs::EventKind::Decide);
+      changed = decide(stats);
+    }
+    if (changed) {
+      obs::Span span(engine_.tracer(), 0, obs::EventKind::Gc);
+      gc_unreachable();
+    }
     if (on_decision_) on_decision_(*this);
     if (!changed) break;  // fully quiescent: nothing can change
   }

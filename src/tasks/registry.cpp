@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/export.h"
+
 namespace psme {
 
 Task make_task(std::string_view name) {
@@ -34,6 +36,13 @@ TaskRunResult run_task(const Task& task, bool learning,
   TaskRunResult res;
   res.production_count = kernel.engine().productions().size();
   res.stats = kernel.run();
+  obs::collect(res.metrics, res.stats);
+  kernel.engine().collect_metrics(res.metrics);
+  if (kernel.engine().tracer() != nullptr) {
+    // Export before the kernel (and its rings) is torn down. The run is
+    // quiescent here — export may read every ring.
+    obs::export_env_trace(*kernel.engine().tracer());
+  }
   return res;
 }
 

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "soar/kernel.h"
 
 namespace psme {
@@ -39,10 +40,14 @@ Task make_cypress();
 Task make_task(std::string_view name);
 std::vector<std::string> task_names();
 
-/// Convenience: builds a kernel, loads the task and runs it.
+/// Convenience: builds a kernel, loads the task and runs it. Run stats,
+/// engine/arena/scheduler stats and tracer accounting all land in `metrics`
+/// (the demos' --stats table). When tracing was enabled and PSME_TRACE is
+/// set, the trace is exported before the kernel is torn down.
 struct TaskRunResult {
   SoarRunStats stats;
   uint64_t production_count = 0;
+  obs::MetricsRegistry metrics;
 };
 TaskRunResult run_task(const Task& task, bool learning,
                        const std::vector<std::string>* extra_chunk_texts = nullptr,

@@ -40,12 +40,17 @@ void cycle(Engine& e) {
   e.match();
 }
 
-void expect_allocation_free_cycles(size_t workers,
-                                   TaskQueueSet::Policy policy) {
+void expect_allocation_free_cycles(size_t workers, TaskQueueSet::Policy policy,
+                                   bool tracing = false) {
   EngineOptions opts;
   opts.record_traces = false;  // trace recording allocates by design
   opts.match_workers = workers;
   opts.match_policy = policy;
+  // Event tracing, by contrast, must NOT allocate in steady state: rings
+  // are preallocated (small here, so overflow's drop-and-count path is
+  // exercised too) and events are fixed-size PODs.
+  opts.trace.enabled = tracing;
+  opts.trace.ring_events = 1u << 10;
   Engine e(opts);
   e.load(kPingPong);
   e.add_wme_text("(ctl ^phase go)");
@@ -62,6 +67,16 @@ void expect_allocation_free_cycles(size_t workers,
 
   // The regime stayed balanced: exactly one live instantiation remains.
   EXPECT_EQ(e.cs().size(), 1u);
+
+  if (tracing) {
+    // The tracer really ran: the small rings overflowed (drop-and-count,
+    // still allocation-free) and events were recorded on every track that
+    // executed work.
+    ASSERT_NE(e.tracer(), nullptr);
+    EXPECT_GT(e.tracer()->total_events(), 0u);
+    EXPECT_GT(e.tracer()->total_dropped(), 0u)
+        << "1032 cycles into 1024-event rings must overflow";
+  }
 }
 
 TEST(EngineAlloc, SerialCycleIsAllocationFree) {
@@ -78,6 +93,25 @@ TEST(EngineAlloc, MultiQueueCycleIsAllocationFree) {
 
 TEST(EngineAlloc, StealCycleIsAllocationFree) {
   expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal);
+}
+
+// Same four regimes with event tracing on: recording a span is a clock read
+// plus a bump-and-store into a preallocated ring, so the §10 guarantee must
+// hold with the obs layer enabled (the ISSUE's hard constraint).
+TEST(EngineAlloc, SerialCycleIsAllocationFreeWithTracing) {
+  expect_allocation_free_cycles(0, TaskQueueSet::Policy::Steal, true);
+}
+
+TEST(EngineAlloc, SingleQueueCycleIsAllocationFreeWithTracing) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Single, true);
+}
+
+TEST(EngineAlloc, MultiQueueCycleIsAllocationFreeWithTracing) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Multi, true);
+}
+
+TEST(EngineAlloc, StealCycleIsAllocationFreeWithTracing) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal, true);
 }
 
 }  // namespace

@@ -5,6 +5,10 @@
 # and bench_tokens (heap allocations per activation, old vs new token
 # representation).
 #
+# Each bench writes to a temp file that is validated (python3 -m json.tool)
+# and only then moved into place, so a crashing or interrupted bench can
+# never leave a stale or truncated BENCH_*.json behind.
+#
 #   tools/bench_json.sh                 # default workload
 #   tools/bench_json.sh 30 32           # rounds / wave size forwarded
 set -euo pipefail
@@ -16,10 +20,23 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 cmake --preset default >/dev/null
 cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens
 
-echo "==== bench_scheduler -> BENCH_scheduler.json ===="
-build/bench/bench_scheduler "$@" > BENCH_scheduler.json
-echo "wrote $repo_root/BENCH_scheduler.json"
+# run_bench <binary> <output.json> [args...]: capture, validate, then commit.
+run_bench() {
+  local bin="$1" out="$2"
+  shift 2
+  local tmp
+  tmp="$(mktemp "${out}.XXXXXX.tmp")"
+  trap 'rm -f "$tmp"' RETURN
+  echo "==== $(basename "$bin") -> $out ===="
+  "$bin" "$@" > "$tmp"
+  python3 -m json.tool "$tmp" > /dev/null || {
+    echo "error: $(basename "$bin") emitted invalid JSON (kept: $tmp)" >&2
+    trap - RETURN
+    return 1
+  }
+  mv "$tmp" "$out"
+  echo "wrote $repo_root/$out"
+}
 
-echo "==== bench_tokens -> BENCH_tokens.json ===="
-build/bench/bench_tokens "$@" > BENCH_tokens.json
-echo "wrote $repo_root/BENCH_tokens.json"
+run_bench build/bench/bench_scheduler BENCH_scheduler.json "$@"
+run_bench build/bench/bench_tokens BENCH_tokens.json "$@"
