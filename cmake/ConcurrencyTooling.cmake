@@ -48,6 +48,18 @@ if(PSME_LOCKDEP OR NOT PSME_SANITIZE STREQUAL "off")
 endif()
 
 # ---------------------------------------------------------------------------
+# PSME_NET_VERIFY=ON forces the engine's automatic network verification after
+# every add_production into any build type (default: debug builds only, via
+# !NDEBUG — see src/analysis/verify.h). Sanitizer builds get it automatically,
+# like lockdep: a corrupted network and a race are the same investigation.
+# ---------------------------------------------------------------------------
+option(PSME_NET_VERIFY "Force-enable verify-after-add_production" OFF)
+if(PSME_NET_VERIFY OR NOT PSME_SANITIZE STREQUAL "off")
+  add_compile_definitions(PSME_NET_VERIFY=1)
+  message(STATUS "psme: network verifier forced on after every add")
+endif()
+
+# ---------------------------------------------------------------------------
 # Clang thread-safety analysis. GCC does not implement -Wthread-safety; the
 # probe keeps GCC builds untouched while Clang builds enforce the
 # PSME_GUARDED_BY / PSME_ACQUIRE annotations as errors.

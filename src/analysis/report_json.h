@@ -1,0 +1,23 @@
+// Machine-readable serialization of the analysis reports.
+//
+// One function, one stable format: the `network_lint` CLI archives it in CI
+// and tests/analysis_test.cpp golden-files it, so the two can never drift.
+// Formatting is deterministic (fixed two-decimal doubles, record order)
+// to keep the golden file platform-independent.
+#pragma once
+
+#include <string>
+
+#include "analysis/cost_lint.h"
+#include "analysis/verify.h"
+
+namespace psme::analysis {
+
+/// JSON report for one network: node counts, the verifier's result, and the
+/// cost linter's per-production table. `name` labels the network (task name).
+[[nodiscard]] std::string report_json(const std::string& name,
+                                      const Network& net,
+                                      const VerifyReport& verify,
+                                      const LintReport& lint);
+
+}  // namespace psme::analysis

@@ -85,6 +85,10 @@ class ChunkPool {
     return chunk_allocs_;
   }
 
+  /// Rank of the free-list lock (the network verifier checks it against the
+  /// lockdep table; Unranked when PSME_LOCKDEP is off).
+  [[nodiscard]] LockRank lock_rank() const noexcept { return lock_.rank(); }
+
  private:
   mutable Spinlock lock_{LockRank::SlabPool, "chunk-pool"};
   Chunk* free_ PSME_GUARDED_BY(lock_) = nullptr;

@@ -1,7 +1,11 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "analysis/verify.h"
 
 namespace psme {
 namespace {
@@ -44,8 +48,35 @@ std::vector<const Production*> Engine::load(std::string_view src) {
     records_.emplace(adopted, AddRecord{adopted, std::move(cp)});
     productions_.push_back(adopted);
     out.push_back(adopted);
+#if PSME_NET_VERIFY
+    debug_verify_after_add(adopted);
+#endif
   }
   return out;
+}
+
+std::vector<const AddRecord*> Engine::all_records() const {
+  std::vector<const AddRecord*> recs;
+  recs.reserve(productions_.size());
+  for (const Production* p : productions_) {
+    auto it = records_.find(p);
+    if (it != records_.end()) recs.push_back(&it->second);
+  }
+  return recs;
+}
+
+analysis::VerifyReport Engine::verify_network() const {
+  return analysis::verify_network(net_, all_records());
+}
+
+void Engine::debug_verify_after_add(const Production* p) const {
+  const analysis::VerifyReport rep = verify_network();
+  if (rep.ok()) return;
+  std::fprintf(stderr,
+               "PSME_NET_VERIFY: invariant violation after adding '%s'\n%s",
+               std::string(syms_.name(p->name)).c_str(),
+               rep.to_string().c_str());
+  std::abort();
 }
 
 const AddRecord& Engine::record(const Production* p) const {
@@ -130,6 +161,9 @@ Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
 
   records_.emplace(p, AddRecord{p, std::move(cp)});
   productions_.push_back(p);
+#if PSME_NET_VERIFY
+  debug_verify_after_add(p);
+#endif
   return res;
 }
 

@@ -27,6 +27,10 @@
 
 namespace psme {
 
+namespace analysis {
+struct VerifyReport;
+}
+
 struct EngineOptions {
   size_t hash_lines = 4096;
   BuilderOptions builder;
@@ -160,9 +164,22 @@ class Engine {
   /// Reporting-time only: allocates, never call from the match hot path.
   void collect_metrics(obs::MetricsRegistry& m) const;
 
+  /// Runs the static network verifier (src/analysis/verify.h) over the live
+  /// network with all production records. Quiescent-only, like the §5.2
+  /// update. Builds with PSME_NET_VERIFY call this automatically after every
+  /// add_production and abort on violation; callers (tests, network_lint)
+  /// may call it in any build type.
+  [[nodiscard]] analysis::VerifyReport verify_network() const;
+
+  /// The records of all loaded productions, in load order (the shape
+  /// verify_network and the cost linter consume).
+  [[nodiscard]] std::vector<const AddRecord*> all_records() const;
+
  private:
   void apply_delta(const WmeDelta& delta, bool dedup_adds);
   ParallelMatcher& matcher();
+  /// PSME_NET_VERIFY hook: abort with the full report on violation.
+  void debug_verify_after_add(const Production* p) const;
 
   EngineOptions opts_;
   SymbolTable syms_;

@@ -46,6 +46,7 @@ const char* rank_name(LockRank r) noexcept {
     case LockRank::Queue: return "queue";
     case LockRank::ConflictSet: return "conflict-set";
     case LockRank::Park: return "park";
+    case LockRank::Dispatch: return "dispatch";
   }
   return "?";
 }

@@ -59,9 +59,12 @@ enum class LockRank : uint8_t {
                     // lock may acquire/release a storage chunk
   Queue = 3,        // task-queue locks
   ConflictSet = 4,  // the conflict-set lock
-  Park = 5,         // scheduler park/dispatch mutexes (worker_pool.h); last,
-                    // so a worker may park or unpark others no matter what
-                    // match-state lock it still holds
+  Park = 5,         // the ParkingLot mutex (worker_pool.h); last among the
+                    // match-cycle locks, so a worker may park or unpark
+                    // others no matter what match-state lock it still holds
+  Dispatch = 6,     // the WorkerPool dispatch mutex (worker_pool.h); taken
+                    // only at cycle boundaries with no match lock held, so
+                    // it sits above the entire match hierarchy
 };
 
 namespace lockdep {

@@ -1,0 +1,92 @@
+// A std::mutex with the same treatment Spinlock gets (par/spinlock.h):
+// a clang thread-safety capability, a LockRank, and lockdep hooks on every
+// acquire/release. The scheduler's sleeping locks (ParkingLot, WorkerPool
+// dispatch) use this so the lock-order checker and -Wthread-safety cover the
+// blocking side of the hierarchy, not just the spinning side.
+//
+// Condition waits go through Mutex::wait with a std::condition_variable_any:
+// the wait drops and retakes the mutex through unlock()/lock(), so the
+// lockdep held-set stays accurate across the sleep (a plain
+// std::condition_variable on the inner std::mutex would leave lockdep
+// believing the lock was held while the thread slept).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+#include "par/lock_order.h"
+
+namespace psme {
+
+class PSME_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::Unranked,
+                 const char* name = nullptr) noexcept {
+#if PSME_LOCKDEP
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PSME_ACQUIRE() {
+#if PSME_LOCKDEP
+    // Checked before blocking: a self-deadlock would otherwise hang here.
+    lockdep::on_acquire(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() PSME_RELEASE() {
+    mu_.unlock();
+#if PSME_LOCKDEP
+    lockdep::on_release(this);
+#endif
+  }
+
+  /// Rank under lockdep builds; LockRank::Unranked when compiled out.
+  [[nodiscard]] LockRank rank() const noexcept {
+#if PSME_LOCKDEP
+    return rank_;
+#else
+    return LockRank::Unranked;
+#endif
+  }
+
+  /// Blocks on `cv` until `pred()` holds, with this mutex held on entry and
+  /// exit. The temporary release inside the wait is invisible to the static
+  /// analysis, hence the exemption; lockdep sees it exactly (the
+  /// condition_variable_any round-trips through unlock()/lock()).
+  template <typename Pred>
+  void wait(std::condition_variable_any& cv, Pred&& pred)
+      PSME_REQUIRES(this) PSME_NO_THREAD_SAFETY_ANALYSIS {
+    cv.wait(*this, static_cast<Pred&&>(pred));
+  }
+
+ private:
+  std::mutex mu_;
+#if PSME_LOCKDEP
+  LockRank rank_ = LockRank::Unranked;
+  const char* name_ = nullptr;
+#endif
+};
+
+/// RAII guard, the std::lock_guard of Mutex (scoped capability so the
+/// analysis tracks the critical section).
+class PSME_SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& m) PSME_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~MutexGuard() PSME_RELEASE() { mu_.unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace psme

@@ -68,6 +68,17 @@ class PSME_CAPABILITY("mutex") Spinlock {
     flag_.store(false, std::memory_order_release);
   }
 
+  /// The rank this lock was constructed with. Ranks are only stored when
+  /// PSME_LOCKDEP is on; otherwise every lock reports Unranked (callers like
+  /// the network verifier skip rank checks in that case).
+  [[nodiscard]] LockRank rank() const noexcept {
+#if PSME_LOCKDEP
+    return rank_;
+#else
+    return LockRank::Unranked;
+#endif
+  }
+
   [[nodiscard]] uint64_t total_spins() const {
     return total_spins_.load(std::memory_order_relaxed);
   }

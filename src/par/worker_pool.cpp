@@ -10,13 +10,13 @@ void run_workers(size_t n, const std::function<void(size_t)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(n);
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu(LockRank::Unranked, "run-workers-error");
   for (size_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
       try {
         fn(i);
       } catch (...) {
-        std::scoped_lock lk(error_mu);
+        MutexGuard lk(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     });
@@ -34,7 +34,7 @@ WorkerPool::WorkerPool(size_t n_workers) : n_(n_workers == 0 ? 1 : n_workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexGuard lk(mu_);
     stop_ = true;
     job_cv_.notify_all();
   }
@@ -47,8 +47,10 @@ void WorkerPool::thread_main(size_t index) {
     void (*fn)(void*, size_t) = nullptr;
     void* arg = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      job_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      MutexGuard lk(mu_);
+      mu_.wait(job_cv_, [&]() PSME_NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || epoch_ != seen;
+      });
       if (stop_) return;
       seen = epoch_;
       fn = job_fn_;
@@ -57,11 +59,11 @@ void WorkerPool::thread_main(size_t index) {
     try {
       fn(arg, index);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexGuard lk(mu_);
       if (!error_) error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexGuard lk(mu_);
       if (--active_ == 0) done_cv_.notify_all();
     }
   }
@@ -73,7 +75,7 @@ void WorkerPool::run(void (*fn)(void* arg, size_t worker), void* arg) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexGuard lk(mu_);
     job_fn_ = fn;
     job_arg_ = arg;
     active_ = n_ - 1;
@@ -88,13 +90,16 @@ void WorkerPool::run(void (*fn)(void* arg, size_t worker), void* arg) {
   } catch (...) {
     own_error = std::current_exception();
   }
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return active_ == 0; });
-  std::exception_ptr err = own_error ? own_error : error_;
-  error_ = nullptr;
-  job_fn_ = nullptr;
-  job_arg_ = nullptr;
-  lk.unlock();
+  std::exception_ptr err;
+  {
+    MutexGuard lk(mu_);
+    mu_.wait(done_cv_,
+             [&]() PSME_NO_THREAD_SAFETY_ANALYSIS { return active_ == 0; });
+    err = own_error ? own_error : error_;
+    error_ = nullptr;
+    job_fn_ = nullptr;
+    job_arg_ = nullptr;
+  }
   if (err) std::rethrow_exception(err);
 }
 

@@ -17,12 +17,14 @@
 //                  for work, then park — a publish after the ticket always
 //                  either is seen by the re-check or invalidates the ticket.
 //
-// The ParkingLot mutex carries LockRank::Park (the top of the lock
+// Both sleeping locks here are psme::Mutex (par/mutex.h), so they carry
+// clang thread-safety capabilities and lockdep ranks like every Spinlock.
+// The ParkingLot mutex carries LockRank::Park (the top of the match-lock
 // hierarchy, see par/lock_order.h): parking and unparking are legal no
 // matter which match locks the thread still holds, and lockdep verifies no
 // match lock is ever acquired the other way around while it is held. The
-// WorkerPool dispatch mutex is touched only at cycle boundaries, outside
-// every match lock, and stays out of the lockdep hierarchy.
+// WorkerPool dispatch mutex carries LockRank::Dispatch: it is touched only
+// at cycle boundaries, with no match lock held.
 #pragma once
 
 #include <atomic>
@@ -32,11 +34,12 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "par/lock_order.h"
+#include "par/mutex.h"
 
 namespace psme {
 
@@ -79,16 +82,10 @@ class ParkingLot {
   void park(uint64_t ticket) {
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lk(mu_);
-#if PSME_LOCKDEP
-      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
-#endif
-      cv_.wait(lk, [&] {
+      MutexGuard lk(mu_);
+      mu_.wait(cv_, [&] {
         return epoch_.load(std::memory_order_seq_cst) != ticket;
       });
-#if PSME_LOCKDEP
-      lockdep::on_release(&mu_);
-#endif
     }
     sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -98,11 +95,7 @@ class ParkingLot {
   void unpark_all() {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) != 0) {
-      std::lock_guard<std::mutex> lk(mu_);
-#if PSME_LOCKDEP
-      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
-      lockdep::on_release(&mu_);
-#endif
+      MutexGuard lk(mu_);
       cv_.notify_all();
     }
   }
@@ -115,11 +108,7 @@ class ParkingLot {
   void unpark_one() {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) != 0) {
-      std::lock_guard<std::mutex> lk(mu_);
-#if PSME_LOCKDEP
-      lockdep::on_acquire(&mu_, LockRank::Park, "park-mutex");
-      lockdep::on_release(&mu_);
-#endif
+      MutexGuard lk(mu_);
       cv_.notify_one();
     }
   }
@@ -131,8 +120,8 @@ class ParkingLot {
  private:
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint32_t> sleepers_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_{LockRank::Park, "park-mutex"};
+  std::condition_variable_any cv_;
 };
 
 /// Persistent fork-join pool. run() dispatches fn(0..n-1) across the pool
@@ -162,15 +151,17 @@ class WorkerPool {
 
   size_t n_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  uint64_t epoch_ = 0;
-  void (*job_fn_)(void*, size_t) = nullptr;
-  void* job_arg_ = nullptr;
-  size_t active_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  Mutex mu_{LockRank::Dispatch, "pool-dispatch"};
+  std::condition_variable_any job_cv_;
+  std::condition_variable_any done_cv_;
+  // The job slot: written by run(), read by every worker, cleared when the
+  // last worker reports done. All of it lives under the dispatch mutex.
+  uint64_t epoch_ PSME_GUARDED_BY(mu_) = 0;
+  void (*job_fn_)(void*, size_t) PSME_GUARDED_BY(mu_) = nullptr;
+  void* job_arg_ PSME_GUARDED_BY(mu_) = nullptr;
+  size_t active_ PSME_GUARDED_BY(mu_) = 0;
+  bool stop_ PSME_GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ PSME_GUARDED_BY(mu_);
 };
 
 }  // namespace psme

@@ -101,12 +101,18 @@ class PairedHashTables {
   }
 
   Line& line_at(size_t index) { return lines_[index]; }
+  [[nodiscard]] const Line& line_at(size_t index) const {
+    return lines_[index];
+  }
   Line& line_for(uint64_t hash) { return lines_[line_index(hash)]; }
 
   /// Shared chunk recycler for every line's right-entry list. Callers pass
   /// it to RightEntryList mutators while holding the line's Bucket lock;
   /// the pool's own lock ranks SlabPool, strictly above Bucket.
   [[nodiscard]] RightEntryPool& right_pool() { return right_pool_; }
+  [[nodiscard]] const RightEntryPool& right_pool() const {
+    return right_pool_;
+  }
 
   /// Collects nonzero (left, right) per-cycle access counts and resets them.
   struct LineAccess {
@@ -150,6 +156,17 @@ class PairedHashTables {
     for (const auto& ln : lines_)
       for (const auto& e : ln.right)
         if (e.node_id == node_id) fn(e);
+  }
+
+  /// Enumerates every entry's destination node id (the network verifier's
+  /// stale-entry sweep); `left` says which table the entry lives in.
+  /// Quiescent-only, like the per-node enumerators.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const PSME_NO_THREAD_SAFETY_ANALYSIS {
+    for (const auto& ln : lines_) {
+      for (const auto& e : ln.left) fn(e.node_id, /*left=*/true);
+      for (const auto& e : ln.right) fn(e.node_id, /*left=*/false);
+    }
   }
 
  private:

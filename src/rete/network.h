@@ -91,6 +91,7 @@ class Network {
           uint32_t arena_chunk_bytes = TokenArena::kDefaultChunkBytes);
 
   SymbolTable& syms() { return syms_; }
+  [[nodiscard]] const SymbolTable& syms() const { return syms_; }
   ClassSchemas& schemas() { return schemas_; }
   Jumptable& jumptable() { return jt_; }
   [[nodiscard]] const Jumptable& jumptable() const { return jt_; }
@@ -104,6 +105,7 @@ class Network {
   /// Shared chunk recycler for every alpha memory's wme list (see
   /// AlphaWmeList in rete/nodes.h).
   AlphaWmePool& alpha_pool() { return alpha_pool_; }
+  [[nodiscard]] const AlphaWmePool& alpha_pool() const { return alpha_pool_; }
 
   void set_sink(MatchSink* sink) { sink_ = sink; }
   [[nodiscard]] MatchSink* sink() const { return sink_; }
@@ -130,6 +132,11 @@ class Network {
   /// Jumptable slot holding the entry nodes for wmes of class `cls`.
   uint32_t root_slot(Symbol cls);
   [[nodiscard]] bool has_root(Symbol cls) const;
+
+  /// All class-root slots (the network verifier's entry points).
+  [[nodiscard]] const std::map<Symbol, uint32_t>& roots() const {
+    return roots_;
+  }
 
   /// Entry point for a wme change: queues the class-root activations.
   void inject(const Wme* w, bool add, ExecContext& ctx);

@@ -1,0 +1,417 @@
+// The static analysis subsystem: network verifier on clean and deliberately
+// corrupted networks (the seeded-corruption corpus — every corruption must
+// be caught with a precise, distinct diagnostic), the production cost
+// linter, and the golden-file test for the JSON report on a paper task.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <sstream>
+
+#include "analysis/cost_lint.h"
+#include "analysis/report_json.h"
+#include "analysis/verify.h"
+#include "engine/engine.h"
+#include "tasks/registry.h"
+
+namespace psme {
+namespace {
+
+using analysis::Check;
+using analysis::VerifyReport;
+
+/// First violation of `check` whose message contains `needle` (any node).
+const analysis::Violation* find_violation(const VerifyReport& rep, Check check,
+                                          std::string_view needle = "") {
+  for (const auto& v : rep.violations) {
+    if (v.check == check && v.message.find(needle) != std::string::npos) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+/// Same, pinned to a specific node.
+const analysis::Violation* find_violation(const VerifyReport& rep, Check check,
+                                          uint32_t node,
+                                          std::string_view needle = "") {
+  for (const auto& v : rep.violations) {
+    if (v.check == check && v.node == node &&
+        v.message.find(needle) != std::string::npos) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t find_node(const Network& net, NodeType type, uint32_t skip = 0) {
+  for (uint32_t i = 0; i < net.node_count(); ++i) {
+    if (net.node(i)->type == type) {
+      if (skip == 0) return i;
+      --skip;
+    }
+  }
+  ADD_FAILURE() << "no node of type " << node_type_name(type);
+  return UINT32_MAX;
+}
+
+// ---------------------------------------------------------------------------
+// Clean networks verify clean.
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, SimpleProductionIsClean) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const VerifyReport rep = e.verify_network();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  for (uint32_t i = 0; i < e.net().node_count(); ++i) {
+    EXPECT_TRUE(rep.nodes[i].reachable) << "node " << i;
+    EXPECT_TRUE(rep.nodes[i].owned) << "node " << i;
+  }
+  // root -> amem -> join -> p-node is the longest chain.
+  EXPECT_EQ(rep.max_depth, 3u);
+}
+
+TEST(Verifier, NegationAndNccAreClean) {
+  Engine e;
+  e.load(
+      "(p p1 (a ^v 1 ^w <x>) (b ^v <x>) -(c ^v <x>) "
+      "-{ (d ^v <x>) (f ^v <x>) } --> (halt))");
+  const VerifyReport rep = e.verify_network();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  // The NCC partner's subnetwork is owned through the owner->partner link.
+  const uint32_t partner = find_node(e.net(), NodeType::NccPartner);
+  EXPECT_TRUE(rep.nodes[partner].owned);
+}
+
+TEST(Verifier, SharedProductionsAreClean) {
+  Engine e;
+  e.load(
+      "(p p1 (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))");
+  const VerifyReport rep = e.verify_network();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(Verifier, PaperTasksAreClean) {
+  for (const std::string& name : task_names()) {
+    Engine e;
+    e.load(make_task(name).productions);
+    const VerifyReport rep = e.verify_network();
+    EXPECT_TRUE(rep.ok()) << name << ": " << rep.to_string();
+    EXPECT_GT(rep.max_depth, 0u);
+    EXPECT_GT(rep.max_fan_out, 0u);
+  }
+}
+
+TEST(Verifier, CleanAfterMatchingAndRuntimeAdd) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.add_wme_text("(b ^v 1)");
+  e.match();
+  EXPECT_TRUE(e.verify_network().ok());
+
+  RhsArena arena;
+  Parser parser(e.syms(), e.schemas(), arena);
+  auto parsed =
+      parser.parse_file("(p p2 (a ^v <x>) (c ^v <x>) --> (halt))");
+  ASSERT_EQ(parsed.size(), 1u);
+  e.add_production_runtime(std::move(parsed.front()));
+  const VerifyReport rep = e.verify_network();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// The seeded-corruption corpus: each corruption caught, precisely.
+// ---------------------------------------------------------------------------
+
+TEST(Corruption, OrphanNodeIsUnreachableAndUnowned) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t orphan = e.net().make_node<ConstNode>()->id;  // never spliced
+  const VerifyReport rep = e.verify_network();
+  ASSERT_FALSE(rep.ok());
+  const auto* reach = find_violation(rep, Check::Reachability, orphan);
+  ASSERT_NE(reach, nullptr);
+  EXPECT_NE(reach->message.find("unreachable"), std::string::npos);
+  const auto* owned = find_violation(rep, Check::Ownership, orphan);
+  ASSERT_NE(owned, nullptr);
+  EXPECT_NE(owned->message.find("not owned"), std::string::npos);
+}
+
+TEST(Corruption, DanglingJumptableTargetIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t amem = find_node(e.net(), NodeType::AlphaMem);
+  e.net().jumptable().add(e.net().node(amem)->jt_slot,
+                          SuccessorRef{9999, Side::Left});
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Resolution, amem);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("nonexistent node 9999"), std::string::npos);
+}
+
+TEST(Corruption, JumptableCycleIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  const uint32_t pnode = find_node(e.net(), NodeType::Prod);
+  // Splice the P-node's slot back up into the join: join -> pnode -> join.
+  e.net().jumptable().add(e.net().node(pnode)->jt_slot,
+                          SuccessorRef{join, Side::Left});
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Acyclicity);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("cycle"), std::string::npos);
+}
+
+TEST(Corruption, MismatchedNegationPairIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) -{ (d ^v <x>) (f ^v <x>) } --> (halt))");
+  const uint32_t ncc = find_node(e.net(), NodeType::Ncc);
+  const uint32_t pnode = find_node(e.net(), NodeType::Prod);
+  static_cast<NccNode*>(e.net().node(ncc))->partner = pnode;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::NegationPair, ncc);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("not an NCC partner"), std::string::npos);
+}
+
+TEST(Corruption, PartnerPrefixMismatchIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) -{ (d ^v <x>) (f ^v <x>) } --> (halt))");
+  const uint32_t partner = find_node(e.net(), NodeType::NccPartner);
+  static_cast<NccPartnerNode*>(e.net().node(partner))->prefix_len += 1;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::NegationPair);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("prefix_len"), std::string::npos);
+}
+
+TEST(Corruption, BrokenSharingArityIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  // Claim a longer left token than the predecessor emits — the invariant
+  // shared nodes rely on ("shared nodes agree on variable bindings").
+  static_cast<TwoInputNode*>(e.net().node(join))->left_arity += 1;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Bindings, join);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("left_arity"), std::string::npos);
+}
+
+TEST(Corruption, JoinTestOutOfTokenRangeIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  auto* t = static_cast<TwoInputNode*>(e.net().node(join));
+  ASSERT_FALSE(t->tests.empty());
+  t->tests[0].left_ce = 99;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Bindings, join);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("left CE 99"), std::string::npos);
+}
+
+TEST(Corruption, RightEdgeIntoAlphaPartIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v 1) (b ^v <x>) --> (halt))");
+  const uint32_t cnode = find_node(e.net(), NodeType::Const);
+  const uint32_t amem = find_node(e.net(), NodeType::AlphaMem);
+  e.net().jumptable().add(e.net().node(amem)->jt_slot,
+                          SuccessorRef{cnode, Side::Right});
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::SideRef, cnode);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("Right-side predecessor"), std::string::npos);
+}
+
+TEST(Corruption, StolenJumptableSlotIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  const uint32_t pnode = find_node(e.net(), NodeType::Prod);
+  e.net().node(pnode)->jt_slot = e.net().node(join)->jt_slot;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::SlotOwnership);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("owned by both"), std::string::npos);
+}
+
+TEST(Corruption, AlphaMemFieldNamingNonMemoryIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v 1) (b ^v <x>) --> (halt))");
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  const uint32_t cnode = find_node(e.net(), NodeType::Const);
+  static_cast<TwoInputNode*>(e.net().node(join))->alpha_mem = cnode;
+  const VerifyReport rep = e.verify_network();
+  const auto* v =
+      find_violation(rep, Check::TwoInputWiring, join, "not an alpha memory");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("const"), std::string::npos);
+}
+
+TEST(Corruption, NullProductionPointerIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) --> (halt))");
+  const uint32_t pnode = find_node(e.net(), NodeType::Prod);
+  static_cast<ProdNode*>(e.net().node(pnode))->prod = nullptr;
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::ProdRecord, pnode);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("null production"), std::string::npos);
+}
+
+TEST(Corruption, StaleTableEntryIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.match();  // stores the token as a left entry at the join
+  bool corrupted = false;
+  auto& tables = e.net().tables();
+  for (size_t i = 0; i < tables.line_count() && !corrupted; ++i) {
+    auto& line = tables.line_at(i);
+    SpinGuard g(line.lock);
+    for (auto& entry : line.left) {
+      entry.node_id = 4242;  // simulates an unsplice that forgot its memories
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "expected a left entry after matching";
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Resolution);
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("stale left-table entry"), std::string::npos);
+  EXPECT_NE(v->message.find("4242"), std::string::npos);
+}
+
+// Every corpus corruption yields a *distinct* leading diagnostic: the same
+// network state never maps two corruptions onto one catch-all message.
+TEST(Corruption, DiagnosticsAreDistinctPerCheck) {
+  const Check corpus[] = {
+      Check::Reachability,  Check::Resolution,   Check::Acyclicity,
+      Check::NegationPair,  Check::Bindings,     Check::SideRef,
+      Check::SlotOwnership, Check::TwoInputWiring, Check::ProdRecord,
+  };
+  std::set<std::string> names;
+  for (const Check c : corpus) names.insert(analysis::check_name(c));
+  EXPECT_EQ(names.size(), std::size(corpus));
+}
+
+// ---------------------------------------------------------------------------
+// Cost linter.
+// ---------------------------------------------------------------------------
+
+TEST(CostLinter, ChainDepthAndCountsAreExact) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) (b ^v <x>) --> (halt))");
+  const auto lint = analysis::lint_costs(e.net(), e.all_records());
+  ASSERT_EQ(lint.productions.size(), 1u);
+  const auto& pc = lint.productions[0];
+  EXPECT_EQ(pc.name, "p1");
+  // root -> amem(a) -> join -> p-node.
+  EXPECT_EQ(pc.chain_depth, 3u);
+  EXPECT_EQ(pc.two_input_nodes, 1u);
+  EXPECT_EQ(pc.shared_nodes, 0u);
+  EXPECT_GT(pc.worst_case_cost_us, 0.0);
+  EXPECT_GT(pc.chain_cost_us, 0.0);
+  EXPECT_TRUE(lint.ok());
+}
+
+TEST(CostLinter, LongerChainCostsMore) {
+  Engine e;
+  e.load(
+      "(p shallow (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p deep (a ^v <x>) (b ^v <x>) (c ^v <x>) (d ^v <x>) (f ^v <x>) "
+      "--> (halt))");
+  const auto lint = analysis::lint_costs(e.net(), e.all_records());
+  ASSERT_EQ(lint.productions.size(), 2u);
+  EXPECT_GT(lint.productions[1].chain_depth, lint.productions[0].chain_depth);
+  EXPECT_GT(lint.productions[1].chain_cost_us,
+            lint.productions[0].chain_cost_us);
+  EXPECT_GT(lint.productions[1].worst_case_cost_us,
+            lint.productions[0].worst_case_cost_us);
+}
+
+TEST(CostLinter, BudgetsFlagOffenders) {
+  Engine e;
+  e.load(
+      "(p shallow (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p deep (a ^v <x>) (b ^v <x>) (c ^v <x>) (d ^v <x>) (f ^v <x>) "
+      "--> (halt))");
+  analysis::CostBudget budget;
+  budget.max_depth = 4;  // shallow chains to depth 3; deep to depth 6
+  const auto lint = analysis::lint_costs(e.net(), e.all_records(), {}, budget);
+  ASSERT_EQ(lint.productions.size(), 2u);
+  EXPECT_FALSE(lint.productions[0].over_budget());
+  ASSERT_TRUE(lint.productions[1].over_budget());
+  EXPECT_EQ(lint.productions[1].flags[0], "depth");
+  EXPECT_EQ(lint.flagged, 1u);
+  EXPECT_FALSE(lint.ok());
+
+  analysis::CostBudget tight;
+  tight.max_cost_us = 1;  // everything is over
+  const auto lint2 = analysis::lint_costs(e.net(), e.all_records(), {}, tight);
+  EXPECT_EQ(lint2.flagged, 2u);
+  EXPECT_EQ(lint2.productions[0].flags[0], "cost");
+}
+
+TEST(CostLinter, SharedNodesAreCountedPerProduction) {
+  Engine e;
+  e.load(
+      "(p p1 (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))");
+  const auto lint = analysis::lint_costs(e.net(), e.all_records());
+  ASSERT_EQ(lint.productions.size(), 2u);
+  EXPECT_EQ(lint.productions[0].shared_nodes, 0u);
+  EXPECT_GT(lint.productions[1].shared_nodes, 0u);  // reuses p1's join
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file test: the JSON report for a paper task is byte-stable. The
+// model is integer-exact in doubles, so this holds across compilers.
+// Regenerate with: PSME_UPDATE_GOLDEN=1 ./analysis_test
+// ---------------------------------------------------------------------------
+
+TEST(ReportJson, EightPuzzleGoldenFile) {
+  Engine e;
+  e.load(make_task("eight-puzzle").productions);
+  const VerifyReport verify = e.verify_network();
+  const auto lint = analysis::lint_costs(e.net(), e.all_records());
+  const std::string json =
+      analysis::report_json("eight-puzzle", e.net(), verify, lint);
+
+  const std::string path =
+      std::string(PSME_GOLDEN_DIR) + "/cost_lint_eight_puzzle.json";
+  if (std::getenv("PSME_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with PSME_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(json, want.str());
+}
+
+TEST(ReportJson, ViolationsAreSerialized) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) --> (halt))");
+  e.net().make_node<ConstNode>();  // orphan
+  const VerifyReport verify = e.verify_network();
+  const auto lint = analysis::lint_costs(e.net(), e.all_records());
+  const std::string json = analysis::report_json("t", e.net(), verify, lint);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"reachability\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psme

@@ -24,6 +24,11 @@ cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens
 run_bench() {
   local bin="$1" out="$2"
   shift 2
+  if [[ ! -x "$bin" ]]; then
+    echo "error: bench executable missing or not executable: $bin" >&2
+    echo "       (build it with: cmake --build build --target $(basename "$bin"))" >&2
+    return 1
+  fi
   local tmp
   tmp="$(mktemp "${out}.XXXXXX.tmp")"
   trap 'rm -f "$tmp"' RETURN

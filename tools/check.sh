@@ -7,8 +7,10 @@
 #   tools/check.sh default    # just the tier-1 build + tests
 #   tools/check.sh tsan asan  # a subset
 #
-# Stages: default, tsan, asan, ubsan, tidy, bench (opt-in: not part of the
-# default set; runs tools/bench_json.sh to produce BENCH_*.json).
+# Stages: default, tsan, asan, ubsan, lint (network_lint over every
+# registry production set, JSON reports into LINT_*.json), tidy, and bench
+# (opt-in: not part of the default set; runs tools/bench_json.sh to produce
+# BENCH_*.json).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,7 +19,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(default tsan asan ubsan tidy)
+  stages=(default tsan asan ubsan lint tidy)
 fi
 
 run_preset() {
@@ -36,6 +38,14 @@ for stage in "${stages[@]}"; do
     bench)
       echo "==== [bench] machine-readable benchmarks ===="
       tools/bench_json.sh
+      ;;
+    lint)
+      echo "==== [lint] network verifier + cost linter ===="
+      if [[ ! -f build/CMakeCache.txt ]]; then
+        cmake --preset default
+      fi
+      cmake --build build -j "$jobs" --target network_lint
+      build/tools/network_lint --json .
       ;;
     tidy)
       echo "==== [tidy] clang-tidy ===="

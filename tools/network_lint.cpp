@@ -1,0 +1,173 @@
+// network_lint: static Rete-network verifier + production cost linter CLI.
+//
+//   network_lint                          # all registry tasks
+//   network_lint eight-puzzle strips      # specific tasks
+//   network_lint --file my_rules.soar     # any production source file
+//   network_lint --json reports/          # also write <dir>/LINT_<name>.json
+//   network_lint --budget-us 5e5 --budget-depth 12 --strict-budget
+//
+// For every network: loads the productions into a fresh engine, runs the
+// structural verifier (src/analysis/verify.h), runs the cost linter
+// (src/analysis/cost_lint.h), prints the human table, and optionally writes
+// the machine-readable JSON report (src/analysis/report_json.h — the format
+// CI archives and tests golden-file).
+//
+// Exit codes: 0 all clean; 1 verifier violations (or, with --strict-budget,
+// productions over budget); 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_lint.h"
+#include "analysis/report_json.h"
+#include "analysis/verify.h"
+#include "engine/engine.h"
+#include "tasks/registry.h"
+
+namespace {
+
+struct Options {
+  std::vector<std::string> tasks;       // registry names
+  std::vector<std::string> files;       // production source files
+  std::string json_dir;                 // empty: no JSON output
+  psme::analysis::CostBudget budget;
+  bool strict_budget = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [tasks...] [--file <src>] [--json <dir>] [--budget-us N]\n"
+      "       [--budget-depth N] [--wme-bound N] [--strict-budget] [--quiet]\n"
+      "tasks: ",
+      argv0);
+  for (const auto& name : psme::task_names()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "(default: all)\n");
+  return 2;
+}
+
+/// Lints one named production set. Returns 0 clean / 1 dirty / 2 error.
+int lint_one(const std::string& name, const std::string& src,
+             const Options& opt) {
+  psme::Engine engine;
+  try {
+    engine.load(src);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "network_lint: %s: load failed: %s\n", name.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const psme::analysis::VerifyReport verify = engine.verify_network();
+  const psme::analysis::LintReport lint = psme::analysis::lint_costs(
+      engine.net(), engine.all_records(), {}, opt.budget);
+
+  if (!opt.quiet) {
+    const auto census = engine.net().census();
+    std::printf("==== %s: %zu productions, %u nodes, max depth %u, "
+                "max fan-out %u ====\n",
+                name.c_str(), engine.productions().size(), census.total(),
+                verify.max_depth, verify.max_fan_out);
+    lint.print_table();
+  }
+  if (!verify.ok()) {
+    std::fprintf(stderr, "network_lint: %s: %s", name.c_str(),
+                 verify.to_string().c_str());
+  }
+  if (lint.flagged != 0) {
+    std::fprintf(stderr, "network_lint: %s: %u production(s) over budget\n",
+                 name.c_str(), lint.flagged);
+  }
+
+  if (!opt.json_dir.empty()) {
+    const std::string json =
+        psme::analysis::report_json(name, engine.net(), verify, lint);
+    const std::string path = opt.json_dir + "/LINT_" + name + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "network_lint: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << json;
+    if (!opt.quiet) std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!verify.ok()) return 1;
+  if (opt.strict_budget && lint.flagged != 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "network_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--file") {
+      opt.files.emplace_back(value());
+    } else if (arg == "--json") {
+      opt.json_dir = value();
+    } else if (arg == "--budget-us") {
+      opt.budget.max_cost_us = std::strtod(value(), nullptr);
+    } else if (arg == "--budget-depth") {
+      opt.budget.max_depth =
+          static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--wme-bound") {
+      opt.budget.wme_bound =
+          static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--strict-budget") {
+      opt.strict_budget = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "network_lint: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      opt.tasks.push_back(arg);
+    }
+  }
+  if (opt.tasks.empty() && opt.files.empty()) opt.tasks = psme::task_names();
+
+  int worst = 0;
+  for (const std::string& name : opt.tasks) {
+    std::string src;
+    try {
+      src = psme::make_task(name).productions;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "network_lint: %s\n", e.what());
+      return 2;
+    }
+    worst = std::max(worst, lint_one(name, src, opt));
+  }
+  for (const std::string& path : opt.files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "network_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    // Label from the basename, extension stripped.
+    std::string label = path.substr(path.find_last_of('/') + 1);
+    const size_t dot = label.find_last_of('.');
+    if (dot != std::string::npos) label.resize(dot);
+    worst = std::max(worst, lint_one(label, ss.str(), opt));
+  }
+  return worst;
+}

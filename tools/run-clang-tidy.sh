@@ -42,7 +42,7 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
 fi
 
 mapfile -t sources < <(cd "$repo_root" && \
-  find src tests bench examples -name '*.cpp' | sort)
+  find src tests bench examples tools -name '*.cpp' | sort)
 
 echo "run-clang-tidy: $tidy_bin over ${#sources[@]} files" >&2
 status=0
