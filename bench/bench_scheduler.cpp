@@ -199,6 +199,16 @@ int main(int argc, char** argv) {
   if (obs::env_trace_path() != nullptr) {
     obs::TraceOptions topt;
     topt.enabled = true;
+    // Size the rings to the workload instead of the 32K default: the default
+    // workload produces >32K events on the busiest workers (one TaskExec per
+    // activation plus steal/park/depth events across every cycle), and a
+    // ring that overflows keeps only the run's earliest events — the busy
+    // column then *undercounts* exactly the workers that did the most work.
+    // 2^17 events x 40 B = 5 MiB per track covers the default workload with
+    // headroom; the table below still flags any track that dropped events,
+    // so an enlarged workload (argv overrides) cannot silently skew the
+    // accounting again.
+    topt.ring_events = 1u << 17;
     obs::Tracer tracer(topt);
     std::fprintf(stderr, "\ntraced run: steal policy, 8 workers\n");
     const Record tr =
@@ -209,10 +219,14 @@ int main(int argc, char** argv) {
     // Idle accounting per worker from the rings: busy = sum of task-span
     // durations, parked = sum of park-span durations; failed steals count
     // full empty sweeps. The gap between the busiest and idlest worker's
-    // busy time is the drain-tail imbalance the trace makes visible.
-    std::fprintf(stderr, "%-8s %10s %10s %8s %8s %8s\n", "track", "busy_ms",
-                 "parked_ms", "tasks", "steals", "fail_st");
+    // busy time is the drain-tail imbalance the trace makes visible. A "!"
+    // in the drop column marks a worker whose ring overflowed — its busy /
+    // parked sums are lower bounds, not totals.
+    std::fprintf(stderr, "%-8s %10s %10s %8s %8s %8s %6s\n", "track",
+                 "busy_ms", "parked_ms", "tasks", "steals", "fail_sw",
+                 "drop");
     uint64_t busy_min = UINT64_MAX, busy_max = 0;
+    bool any_dropped = false;
     for (size_t t = 1; t < tracer.tracks(); ++t) {
       const obs::EventRing& ring = tracer.ring(t);
       uint64_t busy = 0, parked = 0, tasks = 0, steals = 0, fails = 0;
@@ -228,18 +242,36 @@ int main(int argc, char** argv) {
       }
       busy_min = busy < busy_min ? busy : busy_min;
       busy_max = busy > busy_max ? busy : busy_max;
-      std::fprintf(stderr, "w%-7zu %10.2f %10.2f %8llu %8llu %8llu\n", t - 1,
-                   busy / 1e6, parked / 1e6,
+      any_dropped = any_dropped || ring.dropped() != 0;
+      std::fprintf(stderr, "w%-7zu %10.2f %10.2f %8llu %8llu %8llu %6s\n",
+                   t - 1, busy / 1e6, parked / 1e6,
                    static_cast<unsigned long long>(tasks),
                    static_cast<unsigned long long>(steals),
-                   static_cast<unsigned long long>(fails));
+                   static_cast<unsigned long long>(fails),
+                   ring.dropped() != 0 ? "!" : "-");
     }
     std::fprintf(stderr,
-                 "idle sources: parks %llu, failed steals %llu, drain-tail "
-                 "busy-time spread %.2f ms (min %.2f / max %.2f)\n",
+                 "idle sources: parks %llu, failed sweeps %llu (%llu probes), "
+                 "backoff %.2f ms, drain-tail busy-time spread %.2f ms "
+                 "(min %.2f / max %.2f)\n",
                  static_cast<unsigned long long>(tr.stats.parks),
+                 static_cast<unsigned long long>(tr.stats.failed_sweeps),
                  static_cast<unsigned long long>(tr.stats.failed_steals),
-                 (busy_max - busy_min) / 1e6, busy_min / 1e6, busy_max / 1e6);
+                 tr.stats.sweep_backoff_ns / 1e6, (busy_max - busy_min) / 1e6,
+                 busy_min / 1e6, busy_max / 1e6);
+    std::fprintf(stderr,
+                 "chain execution: %llu inline links, %llu splits; sweep-run "
+                 "histogram [1] %llu [2] %llu [3-4] %llu [5-8] %llu "
+                 "[9-16] %llu [>16] %llu%s\n",
+                 static_cast<unsigned long long>(tr.stats.chain_inline),
+                 static_cast<unsigned long long>(tr.stats.chain_splits),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[0]),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[1]),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[2]),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[3]),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[4]),
+                 static_cast<unsigned long long>(tr.stats.sweep_hist[5]),
+                 any_dropped ? "  (!: ring dropped events)" : "");
   }
 
   // Machine-readable document on stdout.
@@ -261,8 +293,12 @@ int main(int argc, char** argv) {
                                  : 0.0);
     j.field("steals", r.stats.steals);
     j.field("failed_steals", r.stats.failed_steals);
+    j.field("failed_sweeps", r.stats.failed_sweeps);
+    j.field("sweep_backoff_ns", r.stats.sweep_backoff_ns);
     j.field("failed_pops", r.stats.failed_pops);
     j.field("parks", r.stats.parks);
+    j.field("chain_inline", r.stats.chain_inline);
+    j.field("chain_splits", r.stats.chain_splits);
     j.field("lock_acquires", r.stats.queue_lock_acquires);
     j.field("lock_spins", r.stats.queue_lock_spins);
     j.field("pool_slabs", r.stats.pool_slabs);

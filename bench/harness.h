@@ -68,6 +68,14 @@ inline std::vector<uint32_t> process_counts() {
   return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
 }
 
+/// Beyond the paper: virtual-processor counts up to 256, previewing the
+/// saturation regimes no 1988 Encore could reach (ROADMAP carryover — the
+/// simulator itself has no processor cap; only the paper-faithful benches
+/// stop at 13). Used by bench_longchain's VP sweep.
+inline std::vector<uint32_t> wide_process_counts() {
+  return {1, 2, 4, 8, 13, 16, 32, 64, 128, 256};
+}
+
 inline void print_header(const char* id, const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, title);

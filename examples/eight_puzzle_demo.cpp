@@ -2,8 +2,13 @@
 // again with chunking on (watch the chunks being built), then re-solve with
 // the learned chunks preloaded and compare the effort.
 //
-//   $ ./eight_puzzle_demo [--stats]
+//   $ ./eight_puzzle_demo [--stats] [--chain-split-depth N]
+//                         [--steal-backoff-base N] [--steal-backoff-max N]
+//                         [--steal-backoff-park N]
 //   $ PSME_TRACE=trace.json ./eight_puzzle_demo
+//
+// The steal-tuning flags apply to the traced parallel run (they configure
+// EngineOptions::steal; serial runs ignore them).
 //
 // With PSME_TRACE set, the during-chunking run repeats on a 3-worker
 // parallel matcher with tracing on and exports a Perfetto-loadable Chrome
@@ -11,9 +16,11 @@
 // chunk added at run time. (3 workers, not more: learning runs at >= 4
 // workers currently diverge from the serial oracle — see ROADMAP.md.)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/export.h"
+#include "par/parallel_match.h"
 #include "tasks/registry.h"
 
 using namespace psme;
@@ -38,8 +45,26 @@ void report(const char* label, const TaskRunResult& r) {
 
 int main(int argc, char** argv) {
   bool want_stats = false;
+  StealTuning tuning;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+    auto value = [&]() -> uint32_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "eight_puzzle_demo: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    };
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--chain-split-depth") == 0) {
+      tuning.chain_split_depth = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-base") == 0) {
+      tuning.backoff_base_spins = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-max") == 0) {
+      tuning.backoff_max_spins = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-park") == 0) {
+      tuning.backoff_park_sweeps = value();
+    }
   }
   const Task task = make_eight_puzzle();
   std::printf("Eight-Puzzle-Soar: %zu-byte production source, solving a "
@@ -80,6 +105,7 @@ int main(int argc, char** argv) {
     std::printf("\ntracing during-chunking run (3 workers) ...\n");
     EngineOptions eo;
     eo.match_workers = 3;
+    eo.steal = tuning;
     eo.trace.enabled = true;
     const auto traced = run_task(task, /*learning=*/true, nullptr, eo);
     report("traced (3 workers)", traced);

@@ -8,8 +8,13 @@
 // parallel path is what this example demonstrates. For speedup curves on a
 // virtual 13-processor Encore, see bench/bench_fig_6_1 and friends.
 //
-//   $ ./parallel_match
+// The steal scheduler's tuning knobs are exposed on the command line:
+//
+//   $ ./parallel_match [--chain-split-depth N] [--steal-backoff-base N]
+//                      [--steal-backoff-max N] [--steal-backoff-park N]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "engine/engine.h"
@@ -41,7 +46,30 @@ void load_workload(Engine& e) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  StealTuning tuning;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> uint32_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "parallel_match: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    };
+    if (std::strcmp(argv[i], "--chain-split-depth") == 0) {
+      tuning.chain_split_depth = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-base") == 0) {
+      tuning.backoff_base_spins = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-max") == 0) {
+      tuning.backoff_max_spins = value();
+    } else if (std::strcmp(argv[i], "--steal-backoff-park") == 0) {
+      tuning.backoff_park_sweeps = value();
+    } else {
+      std::fprintf(stderr, "parallel_match: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
   // Reference: the serial executor.
   Engine serial;
   load_workload(serial);
@@ -63,7 +91,7 @@ int main() {
       load_workload(par);
       SeedCollector sc;
       for (const Wme* w : par.wm().live()) par.net().inject(w, true, sc);
-      ParallelMatcher matcher(par.net(), workers, policy);
+      ParallelMatcher matcher(par.net(), workers, policy, nullptr, tuning);
       const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
       std::printf("%-8zu %-9s %10llu %12llu %12llu %8llu %10.2f  %s\n",
                   workers, name,

@@ -90,7 +90,8 @@ const AddRecord& Engine::record(const Production* p) const {
 ParallelMatcher& Engine::matcher() {
   if (!matcher_) {
     matcher_ = std::make_unique<ParallelMatcher>(
-        net_, opts_.match_workers, opts_.match_policy, tracer_.get());
+        net_, opts_.match_workers, opts_.match_policy, tracer_.get(),
+        opts_.steal);
   }
   return *matcher_;
 }

@@ -49,6 +49,13 @@ struct EngineOptions {
   size_t match_workers = 0;
   TaskQueueSet::Policy match_policy = TaskQueueSet::Policy::Steal;
 
+  /// Steal-scheduler tuning: the idle path's sweep-backoff ladder
+  /// (steal.backoff_*) and the dependent-chain split depth
+  /// (steal.chain_split_depth; 0 = never split, 1 = split every link).
+  /// Ignored by the locked policies. network_lint's cost table reports each
+  /// production's chain depth against this split depth as the tuning hint.
+  StealTuning steal;
+
   /// Tracing (src/obs). When enabled the engine owns a Tracer: track 0
   /// carries engine-level spans (match cycles, drain sub-phases, chunk
   /// compiles, the §5.2 update phases, serial task spans) and tracks 1..N

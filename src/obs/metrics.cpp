@@ -69,7 +69,21 @@ void collect(MetricsRegistry& m, const ParallelStats& st) {
   m.counter("par.queue_lock_acquires", st.queue_lock_acquires);
   m.counter("par.steals", st.steals);
   m.counter("par.failed_steals", st.failed_steals);
+  m.counter("par.failed_sweeps", st.failed_sweeps);
+  m.counter("par.sweep_backoff_ns", st.sweep_backoff_ns);
   m.counter("par.parks", st.parks);
+  m.counter("par.chain_inline", st.chain_inline);
+  m.counter("par.chain_splits", st.chain_splits);
+  // Consecutive-failed-sweep run lengths (see ParallelStats::sweep_hist):
+  // the shape tells whether idle workers give up quickly (mass at 1-2, the
+  // backoff ladder working) or grind through long runs before parking.
+  static constexpr const char* kSweepHistNames[
+      ParallelStats::kSweepHistBuckets] = {
+      "par.sweep_hist_1",    "par.sweep_hist_2",    "par.sweep_hist_le4",
+      "par.sweep_hist_le8",  "par.sweep_hist_le16", "par.sweep_hist_gt16"};
+  for (size_t i = 0; i < ParallelStats::kSweepHistBuckets; ++i) {
+    m.counter(kSweepHistNames[i], st.sweep_hist[i]);
+  }
   m.gauge("par.pool_slabs", st.pool_slabs);
   m.counter("par.wall_us", static_cast<uint64_t>(st.wall_seconds * 1e6));
   collect(m, st.arena);

@@ -7,14 +7,22 @@
 namespace psme {
 namespace {
 
-// How many consecutive empty looks a Steal worker tolerates before taking a
-// park ticket. Each look is a full pop+steal sweep, so even a small budget
-// covers the emit latency of every peer; beyond it, sleeping is cheaper
-// than burning a (likely oversubscribed) core. Kept low: on a host with
-// fewer cores than workers, an idle worker's spin timeslices come straight
-// out of the busy workers' throughput, so parking early is what lets the
-// Steal scheduler beat the locked queues at high worker counts.
-constexpr uint32_t kSpinsBeforePark = 6;
+/// Histogram bucket for a run of `run` consecutive failed whole-pool
+/// sweeps: 1, 2, 3-4, 5-8, 9-16, >16 (ParallelStats::kSweepHistBuckets).
+inline size_t sweep_bucket(uint32_t run) {
+  if (run <= 2) return run - 1;
+  if (run <= 4) return 2;
+  if (run <= 8) return 3;
+  if (run <= 16) return 4;
+  return 5;
+}
+
+inline uint64_t backoff_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// ExecContext that buffers emits locally. The §5.2 filter is applied at
 /// emit time, like the serial DrainCtx, so dropped tasks are never counted
@@ -170,10 +178,11 @@ uint64_t ActivationPool::slab_allocs() const {
 
 ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
                                  TaskQueueSet::Policy policy,
-                                 obs::Tracer* tracer)
+                                 obs::Tracer* tracer, StealTuning tuning)
     : net_(net),
       n_workers_(n_workers == 0 ? 1 : n_workers),
       policy_(policy),
+      tuning_(tuning),
       tracer_(tracer),
       pool_(n_workers == 0 ? 1 : n_workers),
       apool_(n_workers == 0 ? 1 : n_workers) {
@@ -240,7 +249,12 @@ void ParallelMatcher::reset_slots() {
     s->done = 0;
     s->steals = 0;
     s->failed_steals = 0;
+    s->failed_sweeps = 0;
+    s->sweep_backoff_ns = 0;
     s->parks = 0;
+    s->chain_inline = 0;
+    s->chain_splits = 0;
+    for (uint64_t& b : s->sweep_hist) b = 0;
   }
 }
 
@@ -302,6 +316,13 @@ Activation* ParallelMatcher::take_task(size_t worker) {
   WorkerSlot& me = *slots_[worker];
   if (Activation* a = me.deque.pop()) return a;
   if (n_workers_ == 1) return nullptr;
+  // Drained cycle: the termination counters say every created task has
+  // executed, so every deque is provably empty — skip the probe sweep. A
+  // sweep here would be pure exit-path noise in the idle accounting (one
+  // guaranteed-failed sweep per worker per cycle) and real cache traffic
+  // against the peers' deque tops. The counter sweep costs the same loads
+  // but touches only padded, mostly-read lines.
+  if (quiescent()) return nullptr;
   // Randomized stealing: one full sweep over the victims from a random
   // starting point — every peer is probed exactly once per look, and
   // different thieves start at different offsets so they spread out. A
@@ -325,6 +346,7 @@ Activation* ParallelMatcher::take_task(size_t worker) {
   // One event per *failed sweep*, not per failed probe: the sweep is the
   // unit an idle worker pays for, and per-probe instants would flood the
   // ring during the pre-park spin.
+  ++me.failed_sweeps;
   if (tracer_ != nullptr) {
     obs::record_instant(*tracer_, tracer_->ring(1 + worker),
                         obs::EventKind::StealFail, 0,
@@ -341,17 +363,44 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
   BatchCtx ctx(net_, filter);
   ctx.worker = worker;  // child tokens spill into this worker's arena pool
   ScratchLease lease(ctx, me, &ctx.batch);
-  uint32_t idle = 0;
+  const uint32_t split_depth = tuning_.chain_split_depth;
+  uint32_t idle = 0;  // consecutive failed whole-pool sweeps
   for (;;) {
+    // Pre-sweep ticket: every publish bumps the ParkingLot epoch, so a
+    // publish after this read invalidates any park taken on it, and a
+    // publish before it is visible to the sweep below (both seq_cst). The
+    // sweep itself is therefore the parking protocol's "final look" —
+    // no separate post-ticket re-sweep is needed.
+    uint64_t ticket = lot_.ticket();
     Activation* a = take_task(worker);
-    if (a == nullptr && idle >= kSpinsBeforePark) {
-      // Ticket protocol: any publish after the ticket invalidates it, and
-      // any publish before it is visible to this final sweep.
-      const uint64_t ticket = lot_.ticket();
-      a = take_task(worker);
+    if (a == nullptr) {
+      if (abort.load(std::memory_order_acquire) || quiescent()) break;
+      ++idle;
+      // Exponential pause/yield ladder between the failed sweep and the
+      // park, watching the publish epoch. A round re-sweeps only if the
+      // epoch moved: deques grow only through publishes, so with the epoch
+      // unchanged the previous sweep's empty verdict still holds and a
+      // re-sweep is guaranteed to fail — the ladder waits without any
+      // deque-top traffic. (Clock reads only run on this already-idle
+      // path, never per task.)
+      for (uint32_t round = 0;
+           a == nullptr && round < tuning_.backoff_park_sweeps; ++round) {
+        const uint64_t b0 = backoff_now_ns();
+        sweep_backoff(round, tuning_.backoff_base_spins,
+                      tuning_.backoff_max_spins);
+        me.sweep_backoff_ns += backoff_now_ns() - b0;
+        const uint64_t moved = lot_.ticket();
+        if (moved == ticket) continue;  // nothing published: provably empty
+        ticket = moved;
+        a = take_task(worker);
+        if (a == nullptr) ++idle;
+      }
       if (a == nullptr) {
+        // Quiescence never bumps the epoch (only the exiting worker's
+        // unpark_all does), so re-check before sleeping on the ticket.
         if (abort.load(std::memory_order_acquire) || quiescent()) break;
         ++me.parks;
+        ++me.sweep_hist[sweep_bucket(idle)];  // the run ends at the park
         if (ring != nullptr) {
           // The park interval is the span the idle-time accounting sums.
           const uint64_t p0 = tracer_->now_ns();
@@ -368,55 +417,93 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
         continue;
       }
     }
-    if (a == nullptr) {
-      if (abort.load(std::memory_order_acquire) || quiescent()) break;
-      idle_backoff(idle++);
-      continue;
+    if (idle != 0) {
+      ++me.sweep_hist[sweep_bucket(idle)];
+      idle = 0;
     }
-    idle = 0;
-    uint64_t t0 = 0;
-    if (ring != nullptr) {
-      t0 = tracer_->now_ns();
-      ctx.stats.reset();  // per-task deltas, like the serial recorder
-    }
-    try {
-      net_.execute(*a, ctx);
-    } catch (...) {
-      apool_.release(worker, a);
-      // Count the task as executed so the cycle's books still balance, then
-      // fail the whole cycle.
-      me.executed.fetch_add(1, std::memory_order_seq_cst);
-      abort.store(true, std::memory_order_release);
-      lot_.unpark_all();
-      throw;
-    }
-    if (ring != nullptr) obs::record_task(*tracer_, *ring, t0, *a, ctx.stats);
-    apool_.release(worker, a);
-    ++me.done;
-    if (!ctx.batch.empty()) {
-      // Publish the emit burst once: one counter bump, owner-side pushes,
-      // one wake. The count precedes the pushes (termination invariant).
-      // unpark_one, not unpark_all: waking every sleeper per publish is a
-      // thundering herd at high worker counts (all wake, sweep, fail,
-      // re-park); one waker per publish keeps the wake chain proportional
-      // to the work supply, and the exit cascade below still wakes
-      // everyone for the final quiescence check.
-      me.created.fetch_add(ctx.batch.size(), std::memory_order_seq_cst);
-      for (Activation& child : ctx.batch) {
-        me.deque.push(apool_.alloc(worker, std::move(child)));
-      }
-      ctx.batch.clear();
-      lot_.unpark_one();
+    // Execute the task and, below the split depth, its dependent chain
+    // inline: each node execution continues directly into its last-emitted
+    // child (the one the deque's LIFO pop would run next anyway) while the
+    // siblings are published as stealable tasks. Inline links skip the
+    // pool-alloc/push/pop and the two seq_cst counter bumps that made long
+    // chains pay scheduler overhead per link; the depth-k split pushes the
+    // continuation back onto the deque so a chain's suffix stays stealable
+    // and no single chain can pin a cycle's tail to one worker
+    // (StealTuning::chain_split_depth; 0 = never split).
+    //
+    // Termination invariant: the popped task's `executed` bump is deferred
+    // until the whole inline chain (and every sibling publish) completes,
+    // so an observer can never see created == executed while work derived
+    // from this task is still unpublished. Token safety: arena reclamation
+    // is pinned to reclaim_at_quiescence() after the pool join, so tokens
+    // referenced by inline or split continuations stay live either way.
+    Activation cont;         // stack slot for inline continuations
+    bool is_inline = false;  // current link lives in `cont`, not the pool
+    uint32_t depth = 1;      // links executed in this chain so far
+    for (;;) {
+      Activation* cur = is_inline ? &cont : a;
+      uint64_t t0 = 0;
       if (ring != nullptr) {
-        // Depth sampled at the natural load-balance point: right after an
-        // emit burst is the moment thieves decide whether this deque is
-        // worth raiding.
-        obs::record_instant(*tracer_, *ring, obs::EventKind::QueueDepth, 0,
-                            static_cast<uint32_t>(me.deque.size()));
+        t0 = tracer_->now_ns();
+        ctx.stats.reset();  // per-task deltas, like the serial recorder
       }
+      try {
+        net_.execute(*cur, ctx);
+      } catch (...) {
+        // The pooled head was already released once the chain went inline.
+        if (!is_inline) apool_.release(worker, a);
+        // Count the popped task as executed so the cycle's books still
+        // balance, then fail the whole cycle.
+        me.executed.fetch_add(1, std::memory_order_seq_cst);
+        abort.store(true, std::memory_order_release);
+        lot_.unpark_all();
+        throw;
+      }
+      if (ring != nullptr) {
+        obs::record_task(*tracer_, *ring, t0, *cur, ctx.stats);
+      }
+      if (!is_inline) apool_.release(worker, a);
+      ++me.done;
+      bool have_cont = false;
+      if (!ctx.batch.empty()) {
+        if (split_depth == 0 || depth < split_depth) {
+          cont = std::move(ctx.batch.back());
+          ctx.batch.pop_back();
+          have_cont = true;
+          ++me.chain_inline;
+        } else {
+          ++me.chain_splits;  // cap reached: continuation goes to the deque
+        }
+      }
+      if (!ctx.batch.empty()) {
+        // Publish the emit burst once: one counter bump, owner-side pushes,
+        // one wake. The count precedes the pushes (termination invariant).
+        // unpark_one, not unpark_all: waking every sleeper per publish is a
+        // thundering herd at high worker counts (all wake, sweep, fail,
+        // re-park); one waker per publish keeps the wake chain proportional
+        // to the work supply, and the exit cascade below still wakes
+        // everyone for the final quiescence check.
+        me.created.fetch_add(ctx.batch.size(), std::memory_order_seq_cst);
+        for (Activation& child : ctx.batch) {
+          me.deque.push(apool_.alloc(worker, std::move(child)));
+        }
+        ctx.batch.clear();
+        lot_.unpark_one();
+        if (ring != nullptr) {
+          // Depth sampled at the natural load-balance point: right after an
+          // emit burst is the moment thieves decide whether this deque is
+          // worth raiding.
+          obs::record_instant(*tracer_, *ring, obs::EventKind::QueueDepth, 0,
+                              static_cast<uint32_t>(me.deque.size()));
+        }
+      }
+      if (!have_cont) break;
+      is_inline = true;
+      ++depth;
     }
     me.executed.fetch_add(1, std::memory_order_seq_cst);
   }
+  if (idle != 0) ++me.sweep_hist[sweep_bucket(idle)];  // run ended at drain
   // Cascade the wake so every parked peer re-checks quiescence and exits.
   lot_.unpark_all();
 }
@@ -466,7 +553,14 @@ ParallelStats ParallelMatcher::run_steal(std::vector<Activation>& seeds,
     st.tasks += s->done;
     st.steals += s->steals;
     st.failed_steals += s->failed_steals;
+    st.failed_sweeps += s->failed_sweeps;
+    st.sweep_backoff_ns += s->sweep_backoff_ns;
     st.parks += s->parks;
+    st.chain_inline += s->chain_inline;
+    st.chain_splits += s->chain_splits;
+    for (size_t i = 0; i < ParallelStats::kSweepHistBuckets; ++i) {
+      st.sweep_hist[i] += s->sweep_hist[i];
+    }
   }
   return st;
 }

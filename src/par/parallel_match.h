@@ -13,8 +13,11 @@
 //     deque per worker (par/ws_deque.h), owner-side push/pop, randomized
 //     CAS-only stealing, per-worker cache-line-padded counters for
 //     termination detection and statistics, emit bursts published once per
-//     node execution, and idle workers that spin briefly and then park on a
-//     condvar (par/worker_pool.h) instead of hammering locks.
+//     node execution, dependent activation chains executed inline up to a
+//     tunable split depth (long chains become stealable suffixes — see
+//     StealTuning), and idle workers that back off exponentially across
+//     failed whole-pool sweeps and then park on a condvar
+//     (par/worker_pool.h) instead of hammering locks.
 //
 // Worker threads are spawned once per ParallelMatcher lifetime (WorkerPool)
 // and parked between cycles, so a matcher held by an Engine runs thousands
@@ -50,15 +53,56 @@
 
 namespace psme {
 
+/// Tunables for the Steal scheduler's idle path and chain execution.
+/// Exposed on EngineOptions (`steal`) and the demos' CLIs; the defaults are
+/// what every production caller gets.
+struct StealTuning {
+  /// Sweep backoff ladder: after a failed whole-pool sweep a worker runs
+  /// `backoff_park_sweeps` backoff rounds before parking on its pre-sweep
+  /// ticket; in round i it spins `backoff_base_spins << i` pause
+  /// instructions (once the doubled budget reaches `backoff_max_spins` it
+  /// yields the core instead). Rounds re-sweep only when the publish epoch
+  /// has moved — otherwise the deques are provably still empty — so a
+  /// quiet idle episode costs exactly one failed sweep. Zero rounds means
+  /// park right after the first failed sweep. Lower park thresholds trade
+  /// steal latency for idle cost — on an oversubscribed host (the common
+  /// case at 8-13 workers) parking early is what keeps failed sweeps off
+  /// the bus.
+  uint32_t backoff_base_spins = 4;
+  uint32_t backoff_max_spins = 512;
+  uint32_t backoff_park_sweeps = 2;
+
+  /// Dependent-chain splitting: a worker executes up to `chain_split_depth`
+  /// dependent activations inline (each node execution continues directly
+  /// into its last-emitted child, skipping the pool/deque/counter round
+  /// trip), then pushes the continuation back onto its deque as a fresh,
+  /// stealable task. 0 = never split (unbounded inline chains);
+  /// 1 = split at every link (no inline chaining — the pre-backoff
+  /// scheduler's behavior). The default is CostBudget::max_depth (64) / 8:
+  /// the linter's longest tolerated chain split into one stealable segment
+  /// per worker of a typical 8-wide pool.
+  uint32_t chain_split_depth = 8;
+};
+
 struct ParallelStats {
+  /// Buckets of the consecutive-failed-sweep histogram: run lengths
+  /// 1, 2, 3-4, 5-8, 9-16, >16 (a run ends when a take succeeds, the worker
+  /// parks, or the cycle drains).
+  static constexpr size_t kSweepHistBuckets = 6;
+
   uint64_t tasks = 0;
   uint64_t failed_pops = 0;          // locked policies: lock-and-look misses
   uint64_t queue_lock_spins = 0;     // locked policies
   uint64_t queue_lock_acquires = 0;  // locked policies
   uint64_t steals = 0;               // Steal: successful cross-worker takes
   uint64_t failed_steals = 0;        // Steal: empty/lost-race steal attempts
+  uint64_t failed_sweeps = 0;        // Steal: whole-pool sweeps finding nothing
+  uint64_t sweep_backoff_ns = 0;     // Steal: time spent in the backoff ladder
   uint64_t parks = 0;                // Steal: times a worker parked
+  uint64_t chain_inline = 0;         // Steal: continuations executed inline
+  uint64_t chain_splits = 0;         // Steal: continuations split to the deque
   uint64_t pool_slabs = 0;           // Steal: activation-pool slab mallocs
+  uint64_t sweep_hist[kSweepHistBuckets] = {};  // failed-sweep run lengths
   double wall_seconds = 0;
   /// Token-arena snapshot taken at the end of the cycle (counters are
   /// lifetime totals; benches difference consecutive snapshots).
@@ -75,7 +119,14 @@ struct ParallelStats {
     queue_lock_acquires += st.queue_lock_acquires;
     steals += st.steals;
     failed_steals += st.failed_steals;
+    failed_sweeps += st.failed_sweeps;
+    sweep_backoff_ns += st.sweep_backoff_ns;
     parks += st.parks;
+    chain_inline += st.chain_inline;
+    chain_splits += st.chain_splits;
+    for (size_t i = 0; i < kSweepHistBuckets; ++i) {
+      sweep_hist[i] += st.sweep_hist[i];
+    }
     wall_seconds += st.wall_seconds;
     pool_slabs = st.pool_slabs;
     arena = st.arena;
@@ -137,9 +188,11 @@ class ParallelMatcher {
   /// before any worker runs, and the scheduler loops record task spans,
   /// steal attempts/outcomes, park intervals and queue-depth samples into
   /// their own track. The tracer must outlive the matcher.
+  /// `tuning` parameterizes the Steal policy's idle backoff and chain
+  /// splitting (ignored by the locked policies).
   ParallelMatcher(Network& net, size_t n_workers,
                   TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
-                  obs::Tracer* tracer = nullptr);
+                  obs::Tracer* tracer = nullptr, StealTuning tuning = {});
   ~ParallelMatcher();
   ParallelMatcher(const ParallelMatcher&) = delete;
   ParallelMatcher& operator=(const ParallelMatcher&) = delete;
@@ -179,6 +232,7 @@ class ParallelMatcher {
 
   [[nodiscard]] TaskQueueSet::Policy policy() const { return policy_; }
   [[nodiscard]] size_t workers() const { return n_workers_; }
+  [[nodiscard]] const StealTuning& tuning() const { return tuning_; }
 
   /// Aggregate over every cycle this matcher has run (persistent-lifetime
   /// diagnostics; per-cycle numbers come from the run_* return value).
@@ -201,7 +255,12 @@ class ParallelMatcher {
     uint64_t done = 0;
     uint64_t steals = 0;
     uint64_t failed_steals = 0;
+    uint64_t failed_sweeps = 0;
+    uint64_t sweep_backoff_ns = 0;
     uint64_t parks = 0;
+    uint64_t chain_inline = 0;
+    uint64_t chain_splits = 0;
+    uint64_t sweep_hist[ParallelStats::kSweepHistBuckets] = {};
     Rng rng;
     // Persistent per-worker scratch, leased into the worker's ExecContext
     // for the duration of a cycle (see Lease in parallel_match.cpp): emit
@@ -231,6 +290,7 @@ class ParallelMatcher {
   Network& net_;
   size_t n_workers_;
   TaskQueueSet::Policy policy_;
+  StealTuning tuning_;
   obs::Tracer* tracer_;  // null = tracing off (one branch per event site)
   WorkerPool pool_;
   ParkingLot lot_;

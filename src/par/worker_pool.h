@@ -47,6 +47,16 @@ namespace psme {
 /// spawns and joins threads every call.
 void run_workers(size_t n, const std::function<void(size_t)>& fn);
 
+/// One spin-wait hint: tells the core a sibling hyperthread may run (x86
+/// `pause`); elsewhere a compiler barrier so the loop is not optimized away.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /// Bounded spin-then-yield-then-sleep backoff for idle workers. `round` is
 /// the caller's consecutive-failure count: early rounds burn a few pause
 /// instructions, middle rounds yield the core, late rounds sleep with an
@@ -54,19 +64,31 @@ void run_workers(size_t n, const std::function<void(size_t)>& fn);
 /// worker on an oversubscribed machine costs microseconds, not a core.
 inline void idle_backoff(uint32_t round) {
   if (round < 8) {
-    for (uint32_t i = 0; i < (1u << round); ++i) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#else
-      std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-    }
+    for (uint32_t i = 0; i < (1u << round); ++i) cpu_pause();
   } else if (round < 16) {
     std::this_thread::yield();
   } else {
     const uint32_t shift = round - 16 < 6 ? round - 16 : 6;
     std::this_thread::sleep_for(std::chrono::microseconds(4u << shift));
   }
+}
+
+/// Exponential backoff between failed whole-pool steal sweeps (the Steal
+/// scheduler's pre-park ladder, StealTuning): round i spins
+/// `base_spins << i` pauses; once the doubled budget reaches `max_spins`
+/// the worker yields its core instead of spinning harder. Unlike
+/// idle_backoff this never sleeps — sleeping is the ParkingLot's job, which
+/// the caller reaches after its park threshold.
+inline void sweep_backoff(uint32_t round, uint32_t base_spins,
+                          uint32_t max_spins) {
+  const uint32_t shift = round < 16 ? round : 16;
+  const uint64_t spins = static_cast<uint64_t>(base_spins == 0 ? 1 : base_spins)
+                         << shift;
+  if (spins >= max_spins) {
+    std::this_thread::yield();
+    return;
+  }
+  for (uint64_t i = 0; i < spins; ++i) cpu_pause();
 }
 
 /// Epoch-based parking. See file comment for the ticket protocol.

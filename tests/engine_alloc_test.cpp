@@ -41,11 +41,13 @@ void cycle(Engine& e) {
 }
 
 void expect_allocation_free_cycles(size_t workers, TaskQueueSet::Policy policy,
-                                   bool tracing = false) {
+                                   bool tracing = false,
+                                   StealTuning tuning = {}) {
   EngineOptions opts;
   opts.record_traces = false;  // trace recording allocates by design
   opts.match_workers = workers;
   opts.match_policy = policy;
+  opts.steal = tuning;
   // Event tracing, by contrast, must NOT allocate in steady state: rings
   // are preallocated (small here, so overflow's drop-and-count path is
   // exercised too) and events are fixed-size PODs.
@@ -93,6 +95,23 @@ TEST(EngineAlloc, MultiQueueCycleIsAllocationFree) {
 
 TEST(EngineAlloc, StealCycleIsAllocationFree) {
   expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal);
+}
+
+// The chain-splitting corners must hold the guarantee too: split-every-link
+// (every continuation round-trips through the activation pool and deque, with
+// the backoff ladder off so the park path runs every cycle) and never-split
+// (continuations live entirely in a stack slot — no pool traffic at all).
+TEST(EngineAlloc, StealSplitEveryLinkCycleIsAllocationFree) {
+  StealTuning t;
+  t.chain_split_depth = 1;
+  t.backoff_park_sweeps = 0;
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal, false, t);
+}
+
+TEST(EngineAlloc, StealNeverSplitCycleIsAllocationFree) {
+  StealTuning t;
+  t.chain_split_depth = 0;
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal, false, t);
 }
 
 // Same four regimes with event tracing on: recording a span is a clock read

@@ -46,7 +46,25 @@ void add_workload_wmes(Engine& e, int n) {
 struct ParallelCase {
   size_t workers;
   TaskQueueSet::Policy policy;
+  StealTuning tuning = {};
 };
+
+/// Split-every-link with the backoff ladder off: every chain link round-trips
+/// through the deque and every failed sweep goes straight to the park ticket
+/// (the maximal-churn corner of the tuning space).
+StealTuning split_heavy() {
+  StealTuning t;
+  t.chain_split_depth = 1;
+  t.backoff_park_sweeps = 0;
+  return t;
+}
+
+/// Unbounded inline chains: a dependent chain never leaves its worker.
+StealTuning never_split() {
+  StealTuning t;
+  t.chain_split_depth = 0;
+  return t;
+}
 
 class ParallelEquivalence : public ::testing::TestWithParam<ParallelCase> {};
 
@@ -65,9 +83,17 @@ TEST_P(ParallelEquivalence, MatchesSerialResult) {
   // Engine::match().
   SeedCollector sc;
   for (const Wme* w : par.wm().live()) par.net().inject(w, true, sc);
-  ParallelMatcher matcher(par.net(), param.workers, param.policy);
+  ParallelMatcher matcher(par.net(), param.workers, param.policy, nullptr,
+                          param.tuning);
   const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
   EXPECT_GT(st.tasks, 0u);
+  if (param.policy == TaskQueueSet::Policy::Steal && param.workers > 1) {
+    if (param.tuning.chain_split_depth == 1) {
+      EXPECT_EQ(st.chain_inline, 0u);  // every link split to the deque
+    } else if (param.tuning.chain_split_depth == 0) {
+      EXPECT_EQ(st.chain_splits, 0u);  // chains never split
+    }
+  }
 
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
   EXPECT_EQ(serial.net().tables().total_left_entries(),
@@ -90,7 +116,17 @@ INSTANTIATE_TEST_SUITE_P(
                       ParallelCase{2, TaskQueueSet::Policy::Steal},
                       ParallelCase{4, TaskQueueSet::Policy::Steal},
                       ParallelCase{8, TaskQueueSet::Policy::Steal},
-                      ParallelCase{13, TaskQueueSet::Policy::Steal}));
+                      ParallelCase{13, TaskQueueSet::Policy::Steal},
+                      ParallelCase{2, TaskQueueSet::Policy::Steal,
+                                   split_heavy()},
+                      ParallelCase{4, TaskQueueSet::Policy::Steal,
+                                   split_heavy()},
+                      ParallelCase{8, TaskQueueSet::Policy::Steal,
+                                   split_heavy()},
+                      ParallelCase{4, TaskQueueSet::Policy::Steal,
+                                   never_split()},
+                      ParallelCase{8, TaskQueueSet::Policy::Steal,
+                                   never_split()}));
 
 TEST(TaskQueue, SinglePolicyUsesOneQueue) {
   TaskQueueSet q(TaskQueueSet::Policy::Single, 8);
@@ -254,18 +290,24 @@ void runtime_add_through(Engine& e, ParallelMatcher& matcher, RhsArena& arena,
 }
 
 TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
-  // Three engines walk the same script — wme wave, §5.2 runtime production
+  // Five engines walk the same script — wme wave, §5.2 runtime production
   // add, another wme wave — one drained serially (the oracle), one through a
-  // Multi matcher, one through a Steal matcher. All three must agree on the
-  // conflict set and the memory-table entry counts at every checkpoint.
+  // Multi matcher, and three through Steal matchers at the corners of the
+  // chain-splitting tuning space (default, split-every-link, never-split).
+  // All must agree on the conflict set and the memory-table entry counts at
+  // every checkpoint.
   const std::string late = "(p late-j2 (b ^v <x>) (c ^v <x>) --> (halt))";
 
-  Engine serial, multi, steal;
-  for (Engine* e : {&serial, &multi, &steal}) {
+  Engine serial, multi, steal, split, nosplit;
+  for (Engine* e : {&serial, &multi, &steal, &split, &nosplit}) {
     e->load(workload_productions());
   }
   ParallelMatcher m_multi(multi.net(), 8, TaskQueueSet::Policy::Multi);
   ParallelMatcher m_steal(steal.net(), 8, TaskQueueSet::Policy::Steal);
+  ParallelMatcher m_split(split.net(), 8, TaskQueueSet::Policy::Steal,
+                          nullptr, split_heavy());
+  ParallelMatcher m_nosplit(nosplit.net(), 8, TaskQueueSet::Policy::Steal,
+                            nullptr, never_split());
 
   auto parallel_wave = [&](Engine& e, ParallelMatcher& m, int n) {
     std::vector<const Wme*> before = e.wm().live();
@@ -289,9 +331,13 @@ TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
   serial.match();
   parallel_wave(multi, m_multi, 15);
   const ParallelStats st1 = parallel_wave(steal, m_steal, 15);
+  parallel_wave(split, m_split, 15);
+  parallel_wave(nosplit, m_nosplit, 15);
   EXPECT_GT(st1.tasks, 0u);
   ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
   ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(split));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(nosplit));
 
   // §5.2 runtime add, drained through each scheduler.
   RhsArena arena;
@@ -307,20 +353,30 @@ TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
   }
   runtime_add_through(multi, m_multi, arena, owned, late);
   runtime_add_through(steal, m_steal, arena, owned, late);
+  runtime_add_through(split, m_split, arena, owned, late);
+  runtime_add_through(nosplit, m_nosplit, arena, owned, late);
   ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
   ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(split));
+  ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(nosplit));
 
   // Wave 2 over the extended network.
   add_workload_wmes(serial, 9);
   serial.match();
   parallel_wave(multi, m_multi, 9);
   parallel_wave(steal, m_steal, 9);
+  parallel_wave(split, m_split, 9);
+  parallel_wave(nosplit, m_nosplit, 9);
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(multi));
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(steal));
-  EXPECT_EQ(serial.net().tables().total_left_entries(),
-            steal.net().tables().total_left_entries());
-  EXPECT_EQ(serial.net().tables().total_right_entries(),
-            steal.net().tables().total_right_entries());
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(split));
+  EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(nosplit));
+  for (Engine* e : {&steal, &split, &nosplit}) {
+    EXPECT_EQ(serial.net().tables().total_left_entries(),
+              e->net().tables().total_left_entries());
+    EXPECT_EQ(serial.net().tables().total_right_entries(),
+              e->net().tables().total_right_entries());
+  }
 }
 
 TEST(EngineIntegration, ParallelEngineRunMatchesSerial) {

@@ -1,8 +1,11 @@
 // Differential test across all match policies: a seeded, randomized stream
 // of wme adds, wme removes, and run-time production additions (the chunking
-// path's §5.2 state update) is applied identically to four engines — serial,
-// Single, Multi, and Steal (2 workers each). After every match the engines
-// must agree on:
+// path's §5.2 state update) is applied identically to six engines — serial,
+// Single, Multi, and three Steal tunings (2 workers each): the default,
+// split-every-link (chain_split_depth 1, with the backoff ladder disabled so
+// every failed sweep goes straight to the park ticket), and never-split
+// (chain_split_depth 0, unbounded inline chains). After every match the
+// engines must agree on:
 //
 //   * the conflict set, compared content-by-content (production name + wme
 //     contents per CE) so timetag/arrival tie-breaks and threaded insertion
@@ -51,8 +54,23 @@ constexpr const char* kBaseProductions =
     "(p base-neg (a ^v <x>) -(b ^v <x>) --> (halt))\n"
     "(p base-three (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))";
 
-constexpr std::array<const char*, 4> kEngineNames = {"serial", "single",
-                                                     "multi", "steal"};
+constexpr std::array<const char*, 6> kEngineNames = {
+    "serial",      "single",          "multi",
+    "steal",       "steal-splitall",  "steal-nosplit"};
+
+/// Steal tuning for engine index 3..5: default, split-every-link with the
+/// backoff ladder off (parks immediately after one failed sweep — maximal
+/// park/unpark churn), never-split.
+StealTuning steal_tuning(size_t i) {
+  StealTuning t;
+  if (i == 4) {
+    t.chain_split_depth = 1;
+    t.backoff_park_sweeps = 0;
+  } else if (i == 5) {
+    t.chain_split_depth = 0;
+  }
+  return t;
+}
 
 /// Run-time production templates: a plain join, a triple, a negation, and a
 /// six-CE chain whose full tokens spill to the arena.
@@ -77,8 +95,8 @@ std::multiset<std::string> wm_fingerprint(Engine& e) {
   return out;
 }
 
-/// Compares the four engines; empty string means they agree.
-std::string compare_engines(std::array<std::unique_ptr<Engine>, 4>& es) {
+/// Compares the six engines; empty string means they agree.
+std::string compare_engines(std::array<std::unique_ptr<Engine>, 6>& es) {
   const auto cs0 = cs_fingerprint(*es[0]);
   const auto wm0 = wm_fingerprint(*es[0]);
   const size_t left0 = es[0]->net().tables().total_left_entries();
@@ -113,7 +131,7 @@ std::string compare_engines(std::array<std::unique_ptr<Engine>, 4>& es) {
 /// which the divergence was observed.
 std::string run_seed(uint64_t seed, size_t max_ops, size_t* fail_op,
                      size_t* activity = nullptr) {
-  std::array<std::unique_ptr<Engine>, 4> es;
+  std::array<std::unique_ptr<Engine>, 6> es;
   for (size_t i = 0; i < es.size(); ++i) {
     EngineOptions opts;
     opts.record_traces = false;
@@ -122,6 +140,7 @@ std::string run_seed(uint64_t seed, size_t max_ops, size_t* fail_op,
       opts.match_policy = i == 1   ? TaskQueueSet::Policy::Single
                           : i == 2 ? TaskQueueSet::Policy::Multi
                                    : TaskQueueSet::Policy::Steal;
+      opts.steal = steal_tuning(i);
     }
     es[i] = std::make_unique<Engine>(opts);
     es[i]->load(kBaseProductions);

@@ -123,11 +123,31 @@ void add_stress_wmes(Engine& e, int n, int salt) {
   }
 }
 
+// One stress configuration: a scheduler policy plus (for Steal) a corner of
+// the backoff/chain-splitting tuning space.
+struct RaceCase {
+  const char* name;
+  TaskQueueSet::Policy policy;
+  StealTuning tuning = {};
+};
+
+StealTuning race_split_heavy() {
+  StealTuning t;
+  t.chain_split_depth = 1;   // every chain link crosses the deque
+  t.backoff_park_sweeps = 0; // park after the first failed sweep
+  return t;
+}
+
+StealTuning race_never_split() {
+  StealTuning t;
+  t.chain_split_depth = 0;
+  return t;
+}
+
 /// Drains one engine's pending wme set through a ParallelMatcher running
-/// `policy` (a persistent `matcher` may be supplied to reuse one pool).
+/// `c` (a persistent `matcher` may be supplied to reuse one pool).
 void parallel_cycle(Engine& e, const std::vector<const Wme*>& adds,
-                    const std::vector<const Wme*>& removes,
-                    TaskQueueSet::Policy policy,
+                    const std::vector<const Wme*>& removes, const RaceCase& c,
                     ParallelMatcher* matcher = nullptr) {
   SeedCollector sc;
   for (const Wme* w : removes) e.net().inject(w, false, sc);
@@ -135,24 +155,27 @@ void parallel_cycle(Engine& e, const std::vector<const Wme*>& adds,
   if (matcher != nullptr) {
     matcher->run_cycle(std::move(sc.seeds));
   } else {
-    ParallelMatcher local(e.net(), kWorkers, policy);
+    ParallelMatcher local(e.net(), kWorkers, c.policy, nullptr, c.tuning);
     local.run_cycle(std::move(sc.seeds));
   }
 }
 
-// Live-network stress runs under both the paper's locked scheduler (Multi)
-// and the lock-free work-stealing scheduler (Steal).
-class RaceStressPolicy
-    : public ::testing::TestWithParam<TaskQueueSet::Policy> {};
+// Live-network stress runs under the paper's locked scheduler (Multi) and
+// the lock-free work-stealing scheduler at three tunings: default,
+// split-every-link with the backoff ladder disabled (maximal deque/park
+// churn), and never-split (unbounded inline chains). The tuned Steal cases
+// give TSan the new continuation-task and backoff interleavings.
+class RaceStressPolicy : public ::testing::TestWithParam<RaceCase> {};
 
-INSTANTIATE_TEST_SUITE_P(Policies, RaceStressPolicy,
-                         ::testing::Values(TaskQueueSet::Policy::Multi,
-                                           TaskQueueSet::Policy::Steal),
-                         [](const auto& info) {
-                           return info.param == TaskQueueSet::Policy::Multi
-                                      ? "Multi"
-                                      : "Steal";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Policies, RaceStressPolicy,
+    ::testing::Values(RaceCase{"Multi", TaskQueueSet::Policy::Multi},
+                      RaceCase{"Steal", TaskQueueSet::Policy::Steal},
+                      RaceCase{"StealSplitAll", TaskQueueSet::Policy::Steal,
+                               race_split_heavy()},
+                      RaceCase{"StealNoSplit", TaskQueueSet::Policy::Steal,
+                               race_never_split()}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 TEST_P(RaceStressPolicy, RepeatedParallelCyclesMatchSerial) {
   // Several add-then-delete cycles, each drained by 8 workers on the live
@@ -160,7 +183,7 @@ TEST_P(RaceStressPolicy, RepeatedParallelCyclesMatchSerial) {
   // locks or deque CASes) all contended in one run. The serial engine is the
   // oracle after each cycle.
   const int rounds = PSME_SANITIZED_BUILD ? 2 : 4;
-  const TaskQueueSet::Policy policy = GetParam();
+  const RaceCase c = GetParam();
 
   Engine serial, par;
   serial.load(stress_productions());
@@ -179,7 +202,7 @@ TEST_P(RaceStressPolicy, RepeatedParallelCyclesMatchSerial) {
         adds.push_back(w);
       }
     }
-    parallel_cycle(par, adds, {}, policy);
+    parallel_cycle(par, adds, {}, c);
     ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(par)) << "add round " << r;
 
     // Delete wave: every third a-wme.
@@ -196,7 +219,7 @@ TEST_P(RaceStressPolicy, RepeatedParallelCyclesMatchSerial) {
     serial.match();
 
     const auto pr = pick_removals(par);
-    parallel_cycle(par, {}, pr, policy);
+    parallel_cycle(par, {}, pr, c);
     for (const Wme* w : pr) par.wm().remove(w);
     par.wm().end_cycle();
     ASSERT_EQ(cs_fingerprint(serial), cs_fingerprint(par))
@@ -213,7 +236,7 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
   // One persistent matcher carries every wave and every update phase, so
   // under Steal this also stresses pool reuse (park/unpark across cycles).
   const int waves = PSME_SANITIZED_BUILD ? 2 : 3;
-  const TaskQueueSet::Policy policy = GetParam();
+  const RaceCase c = GetParam();
 
   const std::string base = stress_productions();
   const std::vector<std::string> extras = {
@@ -230,7 +253,7 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
   }
   Engine live;
   live.load(base);
-  ParallelMatcher matcher(live.net(), kWorkers, policy);
+  ParallelMatcher matcher(live.net(), kWorkers, c.policy, nullptr, c.tuning);
 
   for (int wv = 0; wv < waves; ++wv) {
     add_stress_wmes(ref, 12, wv);
@@ -243,7 +266,7 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
         adds.push_back(w);
       }
     }
-    parallel_cycle(live, adds, {}, policy, &matcher);
+    parallel_cycle(live, adds, {}, c, &matcher);
   }
 
   // Runtime additions on the live (already-matched) network.
@@ -283,21 +306,26 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
       adds.push_back(w);
     }
   }
-  parallel_cycle(live, adds, {}, policy, &matcher);
+  parallel_cycle(live, adds, {}, c, &matcher);
   EXPECT_EQ(cs_fingerprint(ref), cs_fingerprint(live));
 }
 
 TEST(RaceStress, StealParkingUnderUnevenLoad) {
-  // Tiny seed sets on a wide Steal pool: most workers find nothing, spin
-  // through their backoff and park; the emitting worker's unpark-on-publish
-  // must wake them without losing the termination signal. Many short cycles
-  // back to back hammer the park/unpark edge where lost wakeups would hang.
+  // Tiny seed sets on a wide Steal pool: most workers find nothing and park;
+  // the emitting worker's unpark-on-publish must wake them without losing
+  // the termination signal. Many short cycles back to back hammer the
+  // park/unpark edge where lost wakeups would hang. backoff_park_sweeps = 0
+  // removes the backoff ladder entirely, so every failed sweep takes the
+  // ticket path immediately — the densest possible park/unpark traffic.
   const int cycles = PSME_SANITIZED_BUILD ? 20 : 80;
 
   Engine serial, par;
   serial.load(stress_productions());
   par.load(stress_productions());
-  ParallelMatcher matcher(par.net(), kWorkers, TaskQueueSet::Policy::Steal);
+  StealTuning eager;
+  eager.backoff_park_sweeps = 0;
+  ParallelMatcher matcher(par.net(), kWorkers, TaskQueueSet::Policy::Steal,
+                          nullptr, eager);
 
   uint64_t parks = 0;
   for (int c = 0; c < cycles; ++c) {

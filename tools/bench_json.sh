@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds and runs the machine-readable benchmarks, capturing each one's
 # stdout into BENCH_<name>.json at the repo root (human tables stay on
-# stderr). Currently: bench_scheduler (the real-thread scheduler shootout)
-# and bench_tokens (heap allocations per activation, old vs new token
-# representation).
+# stderr). Currently: bench_scheduler (the real-thread scheduler shootout),
+# bench_tokens (heap allocations per activation, old vs new token
+# representation), and bench_longchain (deep linear join chains: chain
+# splitting vs split-every-link vs never-split, plus the VP sweep to 256).
 #
 # Each bench writes to a temp file that is validated (python3 -m json.tool)
 # and only then moved into place, so a crashing or interrupted bench can
@@ -18,7 +19,8 @@ cd "$repo_root"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset default >/dev/null
-cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens
+cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens \
+  --target bench_longchain
 
 # run_bench <binary> <output.json> [args...]: capture, validate, then commit.
 run_bench() {
@@ -45,3 +47,6 @@ run_bench() {
 
 run_bench build/bench/bench_scheduler BENCH_scheduler.json "$@"
 run_bench build/bench/bench_tokens BENCH_tokens.json "$@"
+# bench_longchain takes rounds/values/reps, not rounds/wave — run it at its
+# defaults rather than forwarding bench_scheduler-shaped arguments.
+run_bench build/bench/bench_longchain BENCH_longchain.json
