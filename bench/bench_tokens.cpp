@@ -192,8 +192,8 @@ EngineRecord run_config(TaskQueueSet::Policy policy, size_t workers,
   // The conflict set allocates per production match by design (list/index
   // nodes), identically in the old and new token designs; detach it so the
   // window measures the match/token layer this PR changes.
-  e.net().set_sink(nullptr);
-  ParallelMatcher matcher(e.net(), workers, policy);
+  e.state().sink = nullptr;
+  ParallelMatcher matcher(e.net(), e.state(), workers, policy);
 
   uint64_t pool_slabs = 0;
   auto one_round = [&](int round, bool measured) {
@@ -234,13 +234,13 @@ EngineRecord run_config(TaskQueueSet::Policy policy, size_t workers,
   // ActivationPool slabs; the measured window is the steady state the
   // tentpole targets.
   for (int round = 0; round < warmup; ++round) one_round(round, false);
-  const MatchStats arena0 = e.net().arena().stats();
+  const MatchStats arena0 = e.state().arena.stats();
   const uint64_t a0 = allocs_now(), b0 = bytes_now();
   for (int round = warmup; round < warmup + rounds; ++round) {
     one_round(round, true);
   }
   r.heap = {allocs_now() - a0, bytes_now() - b0};
-  r.arena_delta = e.net().arena().stats().delta(arena0);
+  r.arena_delta = e.state().arena.stats().delta(arena0);
   r.pool_slabs = pool_slabs;
   return r;
 }
@@ -303,7 +303,7 @@ SweepRecord run_chunk_sweep(uint32_t chunk_bytes, int rounds) {
     r.tasks += e.last_parallel_stats().tasks;
     r.wall_seconds += e.last_parallel_stats().wall_seconds;
   }
-  r.arena = e.net().arena().stats();
+  r.arena = e.state().arena.stats();
   return r;
 }
 

@@ -2,7 +2,7 @@
 // again with chunking on (watch the chunks being built), then re-solve with
 // the learned chunks preloaded and compare the effort.
 //
-//   $ ./eight_puzzle_demo [--stats] [--chain-split-depth N]
+//   $ ./eight_puzzle_demo [--stats] [--agents N] [--chain-split-depth N]
 //                         [--steal-backoff-base N] [--steal-backoff-max N]
 //                         [--steal-backoff-park N]
 //   $ PSME_TRACE=trace.json ./eight_puzzle_demo
@@ -10,14 +10,24 @@
 // The steal-tuning flags apply to the traced parallel run (they configure
 // EngineOptions::steal; serial runs ignore them).
 //
-// With PSME_TRACE set, the during-chunking run repeats on a 3-worker
+// With PSME_TRACE set, the during-chunking run repeats on an 8-worker
 // parallel matcher with tracing on and exports a Perfetto-loadable Chrome
 // trace: per-worker task spans plus the §5.2 update-phase spans of every
-// chunk added at run time. (3 workers, not more: learning runs at >= 4
-// workers currently diverge from the serial oracle — see ROADMAP.md.)
+// chunk added at run time. (The conflict set orders instantiations by a
+// deterministic content key, so the parallel learning run is bit-identical
+// to the serial one at any worker count.)
+//
+// With --agents N (N > 1) the demo also runs N learning kernels as agent
+// sessions over ONE shared CompiledNetwork: each agent solves the puzzle
+// with chunking on, chunks are compiled copy-on-write into the shared
+// jumptable, and chunk-signature dedup is network-wide — so later agents
+// inherit earlier agents' chunks and solve with fewer impasses and fewer
+// freshly-built chunks.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "obs/export.h"
 #include "par/parallel_match.h"
@@ -41,10 +51,46 @@ void report(const char* label, const TaskRunResult& r) {
       r.stats.goal_achieved ? "yes" : "NO");
 }
 
+/// N learning kernels, sequentially, as agent sessions over one shared
+/// network: chunks any agent learns are in the shared Rete (COW publish)
+/// when the next agent runs, and identical chunks dedup network-wide.
+void run_agents(const Task& task, size_t agents) {
+  std::printf("\nmulti-agent serving: %zu learning kernels over one shared "
+              "network\n",
+              agents);
+  std::printf("%-7s %10s %9s %13s %13s  %s\n", "agent", "decisions",
+              "impasses", "chunks-built", "cow-publishes", "solved");
+
+  auto cnet = std::make_shared<CompiledNetwork>();
+  std::vector<std::unique_ptr<SoarKernel>> kernels;  // sessions stay attached
+  for (size_t a = 0; a < agents; ++a) {
+    SoarOptions opts;
+    opts.learning = true;
+    opts.max_decisions = task.max_decisions;
+    kernels.push_back(std::make_unique<SoarKernel>(opts, cnet));
+    SoarKernel& k = *kernels.back();
+    // The task productions live in the shared network: only the first
+    // session loads them, siblings find them already compiled.
+    if (a == 0) k.load_productions(task.productions);
+    task.init(k);
+    const SoarRunStats stats = k.run();
+    std::printf("%-7zu %10llu %9llu %13llu %13llu  %s\n", a,
+                static_cast<unsigned long long>(stats.decisions),
+                static_cast<unsigned long long>(stats.impasses),
+                static_cast<unsigned long long>(stats.chunks_built),
+                static_cast<unsigned long long>(cnet->cow_publishes()),
+                stats.goal_achieved ? "yes" : "NO");
+  }
+  std::printf("later agents inherit earlier agents' chunks through the "
+              "shared jumptable;\nnetwork-wide signature dedup keeps "
+              "identical chunks from compiling twice.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool want_stats = false;
+  size_t agents = 1;
   StealTuning tuning;
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> uint32_t {
@@ -56,6 +102,12 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "--agents") == 0) {
+      agents = value();
+      if (agents == 0) {
+        std::fprintf(stderr, "eight_puzzle_demo: --agents needs N >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--chain-split-depth") == 0) {
       tuning.chain_split_depth = value();
     } else if (std::strcmp(argv[i], "--steal-backoff-base") == 0) {
@@ -100,19 +152,21 @@ int main(int argc, char** argv) {
   }
 
   if (psme::obs::env_trace_path() != nullptr) {
-    // Traced repeat of the during-chunking run on a 3-worker matcher:
+    // Traced repeat of the during-chunking run on an 8-worker matcher:
     // run_task exports the Chrome JSON to $PSME_TRACE before teardown.
-    std::printf("\ntracing during-chunking run (3 workers) ...\n");
+    std::printf("\ntracing during-chunking run (8 workers) ...\n");
     EngineOptions eo;
-    eo.match_workers = 3;
+    eo.match_workers = 8;
     eo.steal = tuning;
     eo.trace.enabled = true;
     const auto traced = run_task(task, /*learning=*/true, nullptr, eo);
-    report("traced (3 workers)", traced);
+    report("traced (8 workers)", traced);
     if (want_stats) {
       std::printf("\nend-of-run metrics (traced run):\n");
       psme::obs::print_metrics_table(traced.metrics, stdout);
     }
   }
+
+  if (agents > 1) run_agents(task, agents);
   return 0;
 }

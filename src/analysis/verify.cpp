@@ -65,10 +65,15 @@ std::string fmt(const char* f, auto... args) {
 }  // namespace
 
 VerifyReport verify_network(const Network& net) {
-  return verify_network(net, {});
+  return verify_network(net, nullptr, {});
 }
 
 VerifyReport verify_network(const Network& net,
+                            const std::vector<const AddRecord*>& records) {
+  return verify_network(net, nullptr, records);
+}
+
+VerifyReport verify_network(const Network& net, const MatchState* state,
                             const std::vector<const AddRecord*>& records) {
   VerifyReport rep;
   const uint32_t n = net.node_count();
@@ -123,14 +128,18 @@ VerifyReport verify_network(const Network& net,
 
   // Stale match-state entries referencing reclaimed/nonexistent nodes: the
   // correctness oracle for production removal (ROADMAP) — unsplicing a node
-  // must purge its memories first.
-  net.tables().for_each_entry([&](uint32_t node_id, bool left) {
-    if (node_id >= n) {
-      bad(Check::Resolution, UINT32_MAX,
-          fmt("stale %s-table entry references nonexistent node %u",
-              left ? "left" : "right", node_id));
-    }
-  });
+  // must purge its memories first. State checks run per agent: a shared
+  // network serving N agents is verified once structurally (state ==
+  // nullptr) and once against each agent's MatchState.
+  if (state != nullptr) {
+    state->tables.for_each_entry([&](uint32_t node_id, bool left) {
+      if (node_id >= n) {
+        bad(Check::Resolution, UINT32_MAX,
+            fmt("stale %s-table entry references nonexistent node %u",
+                left ? "left" : "right", node_id));
+      }
+    });
+  }
 
   // ---- Edge collection (resolved refs only; dangling reported above) ----
   std::vector<std::vector<SuccessorRef>> outs(n);
@@ -573,38 +582,44 @@ VerifyReport verify_network(const Network& net,
     }
   }
 
-  // ---- LockRank: memory-node locks agree with the lockdep table ----
+  // ---- LockRank: memory-state locks agree with the lockdep table ----
+  // All match-time locks live in the per-agent MatchState now (the compiled
+  // network itself is lock-free), so this section needs a state to inspect.
 #if PSME_LOCKDEP
-  rep.lock_ranks_checked = true;
-  for (uint32_t i = 0; i < n; ++i) {
-    if (rep.nodes[i].type != NodeType::AlphaMem) continue;
-    const auto& am = static_cast<const AlphaMemNode&>(*net.node(i));
-    if (am.lock.rank() != LockRank::Bucket) {
-      bad(Check::LockRank, i,
-          fmt("alpha-memory lock ranks %s, lockdep table says %s",
-              lockdep::rank_name(am.lock.rank()),
-              lockdep::rank_name(LockRank::Bucket)));
+  if (state != nullptr) {
+    rep.lock_ranks_checked = true;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (rep.nodes[i].type != NodeType::AlphaMem) continue;
+      const auto& am = static_cast<const AlphaMemNode&>(*net.node(i));
+      if (am.mem_index >= state->alpha_count()) continue;  // not materialized
+      const Spinlock& lk = state->alpha(am.mem_index).lock;
+      if (lk.rank() != LockRank::Bucket) {
+        bad(Check::LockRank, i,
+            fmt("alpha-memory lock ranks %s, lockdep table says %s",
+                lockdep::rank_name(lk.rank()),
+                lockdep::rank_name(LockRank::Bucket)));
+      }
     }
-  }
-  for (size_t li = 0; li < net.tables().line_count(); ++li) {
-    if (net.tables().line_at(li).lock.rank() != LockRank::Bucket) {
+    for (size_t li = 0; li < state->tables.line_count(); ++li) {
+      if (state->tables.line_at(li).lock.rank() != LockRank::Bucket) {
+        bad(Check::LockRank, UINT32_MAX,
+            fmt("table line %zu lock ranks %s, lockdep table says %s", li,
+                lockdep::rank_name(state->tables.line_at(li).lock.rank()),
+                lockdep::rank_name(LockRank::Bucket)));
+      }
+    }
+    if (state->tables.right_pool().lock_rank() != LockRank::SlabPool) {
       bad(Check::LockRank, UINT32_MAX,
-          fmt("table line %zu lock ranks %s, lockdep table says %s", li,
-              lockdep::rank_name(net.tables().line_at(li).lock.rank()),
-              lockdep::rank_name(LockRank::Bucket)));
+          fmt("right-entry chunk pool ranks %s, lockdep table says %s",
+              lockdep::rank_name(state->tables.right_pool().lock_rank()),
+              lockdep::rank_name(LockRank::SlabPool)));
     }
-  }
-  if (net.tables().right_pool().lock_rank() != LockRank::SlabPool) {
-    bad(Check::LockRank, UINT32_MAX,
-        fmt("right-entry chunk pool ranks %s, lockdep table says %s",
-            lockdep::rank_name(net.tables().right_pool().lock_rank()),
-            lockdep::rank_name(LockRank::SlabPool)));
-  }
-  if (net.alpha_pool().lock_rank() != LockRank::SlabPool) {
-    bad(Check::LockRank, UINT32_MAX,
-        fmt("alpha-wme chunk pool ranks %s, lockdep table says %s",
-            lockdep::rank_name(net.alpha_pool().lock_rank()),
-            lockdep::rank_name(LockRank::SlabPool)));
+    if (state->alpha_pool.lock_rank() != LockRank::SlabPool) {
+      bad(Check::LockRank, UINT32_MAX,
+          fmt("alpha-wme chunk pool ranks %s, lockdep table says %s",
+              lockdep::rank_name(state->alpha_pool.lock_rank()),
+              lockdep::rank_name(LockRank::SlabPool)));
+    }
   }
 #endif
 

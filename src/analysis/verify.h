@@ -120,7 +120,15 @@ struct VerifyReport {
 /// Verifies `net` against the invariant catalog. `records` lists every
 /// production known to the owner (the engine's AddRecords); pass an empty
 /// span to skip the ownership and ProdRecord checks (hand-built networks,
-/// e.g. the bilinear bench compiler, have no records).
+/// e.g. the bilinear bench compiler, have no records). `state` is one
+/// agent's match state — when non-null the state-dependent checks (stale
+/// table entries, LockRank) run against it; a shared network serving N
+/// agents is verified once per agent. Null skips those checks (structure
+/// only; lock_ranks_checked stays false).
+VerifyReport verify_network(const Network& net, const MatchState* state,
+                            const std::vector<const AddRecord*>& records);
+
+/// Structure-only convenience (state = nullptr).
 VerifyReport verify_network(const Network& net,
                             const std::vector<const AddRecord*>& records);
 

@@ -1,0 +1,87 @@
+#include "engine/compiled_network.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/verify.h"
+#include "lang/parser.h"
+
+namespace psme {
+
+std::vector<const Production*> CompiledNetwork::load(std::string_view src) {
+  Parser parser(syms_, schemas_, ast_arena_);
+  auto parsed = parser.parse_file(src);
+  std::vector<const Production*> out;
+  out.reserve(parsed.size());
+  for (Production& p : parsed) {
+    const Production* adopted = store_.adopt(std::move(p));
+    finish(adopted, builder_.add_production(*adopted));
+    out.push_back(adopted);
+  }
+  return out;
+}
+
+const AddRecord& CompiledNetwork::compile_cow(const Production* p) {
+  Jumptable& jt = net_.jumptable();
+  jt.begin_cow();
+  CompiledProduction cp = builder_.add_production(*p);
+  // The caller is at a match-quiescent safe point (the same epoch boundary
+  // the token arenas reclaim at), so the swap is unobserved by any in-
+  // flight succs() walk; the retired table is still held one publish for
+  // any reader the contract failed to cover to crash loudly on, not to
+  // race.
+  jt.publish_cow();
+  return finish(p, std::move(cp));
+}
+
+const AddRecord& CompiledNetwork::finish(const Production* p,
+                                         CompiledProduction&& cp) {
+  auto [it, inserted] = records_.emplace(p, AddRecord{p, std::move(cp)});
+  if (!inserted) {
+    throw std::logic_error("CompiledNetwork: production compiled twice");
+  }
+  productions_.push_back(p);
+#if PSME_NET_VERIFY
+  debug_verify_after_add(p);
+#endif
+  return it->second;
+}
+
+void CompiledNetwork::debug_verify_after_add(const Production* p) const {
+  // Structure-only pass (no MatchState): every attached agent's state is
+  // additionally checked by Engine's own PSME_NET_VERIFY hook.
+  const analysis::VerifyReport rep = analysis::verify_network(net_, all_records());
+  if (rep.ok()) return;
+  std::fprintf(stderr,
+               "PSME_NET_VERIFY: invariant violation after adding '%s'\n%s",
+               std::string(syms_.name(p->name)).c_str(),
+               rep.to_string().c_str());
+  std::abort();
+}
+
+const AddRecord& CompiledNetwork::record(const Production* p) const {
+  auto it = records_.find(p);
+  if (it == records_.end()) {
+    throw std::out_of_range("CompiledNetwork::record: unknown production");
+  }
+  return it->second;
+}
+
+std::vector<const AddRecord*> CompiledNetwork::all_records() const {
+  std::vector<const AddRecord*> recs;
+  recs.reserve(productions_.size());
+  for (const Production* p : productions_) {
+    auto it = records_.find(p);
+    if (it != records_.end()) recs.push_back(&it->second);
+  }
+  return recs;
+}
+
+void CompiledNetwork::detach(Engine* e) {
+  agents_.erase(std::remove(agents_.begin(), agents_.end(), e), agents_.end());
+}
+
+}  // namespace psme

@@ -133,13 +133,44 @@ size_t ConflictSet::size() const {
   return count_;
 }
 
+namespace {
+
+/// Schedule-invariant total order on instantiations: production id, then
+/// token arity, then the wme timetags in token order. Two distinct
+/// instantiations always differ in one of these (the CS dedups on exactly
+/// (pnode, token) and timetags are unique per wme), so the order is total —
+/// and it is a pure function of WM content, never of task interleaving.
+/// Arrival order is NOT schedule-invariant even per agent: when a left and
+/// a right activation race into the same join, whichever parent executes
+/// second under the line lock emits the child, so CS insertion order varies
+/// with worker count. Ordering fires by this key instead is what makes
+/// learning runs bit-identical from match_workers=1 to 8 (DESIGN.md §13).
+bool det_less(const Instantiation* a, const Instantiation* b) {
+  if (a->pnode->id != b->pnode->id) return a->pnode->id < b->pnode->id;
+  const size_t na = a->token.size(), nb = b->token.size();
+  if (na != nb) return na < nb;
+  for (size_t i = 0; i < na; ++i) {
+    if (a->token[i]->timetag != b->token[i]->timetag) {
+      return a->token[i]->timetag < b->token[i]->timetag;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void ConflictSet::unfired_into(std::vector<const Instantiation*>& out) const {
   out.clear();
-  SpinGuard g(lock_);
-  // The arrival list is already in arrival order — no sort needed.
-  for (const Node* n = head_; n != nullptr; n = n->next) {
-    if (!n->inst.fired) out.push_back(&n->inst);
+  {
+    SpinGuard g(lock_);
+    for (const Node* n = head_; n != nullptr; n = n->next) {
+      if (!n->inst.fired) out.push_back(&n->inst);
+    }
   }
+  // Deterministic firing order regardless of how the threaded match
+  // interleaved the inserts (the arrival list's order is schedule-
+  // dependent). Sorted outside the lock: the harvest runs at quiescence.
+  std::sort(out.begin(), out.end(), det_less);
 }
 
 std::vector<const Instantiation*> ConflictSet::unfired() const {
@@ -196,7 +227,9 @@ bool ConflictSet::lex_less(const Instantiation* a,
   const int sa = specificity(a->pnode->prod);
   const int sb = specificity(b->pnode->prod);
   if (sa != sb) return sa < sb;
-  return a->arrival > b->arrival;  // older arrival wins ties
+  // Final tiebreak by the deterministic content key (not arrival, which is
+  // schedule-dependent under the threaded match): b wins iff it sorts first.
+  return det_less(b, a);
 }
 
 const Instantiation* ConflictSet::select_lex() const {

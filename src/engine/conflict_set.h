@@ -30,7 +30,11 @@ namespace psme {
 struct Instantiation {
   const ProdNode* pnode = nullptr;
   Token token;
-  uint64_t arrival = 0;  // insertion order (refraction bookkeeping)
+  /// CS insertion order. Diagnostics only: under the threaded match this is
+  /// schedule-dependent (racing parents emit the join child in lock-arrival
+  /// order), so nothing that affects firing may read it — ordering uses the
+  /// deterministic content key instead (see det_less in conflict_set.cpp).
+  uint64_t arrival = 0;
   bool fired = false;
 };
 
@@ -43,8 +47,10 @@ class ConflictSet final : public MatchSink {
 
   [[nodiscard]] size_t size() const;
 
-  /// Unfired instantiations, in arrival order. Soar fires all of these in
-  /// one elaboration cycle; call mark_fired for each afterwards.
+  /// Unfired instantiations, in the deterministic content-key order
+  /// (production id, token timetags) — identical for every worker count and
+  /// schedule. Soar fires all of these in one elaboration cycle; call
+  /// mark_fired for each afterwards.
   [[nodiscard]] std::vector<const Instantiation*> unfired() const;
 
   /// Same, into a caller-owned buffer (cleared first, capacity retained) so
@@ -58,8 +64,8 @@ class ConflictSet final : public MatchSink {
 
   /// OPS5 LEX selection among unfired instantiations: recency of timetags
   /// (lexicographic over descending-sorted tags), then specificity (test
-  /// count of the production), then arrival order. Returns nullptr if no
-  /// unfired instantiation exists.
+  /// count of the production), then the deterministic content key. Returns
+  /// nullptr if no unfired instantiation exists.
   [[nodiscard]] const Instantiation* select_lex() const;
 
   /// All current instantiations (tests/diagnostics).

@@ -12,7 +12,9 @@ namespace {
 
 class CollectCtx final : public ExecContext {
  public:
-  explicit CollectCtx(std::vector<Activation>& out) : out_(out) {}
+  CollectCtx(std::vector<Activation>& out, uint32_t agent_tag) : out_(out) {
+    agent = agent_tag;
+  }
   void emit(Activation&& a) override { out_.push_back(std::move(a)); }
 
  private:
@@ -22,51 +24,61 @@ class CollectCtx final : public ExecContext {
 }  // namespace
 
 Engine::Engine(EngineOptions opts)
+    : Engine(std::make_shared<CompiledNetwork>(
+                 CompiledNetworkOptions{opts.builder}),
+             opts, nullptr) {}
+
+Engine::Engine(std::shared_ptr<CompiledNetwork> cnet, EngineOptions opts,
+               ParallelMatcher* shared_matcher)
     : opts_(opts),
-      net_(syms_, schemas_, opts.hash_lines, opts.arena_chunk_bytes),
-      builder_(net_, opts.builder),
-      rhs_(syms_, schemas_),
-      serial_exec_(net_, opts.record_traces) {
-  net_.set_sink(&cs_);
+      cnet_(std::move(cnet)),
+      state_(opts.hash_lines, opts.arena_chunk_bytes),
+      rhs_(cnet_->syms(), cnet_->schemas()),
+      external_matcher_(shared_matcher),
+      serial_exec_(cnet_->net(), state_, opts.record_traces) {
+  state_.sink = &cs_;
+  state_.ensure_alpha(net().alpha_mem_count());
   if (opts_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(opts_.trace);
-    serial_exec_.set_tracer(tracer_.get(), 0);
+    trace_sink_ = tracer_.get();
+    serial_exec_.set_tracer(trace_sink_, 0);
   }
+  if (external_matcher_ != nullptr) {
+    agent_ = external_matcher_->register_agent(state_);
+  }
+  cnet_->attach(this);
+}
+
+Engine::~Engine() { cnet_->detach(this); }
+
+void Engine::set_trace_sink(obs::Tracer* t, size_t track) {
+  trace_sink_ = t != nullptr ? t : tracer_.get();
+  trace_track_ = t != nullptr ? static_cast<uint32_t>(track) : 0;
+  serial_exec_.set_tracer(trace_sink_, trace_track_);
 }
 
 std::vector<const Production*> Engine::load(std::string_view src) {
-  Parser parser(syms_, schemas_, arena_);
-  auto parsed = parser.parse_file(src);
-  std::vector<const Production*> out;
-  const auto wm_snapshot = wm_.live();
-  for (Production& p : parsed) {
-    const Production* adopted = store_.adopt(std::move(p));
-    CompiledProduction cp = builder_.add_production(*adopted);
-    if (!wm_snapshot.empty()) {
-      run_update_serial(net_, cp, wm_snapshot, update_scratch_, tracer_.get());
+  auto out = cnet_->load(src);
+  // §5.2 memory update for every attached agent that already holds wmes
+  // (the common build-time load on empty WMs skips straight through).
+  for (const Production* p : out) {
+    const CompiledProduction& cp = cnet_->record(p).compiled;
+    for (Engine* agent : cnet_->agents()) {
+      const auto snapshot = agent->wm_.live();
+      if (snapshot.empty()) continue;
+      run_update_serial(net(), agent->state_, cp, snapshot,
+                        agent->update_scratch_, agent->trace_sink_,
+                        agent->trace_track_);
     }
-    records_.emplace(adopted, AddRecord{adopted, std::move(cp)});
-    productions_.push_back(adopted);
-    out.push_back(adopted);
 #if PSME_NET_VERIFY
-    debug_verify_after_add(adopted);
+    debug_verify_after_add(p);
 #endif
   }
   return out;
 }
 
-std::vector<const AddRecord*> Engine::all_records() const {
-  std::vector<const AddRecord*> recs;
-  recs.reserve(productions_.size());
-  for (const Production* p : productions_) {
-    auto it = records_.find(p);
-    if (it != records_.end()) recs.push_back(&it->second);
-  }
-  return recs;
-}
-
 analysis::VerifyReport Engine::verify_network() const {
-  return analysis::verify_network(net_, all_records());
+  return analysis::verify_network(cnet_->net(), &state_, cnet_->all_records());
 }
 
 void Engine::debug_verify_after_add(const Production* p) const {
@@ -74,23 +86,16 @@ void Engine::debug_verify_after_add(const Production* p) const {
   if (rep.ok()) return;
   std::fprintf(stderr,
                "PSME_NET_VERIFY: invariant violation after adding '%s'\n%s",
-               std::string(syms_.name(p->name)).c_str(),
+               std::string(cnet_->syms().name(p->name)).c_str(),
                rep.to_string().c_str());
   std::abort();
 }
 
-const AddRecord& Engine::record(const Production* p) const {
-  auto it = records_.find(p);
-  if (it == records_.end()) {
-    throw std::out_of_range("Engine::record: unknown production");
-  }
-  return it->second;
-}
-
 ParallelMatcher& Engine::matcher() {
+  if (external_matcher_ != nullptr) return *external_matcher_;
   if (!matcher_) {
     matcher_ = std::make_unique<ParallelMatcher>(
-        net_, opts_.match_workers, opts_.match_policy, tracer_.get(),
+        net(), state_, opts_.match_workers, opts_.match_policy, tracer_.get(),
         opts_.steal);
   }
   return *matcher_;
@@ -98,74 +103,101 @@ ParallelMatcher& Engine::matcher() {
 
 Engine::RuntimeAddResult Engine::add_production_runtime(Production&& ast) {
   RuntimeAddResult res;
-  const Production* p = store_.adopt(std::move(ast));
-  obs::Span compile_span(tracer_.get(), 0, obs::EventKind::ChunkCompile);
-  CompiledProduction cp = builder_.add_production(*p);
+  const Production* p = cnet_->adopt(std::move(ast));
+  obs::Span compile_span(trace_sink_, trace_track_,
+                          obs::EventKind::ChunkCompile);
+  // Copy-on-write splice + publish; the publish is this call's quiescent
+  // safe point (no agent has a cycle in flight — quiescent-only contract).
+  const CompiledProduction& cp = cnet_->compile_cow(p).compiled;
   compile_span.set_node(cp.first_new_id);
   compile_span.end();
   res.prod = p;
   res.compile_seconds = cp.compile_seconds;
   res.code_bytes = cp.code_bytes();
-  const auto wm_snapshot = wm_.live();
+#if PSME_NET_VERIFY
+  // compile_cow already verified the structure; re-verify against this
+  // agent's state (stale-entry and lock-rank checks).
+  debug_verify_after_add(p);
+#endif
+  // §5.2 state update for every attached agent, the learning agent first so
+  // the returned traces are its own. A learning agent therefore never
+  // blocks a peer's *matching* (the publish is the only shared mutation);
+  // peers pay only their own memory fill, at their next safe point — here,
+  // since the whole group is quiescent during a runtime add.
+  res.update_tasks += apply_runtime_update(cp, &res);
+  for (Engine* agent : cnet_->agents()) {
+    if (agent == this) continue;
+    res.update_tasks += agent->apply_runtime_update(cp, nullptr);
+  }
+  return res;
+}
 
-  if (opts_.match_workers > 1) {
+uint64_t Engine::apply_runtime_update(const CompiledProduction& cp,
+                                      RuntimeAddResult* res) {
+  const auto wm_snapshot = wm_.live();
+  uint64_t tasks = 0;
+  if (parallel()) {
     // The §5.2 state update with full match parallelism (Figure 6-9's
     // regime): phases A and B under the task filter, then the
     // last-shared-node replay once both have drained.
     ParallelMatcher& m = matcher();
     {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateA,
-                     cp.first_new_id);
-      const ParallelStats st = m.run_update(
-          update_alpha_seeds(net_, cp, wm_snapshot), {cp.first_new_id, true});
-      res.update_tasks += st.tasks;
-    }
-    {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateB,
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateA,
                      cp.first_new_id);
       const ParallelStats st =
-          m.run_update(update_right_seeds(net_, cp), {cp.first_new_id, false});
-      res.update_tasks += st.tasks;
+          m.run_update(update_alpha_seeds(net(), cp, wm_snapshot, agent_),
+                       {cp.first_new_id, true});
+      tasks += st.tasks;
     }
     {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateC,
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateB,
                      cp.first_new_id);
       const ParallelStats st =
-          m.run_update(update_left_seeds(net_, cp), {cp.first_new_id, false});
-      res.update_tasks += st.tasks;
+          m.run_update(update_right_seeds(net(), state_, cp, agent_),
+                       {cp.first_new_id, false});
+      tasks += st.tasks;
+    }
+    {
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateC,
+                     cp.first_new_id);
+      const ParallelStats st =
+          m.run_update(update_left_seeds(net(), state_, cp, agent_),
+                       {cp.first_new_id, false});
+      tasks += st.tasks;
     }
   } else {
-    TraceExecutor ex(net_, opts_.record_traces);
-    ex.set_tracer(tracer_.get(), 0);
+    TraceExecutor ex(net(), state_, opts_.record_traces);
+    ex.set_tracer(trace_sink_, trace_track_);
     ex.update_mode = true;
     ex.min_node_id = cp.first_new_id;
 
     ex.suppress_alpha_left = true;
+    CycleTrace ab, c;
     {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateA,
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateA,
                      cp.first_new_id);
-      res.ab = ex.run_to_quiescence(update_alpha_seeds(net_, cp, wm_snapshot));
+      ab = ex.run_to_quiescence(
+          update_alpha_seeds(net(), cp, wm_snapshot, agent_));
     }
     ex.suppress_alpha_left = false;
     {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateB,
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateB,
                      cp.first_new_id);
-      res.ab.append(ex.run_to_quiescence(update_right_seeds(net_, cp)));
+      ab.append(ex.run_to_quiescence(
+          update_right_seeds(net(), state_, cp, agent_)));
     }
     {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::UpdateC,
+      obs::Span span(trace_sink_, trace_track_, obs::EventKind::UpdateC,
                      cp.first_new_id);
-      res.c = ex.run_to_quiescence(update_left_seeds(net_, cp));
+      c = ex.run_to_quiescence(update_left_seeds(net(), state_, cp, agent_));
     }
-    res.update_tasks = ex.executed();
+    tasks = ex.executed();
+    if (res != nullptr) {
+      res->ab = std::move(ab);
+      res->c = std::move(c);
+    }
   }
-
-  records_.emplace(p, AddRecord{p, std::move(cp)});
-  productions_.push_back(p);
-#if PSME_NET_VERIFY
-  debug_verify_after_add(p);
-#endif
-  return res;
+  return tasks;
 }
 
 const Wme* Engine::add_wme(Symbol cls, const Value* fields, size_t n) {
@@ -186,17 +218,17 @@ const Wme* Engine::add_wme_text(std::string_view text) {
   };
   expect(Tok::LParen, "'('");
   const LexToken cls_tok = expect(Tok::Sym, "class name");
-  const Symbol cls = syms_.intern(cls_tok.text);
-  std::vector<Value> fields(static_cast<size_t>(schemas_.arity(cls)));
+  const Symbol cls = syms().intern(cls_tok.text);
+  std::vector<Value> fields(static_cast<size_t>(schemas().arity(cls)));
   while (toks[i].kind == Tok::Hat) {
-    const Symbol attr = syms_.intern(toks[i++].text);
-    const int slot = schemas_.slot(cls, attr);
+    const Symbol attr = syms().intern(toks[i++].text);
+    const int slot = schemas().slot(cls, attr);
     if (slot >= static_cast<int>(fields.size())) {
       fields.resize(static_cast<size_t>(slot) + 1);
     }
     Value v;
     switch (toks[i].kind) {
-      case Tok::Sym: v = Value(syms_.intern(toks[i].text)); break;
+      case Tok::Sym: v = Value(syms().intern(toks[i].text)); break;
       case Tok::Int: v = Value(toks[i].int_val); break;
       case Tok::Float: v = Value(toks[i].float_val); break;
       default:
@@ -222,39 +254,54 @@ void Engine::remove_wme(const Wme* w) {
   pending_removes_.push_back(w);
 }
 
+void Engine::collect_seeds(bool adds, std::vector<Activation>& out) {
+  CollectCtx cc(out, agent_);
+  const auto& pend = adds ? pending_adds_ : pending_removes_;
+  for (const Wme* w : pend) net().inject(w, adds, cc);
+}
+
+void Engine::end_group_cycle() {
+  pending_removes_.clear();
+  pending_adds_.clear();
+  wm_.end_cycle();
+}
+
 CycleTrace Engine::match() {
   CycleTrace trace;
-  obs::Span cycle_span(tracer_.get(), 0, obs::EventKind::MatchCycle);
+  obs::Span cycle_span(trace_sink_, trace_track_,
+                       obs::EventKind::MatchCycle);
   std::vector<Activation>& seeds = seed_scratch_;  // capacity reused per cycle
   seeds.clear();
-  if (opts_.match_workers > 1) {
+  if (parallel()) {
     // Threaded drain on the persistent matcher; no per-task trace. The
     // cycle's removals drain to quiescence before its additions: a delete
     // token racing a sibling addition is order-dependent (a join can install
     // a new PI behind a delete token that already passed that memory), so
     // each threaded drain gets a homogeneous seed batch. Serial injection
     // order (removes first) makes the final state identical.
-    CollectCtx cc(seeds);
-    for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
+    CollectCtx cc(seeds, agent_);
+    for (const Wme* w : pending_removes_) net().inject(w, false, cc);
     ParallelStats total;
     if (!seeds.empty() || pending_adds_.empty()) {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::DrainRemoves);
+      obs::Span span(trace_sink_, trace_track_,
+                     obs::EventKind::DrainRemoves);
       total = matcher().run_cycle_inplace(seeds);
       seeds.clear();
     }
     if (!pending_adds_.empty()) {
-      obs::Span span(tracer_.get(), 0, obs::EventKind::DrainAdds);
-      for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
+      obs::Span span(trace_sink_, trace_track_,
+                     obs::EventKind::DrainAdds);
+      for (const Wme* w : pending_adds_) net().inject(w, true, cc);
       total.accumulate(matcher().run_cycle_inplace(seeds));
     }
     last_parallel_stats_ = total;
   } else {
-    CollectCtx cc(seeds);
-    for (const Wme* w : pending_removes_) net_.inject(w, false, cc);
-    for (const Wme* w : pending_adds_) net_.inject(w, true, cc);
-    net_.arena().begin_drain(1);
+    CollectCtx cc(seeds, agent_);
+    for (const Wme* w : pending_removes_) net().inject(w, false, cc);
+    for (const Wme* w : pending_adds_) net().inject(w, true, cc);
+    state_.arena.begin_drain(1);
     trace = serial_exec_.run_to_quiescence_inplace(seeds);
-    net_.arena().reclaim_at_quiescence();
+    state_.arena.reclaim_at_quiescence();
   }
   pending_removes_.clear();
   pending_adds_.clear();
@@ -293,11 +340,11 @@ bool Engine::fire(const Instantiation* inst, bool remove_after_fire,
 }
 
 void Engine::collect_metrics(obs::MetricsRegistry& m) const {
-  if (opts_.match_workers > 1) {
+  if (parallel()) {
     // Includes the arena snapshot taken at the end of the last cycle.
     obs::collect(m, last_parallel_stats_);
   } else {
-    obs::collect(m, net_.arena().stats());
+    obs::collect(m, state_.arena.stats());
   }
   if (tracer_ != nullptr) obs::collect(m, *tracer_);
 }

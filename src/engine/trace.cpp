@@ -25,6 +25,9 @@ CycleTrace TraceExecutor::run_to_quiescence_inplace(
     std::vector<Activation>& seeds) {
   trace_ = CycleTrace{};
   current_parent_ = UINT32_MAX;
+  // Quiescent drain boundary: alpha state compiled since the last drain
+  // (chunk additions) must exist before any task touches it.
+  state->ensure_alpha(net_.alpha_mem_count());
   for (auto& s : seeds) emit(std::move(s));
   while (!queue_.empty()) {
     const QueuedTask task = queue_.front();
@@ -53,11 +56,11 @@ CycleTrace TraceExecutor::run_to_quiescence_inplace(
   }
   current_parent_ = UINT32_MAX;
   if (record_) {
-    trace_.line_accesses = net_.tables().harvest_cycle_accesses();
+    trace_.line_accesses = state->tables.harvest_cycle_accesses();
   } else {
     // No-trace cycles still reset the per-cycle counters, but without
     // building (and so allocating) the harvest vector.
-    net_.tables().reset_cycle_accesses();
+    state->tables.reset_cycle_accesses();
   }
   return std::move(trace_);
 }

@@ -41,8 +41,10 @@ struct CycleTrace {
 
 class TraceExecutor final : public ExecContext {
  public:
-  explicit TraceExecutor(Network& net, bool record_tasks = true)
-      : net_(net), record_(record_tasks) {}
+  TraceExecutor(Network& net, MatchState& ms, bool record_tasks = true)
+      : net_(net), record_(record_tasks) {
+    state = &ms;
+  }
 
   void emit(Activation&& a) override;
 

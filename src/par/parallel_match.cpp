@@ -176,6 +176,15 @@ uint64_t ActivationPool::slab_allocs() const {
   return total;
 }
 
+ParallelMatcher::ParallelMatcher(Network& net, MatchState& primary,
+                                 size_t n_workers,
+                                 TaskQueueSet::Policy policy,
+                                 obs::Tracer* tracer, StealTuning tuning)
+    : ParallelMatcher(net, n_workers, policy, tracer, tuning) {
+  // Agent 0 is the primary state (single-agent call sites).
+  register_agent(primary);
+}
+
 ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
                                  TaskQueueSet::Policy policy,
                                  obs::Tracer* tracer, StealTuning tuning)
@@ -186,9 +195,6 @@ ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
       tracer_(tracer),
       pool_(n_workers == 0 ? 1 : n_workers),
       apool_(n_workers == 0 ? 1 : n_workers) {
-  // Give every worker its own arena pool before the first drain (quiescent
-  // here: no worker thread has started).
-  net_.arena().ensure_workers(n_workers_);
   // Slots exist under every policy: the locked policies use only the
   // persistent scratch (the deque stays empty), the Steal policy uses all
   // of it.
@@ -234,6 +240,15 @@ void ParallelMatcher::prewarm() {
     // inside a cycle is a pure bump-and-store (DESIGN.md §11).
     tracer_->ensure_tracks(1 + n_workers_);
   }
+}
+
+uint32_t ParallelMatcher::register_agent(MatchState& st) {
+  // Quiescent-only (caller contract): no cycle is in flight, so growing the
+  // state table and the new agent's arena is single-threaded.
+  st.arena.ensure_workers(n_workers_);
+  st.ensure_alpha(net_.alpha_mem_count());
+  states_.push_back(&st);
+  return static_cast<uint32_t>(states_.size() - 1);
 }
 
 ParallelMatcher::~ParallelMatcher() { reset_slots(); }
@@ -282,13 +297,19 @@ ParallelStats ParallelMatcher::run_impl(std::vector<Activation>& seeds,
   // Epoch lifecycle, pinned to the drain: every worker of this cycle enters
   // the new epoch before dispatch; the sweep runs after the pool join (the
   // ParkingLot exit cascade has completed and all workers are parked), when
-  // all transient token copies of previous epochs are dead.
-  net_.arena().begin_drain(n_workers_);
+  // all transient token copies of previous epochs are dead. Every
+  // registered agent's arena participates — a cycle's seeds may carry any
+  // mix of agent tags — and alpha state compiled since the last drain
+  // (chunk additions) is materialized per agent at this quiescent boundary.
+  for (MatchState* ms : states_) {
+    ms->ensure_alpha(net_.alpha_mem_count());
+    ms->arena.begin_drain(n_workers_);
+  }
   ParallelStats st = policy_ == TaskQueueSet::Policy::Steal
                          ? run_steal(seeds, filter)
                          : run_locked(seeds, filter);
-  net_.arena().reclaim_at_quiescence();
-  st.arena = net_.arena().stats();
+  for (MatchState* ms : states_) ms->arena.reclaim_at_quiescence();
+  if (!states_.empty()) st.arena = states_[0]->arena.stats();
   st.pool_slabs = apool_.slab_allocs();
   lifetime_tasks_ += st.tasks;
   ++lifetime_cycles_;
@@ -447,6 +468,10 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
         t0 = tracer_->now_ns();
         ctx.stats.reset();  // per-task deltas, like the serial recorder
       }
+      // Re-bind the context to this task's agent: the tag names the only
+      // MatchState the task may touch, and emit stamps it onto children.
+      ctx.state = states_[cur->agent];
+      ctx.agent = cur->agent;
       try {
         net_.execute(*cur, ctx);
       } catch (...) {
@@ -582,6 +607,8 @@ void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
         t0 = tracer_->now_ns();
         ctx.stats.reset();
       }
+      ctx.state = states_[a.agent];
+      ctx.agent = a.agent;
       try {
         net_.execute(a, ctx);
       } catch (...) {

@@ -183,6 +183,11 @@ class ActivationPool {
 
 class ParallelMatcher {
  public:
+  /// `primary` is registered as agent 0 — the single-agent call sites'
+  /// state. Additional agent sessions multiplex over the same workers and
+  /// network via register_agent(); every task carries its agent tag
+  /// (Activation::agent) and is executed against exactly that agent's
+  /// MatchState, so one agent's drain cannot observe or stall another's.
   /// `tracer`, when non-null, turns on event recording: prewarm() sizes one
   /// ring per worker (tracks 1..n; track 0 belongs to the engine thread)
   /// before any worker runs, and the scheduler loops record task spans,
@@ -190,12 +195,31 @@ class ParallelMatcher {
   /// their own track. The tracer must outlive the matcher.
   /// `tuning` parameterizes the Steal policy's idle backoff and chain
   /// splitting (ignored by the locked policies).
+  ParallelMatcher(Network& net, MatchState& primary, size_t n_workers,
+                  TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
+                  obs::Tracer* tracer = nullptr, StealTuning tuning = {});
+
+  /// Agent-less form for multi-agent serving (AgentGroup): no state is
+  /// registered at construction; every agent — including agent 0 — joins via
+  /// register_agent(). A cycle run before any registration must carry no
+  /// seeds.
   ParallelMatcher(Network& net, size_t n_workers,
                   TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
                   obs::Tracer* tracer = nullptr, StealTuning tuning = {});
   ~ParallelMatcher();
   ParallelMatcher(const ParallelMatcher&) = delete;
   ParallelMatcher& operator=(const ParallelMatcher&) = delete;
+
+  /// Registers another agent's state; returns its agent id (the tag its
+  /// seeds must carry). Quiescent-only: never call while a cycle is in
+  /// flight. The state must outlive the matcher (or at least every cycle
+  /// that references its id).
+  uint32_t register_agent(MatchState& st);
+
+  [[nodiscard]] size_t agent_count() const { return states_.size(); }
+  [[nodiscard]] MatchState& agent_state(uint32_t agent) {
+    return *states_[agent];
+  }
 
   /// The §5.2 task filter for run-time production addition: activations of
   /// stateful nodes older than `min_node_id` are dropped at emit time, and
@@ -214,6 +238,10 @@ class ParallelMatcher {
   /// fresh PI behind a delete token that already swept that line). Callers
   /// with a mixed wme batch drain the removals as their own cycle first,
   /// which yields the serial executor's final state (see Engine::match).
+  /// Seeds may mix *agents* freely (each tagged task only touches its own
+  /// agent's state; the homogeneity rule applies per agent and holds
+  /// trivially across agents) — this is how AgentGroup batches N agents'
+  /// cycles into one drain, amortizing the pool dispatch across sessions.
   ParallelStats run_cycle(std::vector<Activation> seeds);
 
   /// Same, but with the update filter applied — the parallel form of
@@ -288,6 +316,9 @@ class ParallelMatcher {
   void prewarm();
 
   Network& net_;
+  // Registered agent states, indexed by agent id (0 = the primary). The
+  // worker loops re-bind their ExecContext from this table per task.
+  std::vector<MatchState*> states_;
   size_t n_workers_;
   TaskQueueSet::Policy policy_;
   StealTuning tuning_;

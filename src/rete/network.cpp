@@ -5,12 +5,8 @@
 
 namespace psme {
 
-Network::Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines,
-                 uint32_t arena_chunk_bytes)
-    : syms_(syms),
-      schemas_(schemas),
-      tables_(hash_lines),
-      arena_(1, arena_chunk_bytes) {}
+Network::Network(SymbolTable& syms, ClassSchemas& schemas)
+    : syms_(syms), schemas_(schemas) {}
 
 uint32_t Network::root_slot(Symbol cls) {
   auto it = roots_.find(cls);
@@ -26,7 +22,9 @@ void Network::inject(const Wme* w, bool add, ExecContext& ctx) {
   auto it = roots_.find(w->cls);
   if (it == roots_.end()) return;  // no production tests this class
   for (const SuccessorRef& s : jt_.succs(it->second)) {
-    ctx.emit(Activation{s.node, s.side, add, Token{w}});
+    Activation a{s.node, s.side, add, Token{w}};
+    a.agent = ctx.agent;
+    ctx.emit(std::move(a));
   }
 }
 
@@ -35,7 +33,9 @@ void Network::emit_succs(uint32_t jt_slot, const Token& token, bool add,
   for (const SuccessorRef& s : jt_.succs(jt_slot)) {
     if (from_alpha && ctx.suppress_alpha_left && s.side == Side::Left) continue;
     ++ctx.stats.emits;
-    ctx.emit(Activation{s.node, s.side, add, token});
+    Activation a{s.node, s.side, add, token};
+    a.agent = ctx.agent;  // children stay inside the emitting agent's state
+    ctx.emit(std::move(a));
   }
 }
 
@@ -55,7 +55,7 @@ void Network::execute(const Activation& act, ExecContext& ctx) {
       exec_bjoin(static_cast<const BJoinNode&>(*n), act, ctx);
       break;
     case NodeType::AlphaMem:
-      exec_alpha(static_cast<AlphaMemNode&>(*n), act, ctx);
+      exec_alpha(static_cast<const AlphaMemNode&>(*n), act, ctx);
       break;
     case NodeType::Join:
       exec_join(static_cast<const JoinNode&>(*n), act, ctx);
@@ -112,9 +112,10 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
   // the left table under the shared-prefix identity hash; a child token is
   // left ++ right[prefix_len:], and the two sides agree on the prefix by
   // construction (identical wme pointers).
+  MatchState& ms = state_of(ctx);
   const uint64_t h = n.hash_prefix(a.token);
-  const size_t li = tables_.line_index(h);
-  auto& line = tables_.line_at(li);
+  const size_t li = ms.tables.line_index(h);
+  auto& line = ms.tables.line_at(li);
   const uint8_t my_tag = a.side == Side::Left ? 1 : 2;
   const uint8_t other_tag = a.side == Side::Left ? 2 : 1;
   auto& children = ctx.scratch_children;
@@ -177,25 +178,27 @@ void Network::exec_bjoin(const BJoinNode& n, const Activation& a,
       const Token& l = a.side == Side::Left ? a.token : e.token;
       const Token& r = a.side == Side::Left ? e.token : a.token;
       children.push_back(
-          token_concat(l, r, n.prefix_len, arena_, ctx.worker));
+          token_concat(l, r, n.prefix_len, ms.arena, ctx.worker));
     }
   }
   for (auto& c : children) emit_succs(n.jt_slot, c, a.add, ctx);
 }
 
-void Network::exec_alpha(AlphaMemNode& n, const Activation& a,
+void Network::exec_alpha(const AlphaMemNode& n, const Activation& a,
                          ExecContext& ctx) {
+  MatchState& ms = state_of(ctx);
+  AlphaMemState& am = ms.alpha(n.mem_index);
   const Wme* w = a.token.front();
   {
-    SpinGuard g(n.lock);
+    SpinGuard g(am.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ++ctx.stats.inserts;
     if (a.add) {
-      n.wmes.push_back(w, alpha_pool_);
+      am.wmes.push_back(w, ms.alpha_pool);
     } else {
-      for (auto it = n.wmes.begin(); it != n.wmes.end(); ++it) {
+      for (auto it = am.wmes.begin(); it != am.wmes.end(); ++it) {
         if (*it == w) {
-          n.wmes.erase(it, alpha_pool_);
+          am.wmes.erase(it, ms.alpha_pool);
           break;
         }
       }
@@ -206,12 +209,13 @@ void Network::exec_alpha(AlphaMemNode& n, const Activation& a,
 
 void Network::exec_join(const JoinNode& n, const Activation& a,
                         ExecContext& ctx) {
+  MatchState& ms = state_of(ctx);
   auto& children = ctx.scratch_children;
   children.clear();
   if (a.side == Side::Left) {
     const uint64_t h = n.hash_left(a.token);
-    const size_t li = tables_.line_index(h);
-    auto& line = tables_.line_at(li);
+    const size_t li = ms.tables.line_index(h);
+    auto& line = ms.tables.line_at(li);
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ctx.stats.touched_line = true;
@@ -253,14 +257,14 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
       ++ctx.stats.probes;
       if (r.node_id != n.id || r.full_hash != h) continue;
       if (n.tests_pass(a.token, r.wme, &ctx.stats.tests)) {
-        children.push_back(token_extend(a.token, r.wme, arena_, ctx.worker));
+        children.push_back(token_extend(a.token, r.wme, ms.arena, ctx.worker));
       }
     }
   } else {
     const Wme* w = a.token.front();
     const uint64_t h = n.hash_right(w);
-    const size_t li = tables_.line_index(h);
-    auto& line = tables_.line_at(li);
+    const size_t li = ms.tables.line_index(h);
+    auto& line = ms.tables.line_at(li);
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ctx.stats.touched_line = true;
@@ -269,11 +273,11 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
     ++line.right_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
-      line.right.push_back(RightEntry{h, n.id, w}, tables_.right_pool());
+      line.right.push_back(RightEntry{h, n.id, w}, ms.tables.right_pool());
     } else {
       for (auto it = line.right.begin(); it != line.right.end(); ++it) {
         if (it->node_id == n.id && it->wme == w) {
-          line.right.erase(it, tables_.right_pool());
+          line.right.erase(it, ms.tables.right_pool());
           break;
         }
       }
@@ -282,7 +286,7 @@ void Network::exec_join(const JoinNode& n, const Activation& a,
       ++ctx.stats.probes;
       if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
       if (n.tests_pass(l.token, w, &ctx.stats.tests)) {
-        children.push_back(token_extend(l.token, w, arena_, ctx.worker));
+        children.push_back(token_extend(l.token, w, ms.arena, ctx.worker));
       }
     }
   }
@@ -294,12 +298,13 @@ void Network::exec_not(const NotNode& n, const Activation& a,
                        ExecContext& ctx) {
   // A not-node passes its left token through unchanged iff no right wme
   // matches it. Counts live in the left entries.
+  MatchState& ms = state_of(ctx);
   auto& emissions = ctx.scratch_emissions;
   emissions.clear();
   if (a.side == Side::Left) {
     const uint64_t h = n.hash_left(a.token);
-    const size_t li = tables_.line_index(h);
-    auto& line = tables_.line_at(li);
+    const size_t li = ms.tables.line_index(h);
+    auto& line = ms.tables.line_at(li);
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ctx.stats.touched_line = true;
@@ -348,8 +353,8 @@ void Network::exec_not(const NotNode& n, const Activation& a,
   } else {
     const Wme* w = a.token.front();
     const uint64_t h = n.hash_right(w);
-    const size_t li = tables_.line_index(h);
-    auto& line = tables_.line_at(li);
+    const size_t li = ms.tables.line_index(h);
+    auto& line = ms.tables.line_at(li);
     SpinGuard g(line.lock);
     ctx.stats.lock_spins += static_cast<uint32_t>(g.spins());
     ctx.stats.touched_line = true;
@@ -358,7 +363,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
     ++line.right_accesses_cycle;
     ++ctx.stats.inserts;
     if (a.add) {
-      line.right.push_back(RightEntry{h, n.id, w}, tables_.right_pool());
+      line.right.push_back(RightEntry{h, n.id, w}, ms.tables.right_pool());
       for (LeftEntry& l : line.left) {
         ++ctx.stats.probes;
         if (l.node_id != n.id || l.anti > 0 || l.full_hash != h) continue;
@@ -369,7 +374,7 @@ void Network::exec_not(const NotNode& n, const Activation& a,
     } else {
       for (auto it = line.right.begin(); it != line.right.end(); ++it) {
         if (it->node_id == n.id && it->wme == w) {
-          line.right.erase(it, tables_.right_pool());
+          line.right.erase(it, ms.tables.right_pool());
           break;
         }
       }
@@ -387,9 +392,10 @@ void Network::exec_not(const NotNode& n, const Activation& a,
 
 void Network::exec_ncc(const NccNode& n, const Activation& a,
                        ExecContext& ctx) {
+  MatchState& ms = state_of(ctx);
   const uint64_t h = n.hash_prefix(a.token);
-  const size_t li = tables_.line_index(h);
-  auto& line = tables_.line_at(li);
+  const size_t li = ms.tables.line_index(h);
+  auto& line = ms.tables.line_at(li);
   auto& emissions = ctx.scratch_emissions;
   emissions.clear();
   {
@@ -451,11 +457,13 @@ void Network::exec_ncc(const NccNode& n, const Activation& a,
 
 void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
                            ExecContext& ctx) {
+  MatchState& ms = state_of(ctx);
   const NccNode& owner = static_cast<const NccNode&>(*nodes_[n.owner]);
-  const Token prefix = token_prefix(a.token, n.prefix_len, arena_, ctx.worker);
+  const Token prefix = token_prefix(a.token, n.prefix_len, ms.arena,
+                                    ctx.worker);
   const uint64_t h = owner.hash_prefix(prefix);
-  const size_t li = tables_.line_index(h);
-  auto& line = tables_.line_at(li);
+  const size_t li = ms.tables.line_index(h);
+  auto& line = ms.tables.line_at(li);
   auto& emissions = ctx.scratch_emissions;
   emissions.clear();
   {
@@ -503,51 +511,52 @@ void Network::exec_partner(const NccPartnerNode& n, const Activation& a,
 
 void Network::exec_prod(const ProdNode& n, const Activation& a,
                         ExecContext& ctx) {
-  (void)ctx;
-  if (sink_ == nullptr) return;
+  MatchSink* sink = state_of(ctx).sink;
+  if (sink == nullptr) return;
   if (a.add) {
-    sink_->on_insert(n, a.token);
+    sink->on_insert(n, a.token);
   } else {
-    sink_->on_retract(n, a.token);
+    sink->on_retract(n, a.token);
   }
 }
 
-std::vector<Token> Network::node_outputs(uint32_t node_id) const {
+std::vector<Token> Network::node_outputs(uint32_t node_id,
+                                         const MatchState& ms) const {
   std::vector<Token> out;
-  node_outputs_into(node_id, out);
+  node_outputs_into(node_id, ms, out);
   return out;
 }
 
-void Network::node_outputs_into(uint32_t node_id,
+void Network::node_outputs_into(uint32_t node_id, const MatchState& ms,
                                 std::vector<Token>& out) const {
   const Node* n = nodes_[node_id].get();
   switch (n->type) {
     case NodeType::AlphaMem: {
       const auto& am = static_cast<const AlphaMemNode&>(*n);
-      for (const Wme* w : am.wmes) out.push_back(Token{w});
+      for (const Wme* w : ms.alpha(am.mem_index).wmes) out.push_back(Token{w});
       break;
     }
     case NodeType::Join: {
       const auto& j = static_cast<const JoinNode&>(*n);
-      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+      ms.tables.for_each_left_of(n->id, [&](const LeftEntry& l) {
         if (l.anti > 0) return;
-        tables_.for_each_right_of(n->id, [&](const RightEntry& r) {
+        ms.tables.for_each_right_of(n->id, [&](const RightEntry& r) {
           if (l.full_hash == r.full_hash && j.tests_pass(l.token, r.wme)) {
             // Quiescent replay: spill from pool 0 (no worker is running).
-            out.push_back(token_extend(l.token, r.wme, arena_, 0));
+            out.push_back(token_extend(l.token, r.wme, ms.arena, 0));
           }
         });
       });
       break;
     }
     case NodeType::Not: {
-      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+      ms.tables.for_each_left_of(n->id, [&](const LeftEntry& l) {
         if (l.anti == 0 && l.neg_count == 0) out.push_back(l.token);
       });
       break;
     }
     case NodeType::Ncc: {
-      tables_.for_each_left_of(n->id, [&](const LeftEntry& l) {
+      ms.tables.for_each_left_of(n->id, [&](const LeftEntry& l) {
         if (l.ncc_present && l.neg_count == 0) out.push_back(l.token);
       });
       break;

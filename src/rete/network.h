@@ -1,13 +1,20 @@
-// The Rete network: node storage, the jumptable, the paired hash tables, and
-// the node-activation interpreter.
+// The compiled Rete network: node storage, the jumptable, and the
+// node-activation interpreter.
 //
 // The unit of work is the *activation* — "the address of the code for a node
 // in the RETE network and an input token for that node" (§2.3). Executors
 // (serial trace recorder, threaded worker pool) pop activations, call
 // Network::execute, and push whatever child activations execute() emits into
 // their ExecContext. The network itself never schedules anything.
+//
+// The network holds only *compiled, read-mostly structure* — nodes, the
+// jumptable, the class roots. Everything the match mutates (beta hash
+// tables, token arena, alpha wme lists, the P-node sink) is per-agent state
+// (rete/match_state.h) reached through ExecContext::state, so N agent
+// sessions multiplex over one compiled network (DESIGN.md §13).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -16,6 +23,7 @@
 #include "base/symbol.h"
 #include "lang/ast.h"
 #include "rete/hash_tables.h"
+#include "rete/match_state.h"
 #include "rete/nodes.h"
 
 namespace psme {
@@ -25,6 +33,10 @@ struct Activation {
   Side side = Side::Left;
   bool add = true;
   Token token;  // right-side activations carry a single wme
+  // Which agent's MatchState this task runs against. Trails the aggregate so
+  // single-agent call sites can keep the historical four-element braced
+  // init; emit paths stamp it from the emitting context's agent.
+  uint32_t agent = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<Activation>,
@@ -62,6 +74,14 @@ class ExecContext {
 
   TaskStats stats;
 
+  /// The agent state every execute() call reads and writes: beta tables,
+  /// token arena, alpha wme lists, sink. Executors bind it before the first
+  /// execute (single-agent executors once at construction; the multi-agent
+  /// scheduler re-binds per task from Activation::agent).
+  MatchState* state = nullptr;
+  /// Agent tag stamped onto every emitted child (matches `state`).
+  uint32_t agent = 0;
+
   /// Which arena pool this context allocates child tokens from. Executors
   /// that run one context per thread set it to the worker index; serial
   /// executors keep the default 0.
@@ -85,43 +105,35 @@ class ExecContext {
 
 class Network {
  public:
-  /// `arena_chunk_bytes` sizes the TokenArena spill chunks (see base/arena.h;
-  /// EngineOptions exposes it, bench_tokens sweeps it).
-  Network(SymbolTable& syms, ClassSchemas& schemas, size_t hash_lines = 4096,
-          uint32_t arena_chunk_bytes = TokenArena::kDefaultChunkBytes);
+  Network(SymbolTable& syms, ClassSchemas& schemas);
 
   SymbolTable& syms() { return syms_; }
   [[nodiscard]] const SymbolTable& syms() const { return syms_; }
   ClassSchemas& schemas() { return schemas_; }
   Jumptable& jumptable() { return jt_; }
   [[nodiscard]] const Jumptable& jumptable() const { return jt_; }
-  PairedHashTables& tables() { return tables_; }
-  [[nodiscard]] const PairedHashTables& tables() const { return tables_; }
-
-  /// Token spill storage. Executors call begin_drain/reclaim_at_quiescence
-  /// around each drain (see base/arena.h for the lifecycle contract).
-  TokenArena& arena() const { return arena_; }
-
-  /// Shared chunk recycler for every alpha memory's wme list (see
-  /// AlphaWmeList in rete/nodes.h).
-  AlphaWmePool& alpha_pool() { return alpha_pool_; }
-  [[nodiscard]] const AlphaWmePool& alpha_pool() const { return alpha_pool_; }
-
-  void set_sink(MatchSink* sink) { sink_ = sink; }
-  [[nodiscard]] MatchSink* sink() const { return sink_; }
 
   /// Creates a node of type T; assigns the next node id and a fresh
   /// jumptable slot. New nodes always get ids greater than all existing
-  /// nodes — the invariant the §5.2 update filter relies on.
+  /// nodes — the invariant the §5.2 update filter relies on. Alpha-memory
+  /// nodes additionally get the next dense mem_index: the slot their
+  /// per-agent state occupies in every MatchState.
   template <typename T>
   T* make_node() {
     auto owned = std::make_unique<T>();
     T* n = owned.get();
     n->id = static_cast<uint32_t>(nodes_.size());
     n->jt_slot = jt_.new_slot();
+    if constexpr (std::is_same_v<T, AlphaMemNode>) {
+      n->mem_index = alpha_mem_count_++;
+    }
     nodes_.push_back(std::move(owned));
     return n;
   }
+
+  /// How many alpha memories exist (every MatchState sizes its alpha-state
+  /// array to this via ensure_alpha at drain boundaries).
+  [[nodiscard]] uint32_t alpha_mem_count() const { return alpha_mem_count_; }
 
   [[nodiscard]] Node* node(uint32_t id) { return nodes_[id].get(); }
   [[nodiscard]] const Node* node(uint32_t id) const { return nodes_[id].get(); }
@@ -152,18 +164,20 @@ class Network {
     return is_stateless(n->type) || n->id >= ctx.min_node_id;
   }
 
-  /// All output tokens a node would pass downstream, regenerated from its
-  /// stored state. Only meaningful between cycles; used by the §5.2 replay
-  /// ("the last shared node must be specially executed in order to pass down
-  /// all of the PIs that it has stored as state"). Quiescent-only: reads
-  /// lock-guarded memories without their locks.
-  [[nodiscard]] std::vector<Token> node_outputs(uint32_t node_id) const
+  /// All output tokens a node would pass downstream, regenerated from the
+  /// given agent's stored state. Only meaningful between cycles; used by the
+  /// §5.2 replay ("the last shared node must be specially executed in order
+  /// to pass down all of the PIs that it has stored as state").
+  /// Quiescent-only: reads lock-guarded memories without their locks.
+  [[nodiscard]] std::vector<Token> node_outputs(uint32_t node_id,
+                                                const MatchState& ms) const
       PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Allocation-conscious form: appends into a caller-owned buffer whose
   /// capacity survives across replays (the §5.2 phase-C scratch; see
   /// UpdateScratch in rete/update.h). `out` is not cleared.
-  void node_outputs_into(uint32_t node_id, std::vector<Token>& out) const
+  void node_outputs_into(uint32_t node_id, const MatchState& ms,
+                         std::vector<Token>& out) const
       PSME_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Node census for diagnostics and the code-size model.
@@ -182,11 +196,20 @@ class Network {
   void emit_succs(uint32_t jt_slot, const Token& token, bool add,
                   ExecContext& ctx, bool from_alpha = false);
 
+  /// The bound agent state of a context, asserted in debug builds: every
+  /// execute() path goes through this accessor, so a task ever dispatched
+  /// without its agent's state trips immediately.
+  static MatchState& state_of(ExecContext& ctx) {
+    assert(ctx.state != nullptr && "ExecContext has no MatchState bound");
+    return *ctx.state;
+  }
+
   void exec_const(const ConstNode& n, const Activation& a, ExecContext& ctx);
   void exec_disj(const DisjNode& n, const Activation& a, ExecContext& ctx);
   void exec_intra(const IntraNode& n, const Activation& a, ExecContext& ctx);
   void exec_bjoin(const BJoinNode& n, const Activation& a, ExecContext& ctx);
-  void exec_alpha(AlphaMemNode& n, const Activation& a, ExecContext& ctx);
+  void exec_alpha(const AlphaMemNode& n, const Activation& a,
+                  ExecContext& ctx);
   void exec_join(const JoinNode& n, const Activation& a, ExecContext& ctx);
   void exec_not(const NotNode& n, const Activation& a, ExecContext& ctx);
   void exec_ncc(const NccNode& n, const Activation& a, ExecContext& ctx);
@@ -197,13 +220,9 @@ class Network {
   SymbolTable& syms_;
   ClassSchemas& schemas_;
   Jumptable jt_;
-  PairedHashTables tables_;
-  // mutable: the const node_outputs() replay builds fresh (transient) tokens.
-  mutable TokenArena arena_;
-  AlphaWmePool alpha_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<Symbol, uint32_t> roots_;  // class -> jumptable slot
-  MatchSink* sink_ = nullptr;
+  uint32_t alpha_mem_count_ = 0;
 };
 
 }  // namespace psme

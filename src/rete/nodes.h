@@ -18,9 +18,7 @@
 #include <vector>
 
 #include "base/chunk_list.h"
-#include "base/thread_annotations.h"
 #include "lang/ast.h"
-#include "par/spinlock.h"
 #include "rete/token.h"
 
 namespace psme {
@@ -58,16 +56,28 @@ struct SuccessorRef {
 /// The jumptable: slot -> list of successor activations to queue.
 /// "When there are two or more successors to a node, only one jumptable entry
 /// is maintained for all of the successors together."
+///
+/// Run-time production addition mutates the table copy-on-write: begin_cow()
+/// clones the slot array, the builder's new_slot()/add() calls land on the
+/// clone, and publish_cow() swaps the clone in at a quiescent safe point (the
+/// same epoch-reclamation boundary the token arenas use). Matching agents
+/// therefore only ever read a table that is either fully old or fully new —
+/// a learning agent's chunk compile never exposes a half-spliced slot to its
+/// peers. The retired table is kept until the next publish so any pointer
+/// taken before the swap stays valid through its own safe point.
 class Jumptable {
  public:
+  using Slots = std::vector<std::vector<SuccessorRef>>;
+
   uint32_t new_slot() {
-    slots_.emplace_back();
-    return static_cast<uint32_t>(slots_.size() - 1);
+    Slots& t = table();
+    t.emplace_back();
+    return static_cast<uint32_t>(t.size() - 1);
   }
 
   /// Splices a new successor into an existing slot (run-time production
   /// addition). Mirrors the paper's Jumptable[new] := Jumptable[old] swap.
-  void add(uint32_t slot, SuccessorRef s) { slots_[slot].push_back(s); }
+  void add(uint32_t slot, SuccessorRef s) { table()[slot].push_back(s); }
 
   [[nodiscard]] const std::vector<SuccessorRef>& succs(uint32_t slot) const {
     // Relaxed: a diagnostics counter bumped concurrently by every match
@@ -77,18 +87,59 @@ class Jumptable {
   }
 
   /// Successor list without counting an indirection (structure inspection).
+  /// While a COW edit is staged this reads the *staged* table, so the
+  /// builder sees its own splices before publish.
   [[nodiscard]] const std::vector<SuccessorRef>& peek(uint32_t slot) const {
-    return slots_[slot];
+    return cow_active_ ? (*staged_)[slot] : slots_[slot];
   }
 
-  [[nodiscard]] size_t size() const { return slots_.size(); }
+  [[nodiscard]] size_t size() const {
+    return cow_active_ ? staged_->size() : slots_.size();
+  }
   [[nodiscard]] uint64_t indirections() const {
     return indirections_.load(std::memory_order_relaxed);
   }
   void reset_stats() { indirections_.store(0, std::memory_order_relaxed); }
 
+  /// Starts a COW edit: clones the live slot array; subsequent
+  /// new_slot()/add() calls mutate the clone. Quiescent-caller only (the
+  /// clone itself is not concurrency-safe against another begin_cow).
+  void begin_cow() {
+    staged_ = std::make_unique<Slots>(slots_);
+    cow_active_ = true;
+  }
+
+  /// Publishes the staged table. Must be called at a match-quiescent safe
+  /// point: no worker holds a reference from succs() across this swap (the
+  /// fork-join drain guarantees it). The previous table is retired, not
+  /// freed, until the next publish.
+  void publish_cow() {
+    retired_ = std::make_unique<Slots>(std::move(slots_));
+    slots_ = std::move(*staged_);
+    staged_.reset();
+    cow_active_ = false;
+    ++cow_publishes_;
+  }
+
+  /// Abandons a staged edit (failed compile); the live table is untouched.
+  void abort_cow() {
+    staged_.reset();
+    cow_active_ = false;
+  }
+
+  [[nodiscard]] bool cow_active() const { return cow_active_; }
+  /// How many COW swaps have been published (network_lint reports shared-
+  /// node statistics as coming from a COW snapshot when nonzero).
+  [[nodiscard]] uint64_t cow_publishes() const { return cow_publishes_; }
+
  private:
-  std::vector<std::vector<SuccessorRef>> slots_;
+  Slots& table() { return cow_active_ ? *staged_ : slots_; }
+
+  Slots slots_;
+  std::unique_ptr<Slots> staged_;   // COW clone under edit
+  std::unique_ptr<Slots> retired_;  // previous table, held one publish
+  bool cow_active_ = false;
+  uint64_t cow_publishes_ = 0;
   mutable std::atomic<uint64_t> indirections_{0};
 };
 
@@ -120,23 +171,21 @@ struct IntraNode final : Node {
   Pred pred = Pred::Eq;
 };
 
-/// Alpha wme lists share one recycled chunk pool (owned by the Network):
-/// like the right-entry lists, steady-state add/remove churn reuses chunks
-/// instead of hitting the heap. Unordered storage (swap-with-last erase).
+/// Alpha wme lists share one recycled chunk pool (owned by each agent's
+/// MatchState): like the right-entry lists, steady-state add/remove churn
+/// reuses chunks instead of hitting the heap. Unordered storage
+/// (swap-with-last erase).
 constexpr size_t kAlphaWmesPerChunk = 16;
 using AlphaWmeList = ChunkedList<const Wme*, kAlphaWmesPerChunk>;
 using AlphaWmePool = ChunkPool<const Wme*, kAlphaWmesPerChunk>;
 
 struct AlphaMemNode final : Node {
   AlphaMemNode() : Node(NodeType::AlphaMem) {}
-  // Guards `wmes` during parallel match. Ranked Bucket like the table lines:
-  // a worker holds at most one match-state Bucket lock at a time (the chunk
-  // pool's SlabPool lock may nest inside).
-  mutable Spinlock lock{LockRank::Bucket, "alpha-mem"};
-  // Plain wme list; the authoritative probe structures are the per-join right
-  // entries in the global tables. This list is what §5.2 update replays and
-  // what Figure 2-2 draws as the memory under each constant chain.
-  AlphaWmeList wmes PSME_GUARDED_BY(lock);
+  // The wme list itself is per-agent state (AlphaMemState in
+  // rete/match_state.h — what §5.2 update replays and what Figure 2-2 draws
+  // as the memory under each constant chain); the shared node carries only
+  // the dense index of that state slot, assigned by Network::make_node.
+  uint32_t mem_index = 0;
 };
 
 /// One consistency test at a two-input node: compares a slot of an earlier

@@ -20,68 +20,80 @@ bool prefix_passes(const AlphaFrontier& f, const Wme* w) {
   return true;
 }
 
+Activation tagged(uint32_t node, Side side, bool add, Token token,
+                  uint32_t agent) {
+  Activation a{node, side, add, token};
+  a.agent = agent;
+  return a;
+}
+
 }  // namespace
 
 void update_alpha_seeds_into(Network& net, const CompiledProduction& cp,
                              const std::vector<const Wme*>& wm,
-                             std::vector<Activation>& out) {
+                             std::vector<Activation>& out, uint32_t agent) {
   (void)net;
   for (const AlphaFrontier& f : cp.alpha_frontiers) {
     for (const Wme* w : wm) {
       if (w->cls != f.cls) continue;
       if (!prefix_passes(f, w)) continue;
-      out.push_back(Activation{f.entry_node, Side::Left, true, Token{w}});
+      out.push_back(tagged(f.entry_node, Side::Left, true, Token{w}, agent));
     }
   }
 }
 
 std::vector<Activation> update_alpha_seeds(Network& net,
                                            const CompiledProduction& cp,
-                                           const std::vector<const Wme*>& wm) {
+                                           const std::vector<const Wme*>& wm,
+                                           uint32_t agent) {
   std::vector<Activation> seeds;
-  update_alpha_seeds_into(net, cp, wm, seeds);
+  update_alpha_seeds_into(net, cp, wm, seeds, agent);
   return seeds;
 }
 
-void update_right_seeds_into(Network& net, const CompiledProduction& cp,
-                             std::vector<Activation>& out) {
+void update_right_seeds_into(Network& net, const MatchState& ms,
+                             const CompiledProduction& cp,
+                             std::vector<Activation>& out, uint32_t agent) {
   for (const uint32_t id : cp.new_nodes) {
     const Node* n = net.node(id);
     if (n->type != NodeType::Join && n->type != NodeType::Not) continue;
     const auto* t = static_cast<const TwoInputNode*>(n);
     if (t->alpha_mem >= cp.first_new_id) continue;  // new amem: phase A fed it
     const auto* am = static_cast<const AlphaMemNode*>(net.node(t->alpha_mem));
-    for (const Wme* w : am->wmes) {
-      out.push_back(Activation{id, Side::Right, true, Token{w}});
+    for (const Wme* w : ms.alpha(am->mem_index).wmes) {
+      out.push_back(tagged(id, Side::Right, true, Token{w}, agent));
     }
   }
 }
 
-std::vector<Activation> update_right_seeds(Network& net,
-                                           const CompiledProduction& cp) {
+std::vector<Activation> update_right_seeds(Network& net, const MatchState& ms,
+                                           const CompiledProduction& cp,
+                                           uint32_t agent) {
   std::vector<Activation> seeds;
-  update_right_seeds_into(net, cp, seeds);
+  update_right_seeds_into(net, ms, cp, seeds, agent);
   return seeds;
 }
 
-void update_left_seeds_into(Network& net, const CompiledProduction& cp,
-                            UpdateScratch& scratch) {
+void update_left_seeds_into(Network& net, const MatchState& ms,
+                            const CompiledProduction& cp,
+                            UpdateScratch& scratch, uint32_t agent) {
   scratch.seeds.clear();
   scratch.outputs.clear();
-  net.node_outputs_into(cp.share_point, scratch.outputs);
+  net.node_outputs_into(cp.share_point, ms, scratch.outputs);
   const uint32_t slot = net.node(cp.share_point)->jt_slot;
   for (const SuccessorRef& s : net.jumptable().peek(slot)) {
     if (s.side != Side::Left || s.node < cp.first_new_id) continue;
     for (const Token& t : scratch.outputs) {
-      scratch.seeds.push_back(Activation{s.node, Side::Left, true, t});
+      scratch.seeds.push_back(tagged(s.node, Side::Left, true, t, agent));
     }
   }
 }
 
-std::vector<Activation> update_left_seeds(Network& net,
-                                          const CompiledProduction& cp) {
+std::vector<Activation> update_left_seeds(Network& net, const MatchState& ms,
+                                          const CompiledProduction& cp,
+                                          uint32_t agent) {
   UpdateScratch scratch;
-  update_left_seeds_into(net, cp, scratch);
+  update_left_seeds_into(net, ms, cp, scratch, agent);
   return std::move(scratch.seeds);
 }
 
@@ -92,8 +104,9 @@ namespace {
 /// touches the heap only to raise high-water capacities.
 class DrainCtx final : public ExecContext {
  public:
-  DrainCtx(Network& net, UpdateScratch& scratch)
+  DrainCtx(Network& net, MatchState& ms, UpdateScratch& scratch)
       : net_(net), scratch_(scratch) {
+    state = &ms;
     scratch_children.swap(scratch_.children);
     scratch_emissions.swap(scratch_.emissions);
   }
@@ -129,17 +142,19 @@ class DrainCtx final : public ExecContext {
 
 }  // namespace
 
-uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+uint64_t run_update_serial(Network& net, MatchState& ms,
+                           const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm,
                            UpdateScratch& scratch, obs::Tracer* tracer,
                            size_t track) {
   // One epoch for the whole three-phase update: the replay seeds built
   // between phases are transient tokens, and opening the epoch before any
   // seed is built keeps them inside the drain's deferral window.
-  net.arena().begin_drain(1);
+  ms.ensure_alpha(net.alpha_mem_count());
+  ms.arena.begin_drain(1);
   uint64_t tasks = 0;
   scratch.queue.clear();
-  DrainCtx ctx(net, scratch);
+  DrainCtx ctx(net, ms, scratch);
   ctx.update_mode = true;
   ctx.min_node_id = cp.first_new_id;
   ctx.suppress_alpha_left = true;
@@ -153,22 +168,23 @@ uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
   {
     obs::Span span(tracer, track, obs::EventKind::UpdateB, cp.first_new_id);
     scratch.seeds.clear();
-    update_right_seeds_into(net, cp, scratch.seeds);
+    update_right_seeds_into(net, ms, cp, scratch.seeds);
     tasks += ctx.drain(scratch.seeds);
   }
   {
     obs::Span span(tracer, track, obs::EventKind::UpdateC, cp.first_new_id);
-    update_left_seeds_into(net, cp, scratch);  // fills scratch.seeds
+    update_left_seeds_into(net, ms, cp, scratch);  // fills scratch.seeds
     tasks += ctx.drain(scratch.seeds);
   }
-  net.arena().reclaim_at_quiescence();
+  ms.arena.reclaim_at_quiescence();
   return tasks;
 }
 
-uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+uint64_t run_update_serial(Network& net, MatchState& ms,
+                           const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm) {
   UpdateScratch scratch;
-  return run_update_serial(net, cp, wm, scratch);
+  return run_update_serial(net, ms, cp, wm, scratch);
 }
 
 }  // namespace psme

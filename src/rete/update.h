@@ -51,43 +51,52 @@ struct UpdateScratch {
 /// less than the first new node").
 std::vector<Activation> update_alpha_seeds(Network& net,
                                            const CompiledProduction& cp,
-                                           const std::vector<const Wme*>& wm);
+                                           const std::vector<const Wme*>& wm,
+                                           uint32_t agent = 0);
 
 /// Appends into a caller-owned buffer (capacity retained across additions).
 void update_alpha_seeds_into(Network& net, const CompiledProduction& cp,
                              const std::vector<const Wme*>& wm,
-                             std::vector<Activation>& out);
+                             std::vector<Activation>& out, uint32_t agent = 0);
 
-/// Quiescent-only: reads alpha memories without their locks (the §5.2
+/// Quiescent-only: reads `ms`'s alpha memories without their locks (the §5.2
 /// contract — structural add and seeding happen while match is quiescent).
-std::vector<Activation> update_right_seeds(Network& net,
-                                           const CompiledProduction& cp)
+/// The update fills one agent's memories from that agent's WM; a shared
+/// network with N attached agents runs the three phases once per agent.
+std::vector<Activation> update_right_seeds(Network& net, const MatchState& ms,
+                                           const CompiledProduction& cp,
+                                           uint32_t agent = 0)
     PSME_NO_THREAD_SAFETY_ANALYSIS;
 
-void update_right_seeds_into(Network& net, const CompiledProduction& cp,
-                             std::vector<Activation>& out)
+void update_right_seeds_into(Network& net, const MatchState& ms,
+                             const CompiledProduction& cp,
+                             std::vector<Activation>& out, uint32_t agent = 0)
     PSME_NO_THREAD_SAFETY_ANALYSIS;
 
 /// Must be called after phases A and B have fully drained.
-std::vector<Activation> update_left_seeds(Network& net,
-                                          const CompiledProduction& cp);
+std::vector<Activation> update_left_seeds(Network& net, const MatchState& ms,
+                                          const CompiledProduction& cp,
+                                          uint32_t agent = 0);
 
 /// Phase-C replay without per-seed allocation: the share point's stored
 /// outputs land in `scratch.outputs`, the seeds in `scratch.seeds` (both
 /// cleared first, capacity retained).
-void update_left_seeds_into(Network& net, const CompiledProduction& cp,
-                            UpdateScratch& scratch);
+void update_left_seeds_into(Network& net, const MatchState& ms,
+                            const CompiledProduction& cp,
+                            UpdateScratch& scratch, uint32_t agent = 0);
 
 /// Serial convenience used by tests and the incremental-vs-rebuild property
 /// checks. Returns the number of tasks executed.
-uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+uint64_t run_update_serial(Network& net, MatchState& ms,
+                           const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm);
 
 /// Same, draining through caller-owned scratch so repeated run-time
 /// additions stop paying per-addition heap traffic. A non-null `tracer`
 /// records one UpdateA/B/C span per phase into `track` (the engine track),
 /// so Perfetto shows exactly where a chunk's state update spent its time.
-uint64_t run_update_serial(Network& net, const CompiledProduction& cp,
+uint64_t run_update_serial(Network& net, MatchState& ms,
+                           const CompiledProduction& cp,
                            const std::vector<const Wme*>& wm,
                            UpdateScratch& scratch,
                            obs::Tracer* tracer = nullptr, size_t track = 0);

@@ -27,6 +27,19 @@ EngineOptions with_match_override(const SoarOptions& opts) {
 
 SoarKernel::SoarKernel(SoarOptions opts)
     : opts_(opts), engine_(with_match_override(opts)) {
+  init();
+}
+
+SoarKernel::SoarKernel(SoarOptions opts, std::shared_ptr<CompiledNetwork> cnet,
+                       ParallelMatcher* shared_matcher)
+    : opts_(opts),
+      engine_(std::move(cnet), with_match_override(opts), shared_matcher) {
+  // Interning is idempotent, so N sessions sharing one symbol table all
+  // resolve the same architectural symbols and slot layouts.
+  init();
+}
+
+void SoarKernel::init() {
   SymbolTable& syms = engine_.syms();
   ClassSchemas& sch = engine_.schemas();
   cls_wme_ = syms.intern("wme");
@@ -227,11 +240,9 @@ void SoarKernel::flush_chunks(SoarRunStats& stats) {
     auto chunk = chunker.build_chunk(pr.wme, pr.result_level, &sig);
     build_span.end();
     if (!chunk) continue;
-    if (std::find(chunk_signatures_.begin(), chunk_signatures_.end(), sig) !=
-        chunk_signatures_.end()) {
-      continue;
-    }
-    chunk_signatures_.push_back(sig);
+    // Network-wide dedup: a signature any attached agent already compiled
+    // into the shared Rete is skipped here too.
+    if (!engine_.network().note_chunk_signature(std::move(sig))) continue;
     stats.chunk_texts.push_back(
         production_to_text(*chunk, engine_.syms(), engine_.schemas()));
     auto res = engine_.add_production_runtime(std::move(*chunk));

@@ -84,6 +84,15 @@ class SoarKernel {
  public:
   explicit SoarKernel(SoarOptions opts = {});
 
+  /// Per-agent session over a shared network (multi-agent serving): the
+  /// kernel's engine joins `cnet` — and `shared_matcher`'s worker pool, when
+  /// given — as a new agent session (see engine/agent_group.h for the
+  /// group-managed form). Chunks this kernel learns are compiled
+  /// copy-on-write into the shared jumptable and every sibling agent's
+  /// memories are brought up to date (§5.2); chunk dedup is network-wide.
+  SoarKernel(SoarOptions opts, std::shared_ptr<CompiledNetwork> cnet,
+             ParallelMatcher* shared_matcher = nullptr);
+
   Engine& engine() { return engine_; }
   [[nodiscard]] const SoarOptions& options() const { return opts_; }
 
@@ -150,6 +159,9 @@ class SoarKernel {
  private:
   friend class Chunker;
 
+  /// Shared ctor tail: symbol interning, gensym hook, wme retention.
+  void init();
+
   // Elaboration phase: fire all unfired instantiations, match, repeat until
   // quiescence. Appends traces to `stats`.
   void elaborate(SoarRunStats& stats);
@@ -214,7 +226,8 @@ class SoarKernel {
     int result_level;
   };
   std::vector<PendingResult> pending_results_;
-  std::vector<std::string> chunk_signatures_;  // dedup
+  // Chunk signature dedup lives on the shared CompiledNetwork (network-wide
+  // across agent sessions), not here.
   std::vector<const Instantiation*> unfired_scratch_;  // per-elab harvest
   int current_fire_level_ = 1;
 

@@ -272,7 +272,7 @@ TEST(Corruption, StaleTableEntryIsReported) {
   e.add_wme_text("(a ^v 1)");
   e.match();  // stores the token as a left entry at the join
   bool corrupted = false;
-  auto& tables = e.net().tables();
+  auto& tables = e.state().tables;
   for (size_t i = 0; i < tables.line_count() && !corrupted; ++i) {
     auto& line = tables.line_at(i);
     SpinGuard g(line.lock);

@@ -60,7 +60,7 @@ TEST(Bilinear, CountsInstantiationsLikeLinear) {
   BilinearOptions opts;
   opts.prefix_ces = 3;
   opts.group_size = 3;
-  bi.net().set_sink(&bi.cs());
+  bi.state().sink = &bi.cs();
   const auto built = build_bilinear(bi.net(), prod, opts);
   EXPECT_GT(built.pnode, 0u);
   add_long_chain_wmes(bi, 3, 3);
@@ -78,7 +78,7 @@ TEST(Bilinear, RetractsOnDelete) {
   opts.group_size = 2;
   const auto built = build_bilinear(bi.net(), prod, opts);
   (void)built;
-  bi.net().set_sink(&bi.cs());
+  bi.state().sink = &bi.cs();
   add_long_chain_wmes(bi, 2, 2);
   const Wme* goal = bi.wm().live().front();
   bi.match();
@@ -107,7 +107,7 @@ TEST(Bilinear, ShortensCriticalPath) {
   opts.prefix_ces = 3;
   opts.group_size = gsize;
   build_bilinear(bi.net(), prod, opts);
-  bi.net().set_sink(&bi.cs());
+  bi.state().sink = &bi.cs();
   add_long_chain_wmes(bi, groups, gsize);
   const auto bi_trace = bi.match();
   const auto bi_cp = critical_path(bi_trace, cm);
@@ -132,7 +132,7 @@ TEST(Bilinear, BalancedTreeShorterThanLinearCombine) {
     opts.group_size = gsize;
     opts.balanced_tree = tree;
     build_bilinear(e.net(), prod, opts);
-    e.net().set_sink(&e.cs());
+    e.state().sink = &e.cs();
     add_long_chain_wmes(e, groups, gsize);
     const auto trace = e.match();
     EXPECT_EQ(e.cs().size(), 1u);

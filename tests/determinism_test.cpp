@@ -68,6 +68,45 @@ INSTANTIATE_TEST_SUITE_P(AllTasks, TaskDeterminism,
                          ::testing::Values("eight-puzzle", "strips",
                                            "cypress"));
 
+/// The satellite-1 acceptance check: Eight-Puzzle LEARNING runs — chunk
+/// building included — land on the identical decision sequence and the
+/// byte-identical chunk texts at every matcher width, with tracing enabled.
+/// The conflict set orders instantiations by a schedule-invariant content
+/// key (production id, token timetags — see det_less in conflict_set.cpp),
+/// so worker count and steal schedule cannot leak into firing order, chunk
+/// backtraces, or gensym'd identifiers. (Per-task CycleTraces are compared
+/// only at width 1: parallel cycles intentionally return empty traces.)
+TEST(LearningDeterminism, EightPuzzleIdenticalAcrossMatcherWidths) {
+  const Task task = make_task("eight-puzzle");
+
+  auto run_at = [&](size_t workers) {
+    EngineOptions eo;
+    eo.match_workers = workers;
+    eo.trace.enabled = true;  // tracing on, per the acceptance criterion
+    return run_task(task, /*learning=*/true, nullptr, eo);
+  };
+
+  const auto oracle = run_task(task, /*learning=*/true);  // serial default
+  auto decision_signature = [](const SoarRunStats& s) {
+    std::ostringstream os;
+    os << s.decisions << '/' << s.elab_cycles << '/' << s.impasses << '/'
+       << s.chunks_built << '/' << s.goal_achieved;
+    return os.str();
+  };
+
+  for (const size_t workers : {1u, 2u, 4u, 8u}) {
+    const auto r = run_at(workers);
+    EXPECT_EQ(decision_signature(r.stats), decision_signature(oracle.stats))
+        << "match_workers=" << workers;
+    ASSERT_EQ(r.stats.chunk_texts.size(), oracle.stats.chunk_texts.size())
+        << "match_workers=" << workers;
+    for (size_t i = 0; i < r.stats.chunk_texts.size(); ++i) {
+      EXPECT_EQ(r.stats.chunk_texts[i], oracle.stats.chunk_texts[i])
+          << "chunk " << i << " at match_workers=" << workers;
+    }
+  }
+}
+
 TEST(SimMonotonicity, RealTracesNeverGetSlowerWithMoreProcsMultiQueue) {
   const auto run = run_task(make_eight_puzzle(), false);
   SimOptions opts;

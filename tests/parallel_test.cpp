@@ -83,7 +83,7 @@ TEST_P(ParallelEquivalence, MatchesSerialResult) {
   // Engine::match().
   SeedCollector sc;
   for (const Wme* w : par.wm().live()) par.net().inject(w, true, sc);
-  ParallelMatcher matcher(par.net(), param.workers, param.policy, nullptr,
+  ParallelMatcher matcher(par.net(), par.state(), param.workers, param.policy, nullptr,
                           param.tuning);
   const ParallelStats st = matcher.run_cycle(std::move(sc.seeds));
   EXPECT_GT(st.tasks, 0u);
@@ -96,10 +96,10 @@ TEST_P(ParallelEquivalence, MatchesSerialResult) {
   }
 
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(par));
-  EXPECT_EQ(serial.net().tables().total_left_entries(),
-            par.net().tables().total_left_entries());
-  EXPECT_EQ(serial.net().tables().total_right_entries(),
-            par.net().tables().total_right_entries());
+  EXPECT_EQ(serial.state().tables.total_left_entries(),
+            par.state().tables.total_left_entries());
+  EXPECT_EQ(serial.state().tables.total_right_entries(),
+            par.state().tables.total_right_entries());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -228,7 +228,8 @@ TEST(ParallelMatcher, DeleteHeavyCycleMatchesSerial) {
   for (const Wme* w : pr) {
     par.net().inject(w, false, sc);
   }
-  ParallelMatcher matcher(par.net(), 4, TaskQueueSet::Policy::Multi);
+  ParallelMatcher matcher(par.net(), par.state(), 4,
+                          TaskQueueSet::Policy::Multi);
   matcher.run_cycle(std::move(sc.seeds));
   for (const Wme* w : pr) par.wm().remove(w);
   par.wm().end_cycle();
@@ -243,7 +244,7 @@ TEST(ParallelMatcher, PersistentMatcherReusedAcrossCycles) {
   Engine serial, par;
   serial.load(workload_productions());
   par.load(workload_productions());
-  ParallelMatcher matcher(par.net(), 4);  // policy defaults to Steal
+  ParallelMatcher matcher(par.net(), par.state(), 4);  // policy defaults to Steal
   EXPECT_EQ(matcher.policy(), TaskQueueSet::Policy::Steal);
 
   for (int round = 0; round < 3; ++round) {
@@ -285,8 +286,8 @@ void runtime_add_through(Engine& e, ParallelMatcher& matcher, RhsArena& arena,
   const auto wm_snapshot = e.wm().live();
   matcher.run_update(update_alpha_seeds(e.net(), cp, wm_snapshot),
                      {cp.first_new_id, /*suppress_alpha_left=*/true});
-  matcher.run_update(update_right_seeds(e.net(), cp), {cp.first_new_id, false});
-  matcher.run_update(update_left_seeds(e.net(), cp), {cp.first_new_id, false});
+  matcher.run_update(update_right_seeds(e.net(), e.state(), cp), {cp.first_new_id, false});
+  matcher.run_update(update_left_seeds(e.net(), e.state(), cp), {cp.first_new_id, false});
 }
 
 TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
@@ -302,11 +303,11 @@ TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
   for (Engine* e : {&serial, &multi, &steal, &split, &nosplit}) {
     e->load(workload_productions());
   }
-  ParallelMatcher m_multi(multi.net(), 8, TaskQueueSet::Policy::Multi);
-  ParallelMatcher m_steal(steal.net(), 8, TaskQueueSet::Policy::Steal);
-  ParallelMatcher m_split(split.net(), 8, TaskQueueSet::Policy::Steal,
+  ParallelMatcher m_multi(multi.net(), multi.state(), 8, TaskQueueSet::Policy::Multi);
+  ParallelMatcher m_steal(steal.net(), steal.state(), 8, TaskQueueSet::Policy::Steal);
+  ParallelMatcher m_split(split.net(), split.state(), 8, TaskQueueSet::Policy::Steal,
                           nullptr, split_heavy());
-  ParallelMatcher m_nosplit(nosplit.net(), 8, TaskQueueSet::Policy::Steal,
+  ParallelMatcher m_nosplit(nosplit.net(), nosplit.state(), 8, TaskQueueSet::Policy::Steal,
                             nullptr, never_split());
 
   auto parallel_wave = [&](Engine& e, ParallelMatcher& m, int n) {
@@ -349,7 +350,8 @@ TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
     owned.push_back(std::make_unique<Production>(std::move(parsed.front())));
     const CompiledProduction cp =
         serial.builder().add_production(*owned.back());
-    run_update_serial(serial.net(), cp, serial.wm().live());
+    run_update_serial(serial.net(), serial.state(), cp,
+                      serial.wm().live());
   }
   runtime_add_through(multi, m_multi, arena, owned, late);
   runtime_add_through(steal, m_steal, arena, owned, late);
@@ -372,10 +374,10 @@ TEST(SchedulerEquivalence, StealEqualsMultiEqualsSerialThroughRuntimeAdd) {
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(split));
   EXPECT_EQ(cs_fingerprint(serial), cs_fingerprint(nosplit));
   for (Engine* e : {&steal, &split, &nosplit}) {
-    EXPECT_EQ(serial.net().tables().total_left_entries(),
-              e->net().tables().total_left_entries());
-    EXPECT_EQ(serial.net().tables().total_right_entries(),
-              e->net().tables().total_right_entries());
+    EXPECT_EQ(serial.state().tables.total_left_entries(),
+              e->state().tables.total_left_entries());
+    EXPECT_EQ(serial.state().tables.total_right_entries(),
+              e->state().tables.total_right_entries());
   }
 }
 

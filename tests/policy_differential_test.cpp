@@ -99,7 +99,7 @@ std::multiset<std::string> wm_fingerprint(Engine& e) {
 std::string compare_engines(std::array<std::unique_ptr<Engine>, 6>& es) {
   const auto cs0 = cs_fingerprint(*es[0]);
   const auto wm0 = wm_fingerprint(*es[0]);
-  const size_t left0 = es[0]->net().tables().total_left_entries();
+  const size_t left0 = es[0]->state().tables.total_left_entries();
   const size_t prods0 = es[0]->productions().size();
   for (size_t i = 1; i < es.size(); ++i) {
     if (cs_fingerprint(*es[i]) != cs0) {
@@ -108,10 +108,10 @@ std::string compare_engines(std::array<std::unique_ptr<Engine>, 6>& es) {
              std::to_string(cs_fingerprint(*es[i]).size()) + " vs " +
              std::to_string(cs0.size()) + " instantiations)";
     }
-    if (es[i]->net().tables().total_left_entries() != left0) {
+    if (es[i]->state().tables.total_left_entries() != left0) {
       return std::string("left-memory population of ") + kEngineNames[i] +
              " diverges from serial (" +
-             std::to_string(es[i]->net().tables().total_left_entries()) +
+             std::to_string(es[i]->state().tables.total_left_entries()) +
              " vs " + std::to_string(left0) + ")";
     }
     if (wm_fingerprint(*es[i]) != wm0) {

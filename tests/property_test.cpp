@@ -96,8 +96,8 @@ TEST_P(ReteInvariant, IncrementalEqualsFromScratch) {
 
   EXPECT_EQ(cs_fingerprint(inc), cs_fingerprint(scratch)) << "seed " << seed;
   // Memory-state sanity: there are no leaked right entries for dead wmes.
-  EXPECT_EQ(inc.net().tables().total_right_entries(),
-            scratch.net().tables().total_right_entries());
+  EXPECT_EQ(inc.state().tables.total_right_entries(),
+            scratch.state().tables.total_right_entries());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReteInvariant,
@@ -154,7 +154,7 @@ TEST_P(SerialParallelProperty, ParallelMatchesSerial) {
                                  w->fields);
     par.net().inject(nw, true, collector);
   }
-  ParallelMatcher matcher(par.net(), 1 + seed % 6,
+  ParallelMatcher matcher(par.net(), par.state(), 1 + seed % 6,
                           seed % 2 == 0 ? TaskQueueSet::Policy::Multi
                                         : TaskQueueSet::Policy::Single);
   matcher.run_cycle(std::move(collector.seeds));

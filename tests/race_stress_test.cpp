@@ -155,7 +155,7 @@ void parallel_cycle(Engine& e, const std::vector<const Wme*>& adds,
   if (matcher != nullptr) {
     matcher->run_cycle(std::move(sc.seeds));
   } else {
-    ParallelMatcher local(e.net(), kWorkers, c.policy, nullptr, c.tuning);
+    ParallelMatcher local(e.net(), e.state(), kWorkers, c.policy, nullptr, c.tuning);
     local.run_cycle(std::move(sc.seeds));
   }
 }
@@ -253,7 +253,7 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
   }
   Engine live;
   live.load(base);
-  ParallelMatcher matcher(live.net(), kWorkers, c.policy, nullptr, c.tuning);
+  ParallelMatcher matcher(live.net(), live.state(), kWorkers, c.policy, nullptr, c.tuning);
 
   for (int wv = 0; wv < waves; ++wv) {
     add_stress_wmes(ref, 12, wv);
@@ -285,10 +285,10 @@ TEST_P(RaceStressPolicy, RuntimeAddWithParallelUpdateMatchesUpfrontLoad) {
     matcher.run_update(update_alpha_seeds(live.net(), cp, wm_snapshot),
                        {cp.first_new_id, /*suppress_alpha_left=*/true});
     // Phase B: right memories fed by shared (old) alpha memories.
-    matcher.run_update(update_right_seeds(live.net(), cp),
+    matcher.run_update(update_right_seeds(live.net(), live.state(), cp),
                        {cp.first_new_id, false});
     // Phase C: last-shared-node replay, only after A and B drained.
-    matcher.run_update(update_left_seeds(live.net(), cp),
+    matcher.run_update(update_left_seeds(live.net(), live.state(), cp),
                        {cp.first_new_id, false});
   }
 
@@ -324,7 +324,7 @@ TEST(RaceStress, StealParkingUnderUnevenLoad) {
   par.load(stress_productions());
   StealTuning eager;
   eager.backoff_park_sweeps = 0;
-  ParallelMatcher matcher(par.net(), kWorkers, TaskQueueSet::Policy::Steal,
+  ParallelMatcher matcher(par.net(), par.state(), kWorkers, TaskQueueSet::Policy::Steal,
                           nullptr, eager);
 
   uint64_t parks = 0;

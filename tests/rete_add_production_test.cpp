@@ -42,14 +42,14 @@ TEST(AddProduction, SharedPrefixGetsNoDuplicateState) {
   e.add_wme_text("(a ^v 1)");
   e.add_wme_text("(b ^v 1)");
   e.match();
-  const size_t lefts_before = e.net().tables().total_left_entries();
+  const size_t lefts_before = e.state().tables.total_left_entries();
 
   // p2 shares (a)(b) join, extends with (c).
   e.add_production_runtime(parse_one(
       e, "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))"));
   // The shared join's memories must not have grown.
   // New left entries belong only to the new join (one token: [a1 b1]).
-  EXPECT_EQ(e.net().tables().total_left_entries(), lefts_before + 1);
+  EXPECT_EQ(e.state().tables.total_left_entries(), lefts_before + 1);
   EXPECT_EQ(instantiation_count(e, "p2"), 0);
   e.add_wme_text("(c ^v 1)");
   e.match();

@@ -110,7 +110,7 @@ TEST(ReteMatch, DeletionOfRightWme) {
   e.match();
   EXPECT_EQ(instantiation_count(e, "p1"), 0);
   // Memory state is fully cleaned.
-  EXPECT_EQ(e.net().tables().total_right_entries(), 0u);
+  EXPECT_EQ(e.state().tables.total_right_entries(), 0u);
 }
 
 TEST(ReteMatch, ThreeLevelJoinChain) {

@@ -150,7 +150,7 @@ TEST(Ncc, DeleteOwnerToken) {
   e.remove_wme(area);
   e.match();
   EXPECT_EQ(instantiation_count(e, "safe"), 0);
-  EXPECT_EQ(e.net().tables().total_left_entries(), 0u);
+  EXPECT_EQ(e.state().tables.total_left_entries(), 0u);
 }
 
 TEST(Negation, NotNodePassesThroughLaterJoins) {

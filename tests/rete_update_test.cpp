@@ -83,11 +83,11 @@ TEST(UpdateSeeds, RightSeedsOnlyForOldAlphaMemories) {
   static std::vector<std::unique_ptr<Production>> keep;
   keep.push_back(std::make_unique<Production>(std::move(p)));
   CompiledProduction cp = builder.add_production(*keep.back());
-  const auto rights = update_right_seeds(e.net(), cp);
+  const auto rights = update_right_seeds(e.net(), e.state(), cp);
   // The new join's right input is amem(c) — brand new, so phase B has
   // nothing; amem(a) feeds the join's LEFT side, not its right.
   EXPECT_TRUE(rights.empty());
-  run_update_serial(e.net(), cp, e.wm().live());
+  run_update_serial(e.net(), e.state(), cp, e.wm().live());
 }
 
 TEST(UpdateSeeds, LeftSeedsReplaySharePointOutputs) {
@@ -105,7 +105,7 @@ TEST(UpdateSeeds, LeftSeedsReplaySharePointOutputs) {
       e, "(p p2 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))")));
   CompiledProduction cp = builder.add_production(*keep.back());
   // Share point: the old (a)(b) join; its outputs are the two [a b] tokens.
-  run_update_serial(e.net(), cp, e.wm().live());
+  run_update_serial(e.net(), e.state(), cp, e.wm().live());
   EXPECT_EQ(instantiation_count(e, "p2"), 1);  // only v=1 has a c
 }
 
@@ -240,7 +240,7 @@ TEST(Update, ScratchReplayIsAllocationFlat) {
     // update itself is measured.
     CompiledProduction cp = builder.add_production(*keep.back());
     const uint64_t before = heap_allocs();
-    run_update_serial(e.net(), cp, wm, scratch);
+    run_update_serial(e.net(), e.state(), cp, wm, scratch);
     const uint64_t used = heap_allocs() - before;
     EXPECT_EQ(instantiation_count(e, name), 3);
     if (round >= 2) {

@@ -125,7 +125,7 @@ TEST(SoarGc, MatchStateShrinksWithCollection) {
   // more wme references than WM has live wmes times the network fan-out.
   const size_t live = k.engine().wm().size();
   EXPECT_LT(live, 30u);
-  EXPECT_LT(k.engine().net().tables().total_right_entries(), live * 12);
+  EXPECT_LT(k.engine().state().tables.total_right_entries(), live * 12);
 }
 
 TEST(SoarGc, ChunkProvenanceSurvivesCollection) {

@@ -167,20 +167,21 @@ TEST(TokenArena, SteadyStateActivationsAreHeapFree) {
   Network& net = e.net();
   // Detach the conflict set to isolate the match-network path; the full
   // engine cycle (CS included) is covered by engine_alloc_test.
-  net.set_sink(nullptr);
+  e.state().sink = nullptr;
 
   const Wme* toggle = nullptr;
   for (const Wme* w : e.wm().live()) toggle = w;  // any live wme
   ASSERT_NE(toggle, nullptr);
 
   RingExecutor ex;
+  ex.state = &e.state();
   auto cycle = [&] {
-    net.arena().begin_drain(1);
+    e.state().arena.begin_drain(1);
     net.inject(toggle, false, ex);
     ex.drain(net);
     net.inject(toggle, true, ex);
     ex.drain(net);
-    net.arena().reclaim_at_quiescence();
+    e.state().arena.reclaim_at_quiescence();
   };
 
   for (int i = 0; i < 16; ++i) cycle();  // warm-up: queue + line capacity
@@ -245,10 +246,10 @@ TEST(TokenArena, StealReclaimsWhileMatching) {
   }
 
   EXPECT_EQ(cs_fingerprint(par), cs_fingerprint(serial));
-  EXPECT_EQ(par.net().tables().total_left_entries(),
-            serial.net().tables().total_left_entries());
+  EXPECT_EQ(par.state().tables.total_left_entries(),
+            serial.state().tables.total_left_entries());
 
-  const MatchStats ms = par.net().arena().stats();
+  const MatchStats ms = par.state().arena.stats();
   EXPECT_GT(ms.spill_allocs, 0u);
   EXPECT_GT(ms.chunks_freed, 0u) << "epoch reclamation never freed a chunk";
   EXPECT_EQ(ms.chunks_live, ms.chunks_allocated - ms.chunks_freed);

@@ -3,8 +3,11 @@
 # stdout into BENCH_<name>.json at the repo root (human tables stay on
 # stderr). Currently: bench_scheduler (the real-thread scheduler shootout),
 # bench_tokens (heap allocations per activation, old vs new token
-# representation), and bench_longchain (deep linear join chains: chain
-# splitting vs split-every-link vs never-split, plus the VP sweep to 256).
+# representation), bench_longchain (deep linear join chains: chain
+# splitting vs split-every-link vs never-split, plus the VP sweep to 256),
+# and bench_multiagent (N agent sessions over one shared network and one
+# 8-worker pool: aggregate agent-cycles/sec and p99 step latency vs
+# session count).
 #
 # Each bench writes to a temp file that is validated (python3 -m json.tool)
 # and only then moved into place, so a crashing or interrupted bench can
@@ -20,7 +23,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset default >/dev/null
 cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens \
-  --target bench_longchain
+  --target bench_longchain --target bench_multiagent
 
 # run_bench <binary> <output.json> [args...]: capture, validate, then commit.
 run_bench() {
@@ -50,3 +53,6 @@ run_bench build/bench/bench_tokens BENCH_tokens.json "$@"
 # bench_longchain takes rounds/values/reps, not rounds/wave — run it at its
 # defaults rather than forwarding bench_scheduler-shaped arguments.
 run_bench build/bench/bench_longchain BENCH_longchain.json
+# bench_multiagent's wave is per agent per cycle (default 6) — its defaults
+# are tuned for the serving sweep, so don't forward the scheduler workload.
+run_bench build/bench/bench_multiagent BENCH_multiagent.json
