@@ -1,0 +1,104 @@
+// Transient-query demo: epmem-style cue matching over a live Rete.
+//
+//   $ ./query_demo [--stats]
+//
+// Builds a small blocks-world working memory, then asks three cues through
+// QuerySession — one that matches fully (a graph match), one that matches
+// only partially (graded retrieval: the score counts how many leading CEs
+// some combination of wmes satisfies), and one that matches nothing. Each
+// cue is compiled into a TEMPORARY production (the §5.2 update that brings
+// its memories up to date IS the evaluation) and torn back out through
+// run-time production removal; the demo prints the network's node count
+// before and after to show the add/remove cycle leaves no residue.
+#include <cstdio>
+#include <cstring>
+
+#include "engine/engine.h"
+#include "obs/export.h"
+#include "query/query.h"
+
+using namespace psme;
+
+namespace {
+
+void ask_and_print(QuerySession& q, const char* label, const char* cue,
+                   Engine& engine) {
+  std::printf("\ncue [%s]:\n  %s\n", label, cue);
+  const QueryResult r = q.ask(cue);
+  std::printf("  score %u of %u CE%s — %s\n", r.score, r.positive_ces,
+              r.positive_ces == 1 ? "" : "s",
+              r.full()          ? "full graph match"
+              : r.score > 0     ? "partial match (graded retrieval)"
+                                : "no match");
+  for (const QueryMatch& m : r.matches) {
+    std::printf("  match:\n");
+    for (const Wme* w : m.wmes) {
+      std::printf("    %s\n",
+                  w->to_string(engine.syms(), engine.schemas()).c_str());
+    }
+  }
+  std::printf("  churn: %zu nodes removed at teardown, %zu memory entries "
+              "drained\n",
+              r.remove.nodes_removed,
+              r.remove.left_entries + r.remove.right_entries +
+                  r.remove.alpha_wmes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) want_stats = true;
+  }
+
+  Engine engine;
+
+  // A resident production so the network is non-trivial and cues can share
+  // alpha/beta prefixes with permanent structure.
+  engine.load(R"(
+    (p resident-stack-watcher
+      (block ^name <b> ^color blue)
+      (block ^on <b> ^name <t>)
+      -->
+      (write <t> sits on blue <b>))
+  )");
+
+  // The episode being queried: a three-block stack and a free gripper.
+  engine.add_wme_text("(block ^name b1 ^color blue)");
+  engine.add_wme_text("(block ^name b2 ^color red ^on b1)");
+  engine.add_wme_text("(block ^name b3 ^color green ^on b2)");
+  engine.add_wme_text("(gripper ^name g1 ^state free)");
+  engine.match();
+
+  const uint32_t nodes_before = engine.net().live_node_count();
+  std::printf("network before queries: %u live nodes\n", nodes_before);
+
+  QuerySession q(engine);
+
+  // Full match: both CEs are satisfiable together (b2 on blue b1).
+  ask_and_print(q, "full",
+                "(block ^name <b> ^color blue) (block ^on <b> ^name <t>)",
+                engine);
+
+  // Partial match: the first two CEs join (depth 2), but nothing holds b2.
+  ask_and_print(q, "partial",
+                "(block ^name <b> ^color blue) (block ^on <b> ^name <t>) "
+                "(gripper ^holding <t>)",
+                engine);
+
+  // No match: there is no pyramid anywhere in this episode.
+  ask_and_print(q, "miss", "(pyramid ^name <p>)", engine);
+
+  const uint32_t nodes_after = engine.net().live_node_count();
+  std::printf("\nnetwork after queries: %u live nodes (%+d)\n", nodes_after,
+              static_cast<int>(nodes_after) - static_cast<int>(nodes_before));
+
+  if (want_stats) {
+    obs::MetricsRegistry metrics;
+    engine.collect_metrics(metrics);
+    std::printf("\nend-of-run metrics:\n");
+    obs::print_metrics_table(metrics, stdout);
+  }
+  return nodes_after == nodes_before ? 0 : 1;
+}

@@ -39,10 +39,12 @@ LintReport lint_costs(const Network& net,
     }
   }
   for (uint32_t i = 0; i < n; ++i) {
-    const uint32_t slot = net.node(i)->jt_slot;
+    const Node* node = net.node(i);
+    if (node == nullptr) continue;  // tombstone of a removed production
+    const uint32_t slot = node->jt_slot;
     if (slot >= jt.size()) continue;
     for (const SuccessorRef& ref : jt.peek(slot)) {
-      if (ref.node < n && ref.node != i) {
+      if (ref.node < n && ref.node != i && net.node(ref.node) != nullptr) {
         ins[ref.node].push_back({i, ref.side, false});
       }
     }
@@ -66,6 +68,7 @@ LintReport lint_costs(const Network& net,
 
   for (uint32_t i = 0; i < n; ++i) {
     const Node* node = net.node(i);
+    if (node == nullptr) continue;  // tombstone: zero-cost, never in a slice
     const uint32_t left = pred_of(i, Side::Left);
     switch (node->type) {
       case NodeType::Const:
@@ -165,7 +168,10 @@ LintReport lint_costs(const Network& net,
   std::vector<uint32_t> depth(n, 0);
   std::vector<double> chain(n, 0);
   for (const AddRecord* r : records) {
-    if (r == nullptr || r->compiled.pnode >= n) continue;
+    if (r == nullptr || r->compiled.pnode >= n ||
+        net.node(r->compiled.pnode) == nullptr) {
+      continue;  // removed production's record (the verifier flags it)
+    }
     const uint32_t pnode = r->compiled.pnode;
 
     set.clear();

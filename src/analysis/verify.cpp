@@ -79,12 +79,24 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
   const uint32_t n = net.node_count();
   const Jumptable& jt = net.jumptable();
   rep.nodes.assign(n, NodeFacts{});
-  for (uint32_t i = 0; i < n; ++i) rep.nodes[i].type = net.node(i)->type;
+  // Tombstoned ids (removed productions' nodes) keep defaulted facts with
+  // alive == false; every check below skips them, but any surviving
+  // reference TO one is a violation — the removal oracle.
+  uint32_t live_count = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (const Node* node = net.node(i); node != nullptr) {
+      rep.nodes[i].type = node->type;
+      ++live_count;
+    } else {
+      rep.nodes[i].alive = false;
+    }
+  }
 
   auto bad = [&](Check c, uint32_t node, std::string msg) {
     rep.violations.push_back(Violation{c, node, std::move(msg)});
   };
   auto type_name = [&](uint32_t id) { return node_type_name(rep.nodes[id].type); };
+  auto alive = [&](uint32_t id) { return id < n && rep.nodes[id].alive; };
 
   // ---- Resolution + SlotOwnership: slots resolve and are uniquely owned ----
   std::vector<uint8_t> slot_is_root(jt.size(), 0);
@@ -99,6 +111,7 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
   }
   std::vector<uint32_t> slot_owner(jt.size(), UINT32_MAX);
   for (uint32_t i = 0; i < n; ++i) {
+    if (!rep.nodes[i].alive) continue;  // freed slot, back in the recycler
     const uint32_t slot = net.node(i)->jt_slot;
     if (slot >= jt.size()) {
       bad(Check::Resolution, i,
@@ -122,6 +135,10 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
         bad(Check::Resolution, slot_owner[s],
             fmt("slot %u references nonexistent node %u (network has %u)", s,
                 ref.node, n));
+      } else if (!rep.nodes[ref.node].alive) {
+        bad(Check::Resolution, slot_owner[s],
+            fmt("slot %u references removed node %u (dangling unsplice)", s,
+                ref.node));
       }
     }
   }
@@ -137,6 +154,11 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
         bad(Check::Resolution, UINT32_MAX,
             fmt("stale %s-table entry references nonexistent node %u",
                 left ? "left" : "right", node_id));
+      } else if (!rep.nodes[node_id].alive) {
+        bad(Check::Resolution, UINT32_MAX,
+            fmt("stale %s-table entry references removed node %u "
+                "(memory not drained before removal)",
+                left ? "left" : "right", node_id));
       }
     });
   }
@@ -148,16 +170,17 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
     (void)cls;
     if (slot >= jt.size()) continue;
     for (const SuccessorRef& ref : jt.peek(slot)) {
-      if (ref.node < n) ins[ref.node].push_back({0, ref.side, true});
+      if (alive(ref.node)) ins[ref.node].push_back({0, ref.side, true});
     }
   }
   for (uint32_t i = 0; i < n; ++i) {
+    if (!rep.nodes[i].alive) continue;
     const uint32_t slot = net.node(i)->jt_slot;
     if (slot >= jt.size()) continue;
     rep.nodes[i].fan_out = static_cast<uint32_t>(jt.peek(slot).size());
     rep.max_fan_out = std::max(rep.max_fan_out, rep.nodes[i].fan_out);
     for (const SuccessorRef& ref : jt.peek(slot)) {
-      if (ref.node >= n) continue;
+      if (!alive(ref.node)) continue;
       outs[i].push_back(ref);
       ins[ref.node].push_back({i, ref.side, false});
     }
@@ -167,9 +190,10 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
   // partner. Kept out of `ins` so side/arity checks see only real splices.
   std::vector<std::pair<uint32_t, uint32_t>> synthetic;  // (partner, owner)
   for (uint32_t i = 0; i < n; ++i) {
-    if (rep.nodes[i].type != NodeType::NccPartner) continue;
+    if (!rep.nodes[i].alive || rep.nodes[i].type != NodeType::NccPartner)
+      continue;
     const auto& p = static_cast<const NccPartnerNode&>(*net.node(i));
-    if (p.owner < n && rep.nodes[p.owner].type == NodeType::Ncc) {
+    if (alive(p.owner) && rep.nodes[p.owner].type == NodeType::Ncc) {
       synthetic.emplace_back(i, p.owner);
     }
   }
@@ -196,7 +220,7 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
       }
     }
     for (uint32_t i = 0; i < n; ++i) {
-      if (!rep.nodes[i].reachable) {
+      if (rep.nodes[i].alive && !rep.nodes[i].reachable) {
         bad(Check::Reachability, i,
             fmt("%s node unreachable from the alpha network", type_name(i)));
       }
@@ -213,7 +237,7 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
       }
     };
     for (uint32_t i = 0; i < n; ++i) {
-      if (rep.nodes[i].type == NodeType::Prod) own(i);
+      if (rep.nodes[i].alive && rep.nodes[i].type == NodeType::Prod) own(i);
     }
     while (!stack.empty()) {
       const uint32_t v = stack.back();
@@ -224,11 +248,11 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
       // An owned NCC owns its partner (and thus the whole subnetwork).
       if (rep.nodes[v].type == NodeType::Ncc) {
         const auto& ncc = static_cast<const NccNode&>(*net.node(v));
-        if (ncc.partner < n) own(ncc.partner);
+        if (alive(ncc.partner)) own(ncc.partner);
       }
     }
     for (uint32_t i = 0; i < n; ++i) {
-      if (!rep.nodes[i].owned) {
+      if (rep.nodes[i].alive && !rep.nodes[i].owned) {
         bad(Check::Ownership, i,
             fmt("%s node not owned by any production (no P-node downstream)",
                 type_name(i)));
@@ -248,9 +272,9 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
       (void)partner;
       ++indeg[owner];
     }
-    topo.reserve(n);
+    topo.reserve(live_count);
     for (uint32_t i = 0; i < n; ++i) {
-      if (indeg[i] == 0) topo.push_back(i);
+      if (rep.nodes[i].alive && indeg[i] == 0) topo.push_back(i);
     }
     for (size_t head = 0; head < topo.size(); ++head) {
       const uint32_t v = topo[head];
@@ -261,10 +285,10 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
         if (partner == v && --indeg[owner] == 0) topo.push_back(owner);
       }
     }
-    if (topo.size() != n) {
+    if (topo.size() != live_count) {
       acyclic = false;
       for (uint32_t i = 0; i < n; ++i) {
-        if (indeg[i] > 0) {
+        if (rep.nodes[i].alive && indeg[i] > 0) {
           bad(Check::Acyclicity, i,
               fmt("successor graph has a cycle through %s node %u",
                   type_name(i), i));
@@ -277,6 +301,7 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
   // ---- SideRef / TwoInputWiring / NegationPair (per-node, order-free) ----
   for (uint32_t i = 0; i < n; ++i) {
     const Node* node = net.node(i);
+    if (node == nullptr) continue;
     uint32_t lefts = 0, rights = 0;
     const InEdge* left_in = nullptr;
     const InEdge* right_in = nullptr;
@@ -348,6 +373,9 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
         if (t.alpha_mem >= n) {
           bad(Check::TwoInputWiring, i,
               fmt("alpha_mem %u does not exist", t.alpha_mem));
+        } else if (!rep.nodes[t.alpha_mem].alive) {
+          bad(Check::TwoInputWiring, i,
+              fmt("alpha_mem %u is a removed node", t.alpha_mem));
         } else if (rep.nodes[t.alpha_mem].type != NodeType::AlphaMem) {
           bad(Check::TwoInputWiring, i,
               fmt("alpha_mem %u is a %s node, not an alpha memory",
@@ -381,6 +409,10 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
         if (ncc.partner >= n) {
           bad(Check::NegationPair, i,
               fmt("partner %u does not exist", ncc.partner));
+        } else if (!rep.nodes[ncc.partner].alive) {
+          bad(Check::NegationPair, i,
+              fmt("partner %u is a removed node (removal split the pair)",
+                  ncc.partner));
         } else if (rep.nodes[ncc.partner].type != NodeType::NccPartner) {
           bad(Check::NegationPair, i,
               fmt("partner %u is a %s node, not an NCC partner", ncc.partner,
@@ -409,7 +441,11 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
                   "(want 1/0)",
                   lefts, rights));
         }
-        if (p.owner >= n || rep.nodes[p.owner].type != NodeType::Ncc) {
+        if (p.owner < n && !rep.nodes[p.owner].alive) {
+          bad(Check::NegationPair, i,
+              fmt("owner %u is a removed node (orphaned NCC partner)",
+                  p.owner));
+        } else if (p.owner >= n || rep.nodes[p.owner].type != NodeType::Ncc) {
           bad(Check::NegationPair, i,
               fmt("owner %u is not an NCC node", p.owner));
         }
@@ -443,6 +479,7 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
 
   // ---- Static test-layout invariants of two-input nodes (order-free) ----
   for (uint32_t i = 0; i < n; ++i) {
+    if (!rep.nodes[i].alive) continue;
     if (rep.nodes[i].type != NodeType::Join && rep.nodes[i].type != NodeType::Not)
       continue;
     const auto& t = static_cast<const TwoInputNode&>(*net.node(i));
@@ -632,6 +669,13 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
           fmt("record's pnode %u does not exist", cp.pnode));
       continue;
     }
+    if (!rep.nodes[cp.pnode].alive) {
+      bad(Check::ProdRecord, cp.pnode,
+          fmt("record's pnode %u is a removed node (record outlived its "
+              "removal)",
+              cp.pnode));
+      continue;
+    }
     if (rep.nodes[cp.pnode].type != NodeType::Prod) {
       bad(Check::ProdRecord, cp.pnode,
           fmt("record's pnode is a %s node", type_name(cp.pnode)));
@@ -646,12 +690,18 @@ VerifyReport verify_network(const Network& net, const MatchState* state,
       if (id >= n) {
         bad(Check::ProdRecord, cp.pnode,
             fmt("record lists nonexistent new node %u", id));
+      } else if (!rep.nodes[id].alive) {
+        bad(Check::ProdRecord, cp.pnode,
+            fmt("record lists removed node %u as a new node", id));
       }
     }
     for (const uint32_t id : cp.shared_nodes) {
       if (id >= n) {
         bad(Check::ProdRecord, cp.pnode,
             fmt("record lists nonexistent shared node %u", id));
+      } else if (!rep.nodes[id].alive) {
+        bad(Check::ProdRecord, cp.pnode,
+            fmt("record lists removed node %u as a shared node", id));
       }
     }
   }

@@ -62,6 +62,49 @@ void CompiledNetwork::debug_verify_after_add(const Production* p) const {
   std::abort();
 }
 
+RemovePlan CompiledNetwork::unsplice_cow(const Production* p,
+                                         size_t* refs_unspliced) {
+  const AddRecord& rec = record(p);  // throws for an unknown production
+  RemovePlan plan = plan_removal(net_, rec.compiled.pnode);
+  Jumptable& jt = net_.jumptable();
+  jt.begin_cow();
+  const size_t erased = jt.erase_refs(plan.dead_mask);
+  // Same safe-point contract as compile_cow: the caller is match-quiescent,
+  // so no succs() walk observes the swap. From this publish on, the victim
+  // can never fire again — its P-node is unreachable from every root.
+  jt.publish_cow();
+  if (refs_unspliced != nullptr) *refs_unspliced = erased;
+  return plan;
+}
+
+void CompiledNetwork::finish_removal(const RemovePlan& plan,
+                                     const Production* p) {
+#if PSME_NET_VERIFY
+  // The AST dies below; keep the name for the verifier's diagnostics.
+  const std::string name(syms_.name(p->name));
+#endif
+  for (uint32_t id : plan.dead_nodes) net_.free_node(id);
+  records_.erase(p);
+  productions_.erase(
+      std::remove(productions_.begin(), productions_.end(), p),
+      productions_.end());
+  store_.release(p);
+  ++removals_;
+#if PSME_NET_VERIFY
+  debug_verify_after_remove(name);
+#endif
+}
+
+void CompiledNetwork::debug_verify_after_remove(const std::string& name) const {
+  const analysis::VerifyReport rep =
+      analysis::verify_network(net_, all_records());
+  if (rep.ok()) return;
+  std::fprintf(stderr,
+               "PSME_NET_VERIFY: invariant violation after removing '%s'\n%s",
+               name.c_str(), rep.to_string().c_str());
+  std::abort();
+}
+
 const AddRecord& CompiledNetwork::record(const Production* p) const {
   auto it = records_.find(p);
   if (it == records_.end()) {

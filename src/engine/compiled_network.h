@@ -26,6 +26,7 @@
 #include "rete/add_production.h"
 #include "rete/builder.h"
 #include "rete/network.h"
+#include "rete/remove_production.h"
 
 namespace psme {
 
@@ -65,6 +66,31 @@ class CompiledNetwork {
   /// re-verified immediately after the swap.
   const AddRecord& compile_cow(const Production* p);
 
+  /// Run-time removal, unsplice half: plans the dead-set (backward
+  /// reachability from every surviving P-node — the victim's own compile
+  /// record can't tell owned from shared, see rete/remove_production.h) and
+  /// erases the dead nodes' successor entries under a COW edit. The publish
+  /// inside this call is the safe point: the same quiescent-only contract as
+  /// compile_cow, and the instant the production stops matching. The dead
+  /// nodes themselves are still alive on return — every attached agent must
+  /// drain its state for them before finish_removal frees them (the engine
+  /// sequences this; see Engine::remove_production_runtime). Throws
+  /// std::out_of_range for a production this network never compiled.
+  /// `refs_unspliced`, when non-null, receives the erased entry count.
+  RemovePlan unsplice_cow(const Production* p,
+                          size_t* refs_unspliced = nullptr);
+
+  /// Run-time removal, reclaim half: tombstones the dead nodes (their
+  /// jumptable slots and alpha mem indexes return to the recycling pools),
+  /// then drops the record, the production-list entry, and the adopted AST.
+  /// Under PSME_NET_VERIFY the whole network is re-verified afterward —
+  /// the verifier's stale-entry sweep, Resolution, and Ownership checks are
+  /// the removal oracle.
+  void finish_removal(const RemovePlan& plan, const Production* p);
+
+  /// Productions removed at run time since load (diagnostics).
+  [[nodiscard]] uint64_t removals() const { return removals_; }
+
   [[nodiscard]] const AddRecord& record(const Production* p) const;
   [[nodiscard]] const std::vector<const Production*>& productions() const {
     return productions_;
@@ -88,6 +114,12 @@ class CompiledNetwork {
     return chunk_signatures_.insert(std::move(sig)).second;
   }
 
+  /// Drops a chunk signature when its production is excised, so any agent
+  /// can relearn an identical chunk later (SoarKernel::excise).
+  bool forget_chunk_signature(const std::string& sig) {
+    return chunk_signatures_.erase(sig) > 0;
+  }
+
   /// Attached agent sessions. Engine registers itself at construction and
   /// deregisters at destruction; run-time production addition walks this
   /// list to bring every agent's memories up to date (§5.2) after the COW
@@ -98,8 +130,9 @@ class CompiledNetwork {
 
  private:
   const AddRecord& finish(const Production* p, CompiledProduction&& cp);
-  /// PSME_NET_VERIFY hook: abort with the full report on violation.
+  /// PSME_NET_VERIFY hooks: abort with the full report on violation.
   void debug_verify_after_add(const Production* p) const;
+  void debug_verify_after_remove(const std::string& name) const;
 
   SymbolTable syms_;
   ClassSchemas schemas_;
@@ -111,6 +144,7 @@ class CompiledNetwork {
   std::unordered_map<const Production*, AddRecord> records_;
   std::unordered_set<std::string> chunk_signatures_;  // network-wide dedup
   std::vector<Engine*> agents_;
+  uint64_t removals_ = 0;
 };
 
 }  // namespace psme

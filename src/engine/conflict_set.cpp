@@ -250,6 +250,34 @@ std::vector<const Instantiation*> ConflictSet::all() const {
   return out;
 }
 
+size_t ConflictSet::purge_production(const ProdNode* pnode) {
+  SpinGuard g(lock_);
+  size_t dropped = 0;
+  for (Node* n = head_; n != nullptr;) {
+    Node* next = n->next;
+    if (n->inst.pnode == pnode) {
+      n->inst.token.unpin();
+      unlink(n);
+      free_node(n);
+      ++dropped;
+    }
+    n = next;
+  }
+  for (Node** link = &pending_head_; *link != nullptr;) {
+    Node* pn = *link;
+    if (pn->inst.pnode == pnode) {
+      pn->inst.token.unpin();
+      *link = pn->next;
+      --pending_count_;
+      free_node(pn);
+      ++dropped;
+    } else {
+      link = &pn->next;
+    }
+  }
+  return dropped;
+}
+
 void ConflictSet::clear() {
   SpinGuard g(lock_);
   for (Node* n = head_; n != nullptr;) {

@@ -96,6 +96,14 @@ class ConflictSet final : public MatchSink {
 
   void clear();
 
+  /// Production removal's drain: discards every instantiation (fired or
+  /// not, including pending conjugate retracts) whose P-node is the removed
+  /// production's. Unpinning here is what releases the removed production's
+  /// instantiation tokens to the next epoch boundary. Does not count as
+  /// retracts — the production is gone, not refuted. Returns how many
+  /// instantiations were dropped.
+  size_t purge_production(const ProdNode* pnode);
+
  private:
   // Instantiation is the first member: the Instantiation* handles handed to
   // callers cast back to their Node (same trick as ActivationPool's slabs).

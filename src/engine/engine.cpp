@@ -200,6 +200,62 @@ uint64_t Engine::apply_runtime_update(const CompiledProduction& cp,
   return tasks;
 }
 
+Engine::RuntimeRemoveResult Engine::remove_production_runtime(
+    const Production* p) {
+  RuntimeRemoveResult res;
+#if PSME_NET_VERIFY
+  // The AST dies in finish_removal; keep the name for diagnostics.
+  const std::string name(cnet_->syms().name(p->name));
+#endif
+  obs::Span remove_span(trace_sink_, trace_track_,
+                        obs::EventKind::ProdRemove);
+  // Plan + unsplice under COW; the publish inside is the safe point. Past
+  // it the victim can never fire, but its nodes are still alive — agents
+  // drain their state against them before anything is freed.
+  const RemovePlan plan = cnet_->unsplice_cow(p, &res.refs_unspliced);
+  remove_span.set_node(plan.pnode);
+  const auto* pnode = static_cast<const ProdNode*>(net().node(plan.pnode));
+  for (Engine* agent : cnet_->agents()) {
+    // Beta memories: erase_left unpins each drained token, which is what
+    // lets the next epoch boundary reclaim the dead partial instantiations.
+    const auto counts = agent->state_.tables.purge_nodes(plan.dead_mask);
+    res.left_entries += counts.left;
+    res.right_entries += counts.right;
+    for (uint32_t mi : plan.dead_alpha_mems) {
+      // An agent that never matched since the add may not have grown its
+      // alpha array to cover this index yet — nothing to drain then.
+      if (mi >= agent->state_.alpha_count()) continue;
+      AlphaMemState& ams = agent->state_.alpha(mi);
+      SpinGuard g(ams.lock);
+      res.alpha_wmes += ams.wmes.size();
+      ams.wmes.clear(agent->state_.alpha_pool);
+    }
+    res.instantiations += agent->cs_.purge_production(pnode);
+  }
+  res.nodes_removed = plan.dead_nodes.size();
+  cnet_->finish_removal(plan, p);
+  remove_span.end();
+#if PSME_NET_VERIFY
+  debug_verify_after_remove(name);
+#endif
+  return res;
+}
+
+void Engine::debug_verify_after_remove(const std::string& name) const {
+  // The drain touched every attached agent's state, so every agent's view
+  // must be clean — not just the remover's (contrast debug_verify_after_add,
+  // where only the compile structure and the caller's state changed).
+  for (Engine* agent : cnet_->agents()) {
+    const analysis::VerifyReport rep = agent->verify_network();
+    if (rep.ok()) continue;
+    std::fprintf(stderr,
+                 "PSME_NET_VERIFY: invariant violation after removing '%s' "
+                 "(agent %u)\n%s",
+                 name.c_str(), agent->agent_id(), rep.to_string().c_str());
+    std::abort();
+  }
+}
+
 const Wme* Engine::add_wme(Symbol cls, const Value* fields, size_t n) {
   const Wme* w = wm_.add(cls, fields, n);
   pending_adds_.push_back(w);

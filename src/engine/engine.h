@@ -137,6 +137,27 @@ class Engine {
   };
   RuntimeAddResult add_production_runtime(Production&& ast);
 
+  /// Run-time removal (the dual of add_production_runtime; the query
+  /// subsystem's churn path and SoarKernel::excise both ride it). Sequence:
+  /// plan the dead-set, unsplice it under a COW publish (the safe point —
+  /// the production can never fire past it), drain EVERY attached agent's
+  /// state for the dead nodes (beta entries with their token unpins, alpha
+  /// wme lists, conflict-set instantiations), then free the nodes and drop
+  /// the record/AST. Token memory itself is reclaimed by the existing epoch
+  /// machinery: the unpins make the dead entries' chunks collectable at the
+  /// next arena reclaim boundary. Quiescent-only, like addition; pending
+  /// wme changes are allowed and stay pending (they never saw the victim).
+  /// Throws std::out_of_range for a production this network never compiled.
+  struct RuntimeRemoveResult {
+    size_t nodes_removed = 0;    // victim-owned nodes freed (incl. P-node)
+    size_t refs_unspliced = 0;   // jumptable successor entries erased
+    size_t left_entries = 0;     // beta left entries drained, all agents
+    size_t right_entries = 0;    // beta right entries drained, all agents
+    size_t alpha_wmes = 0;       // alpha-memory wmes drained, all agents
+    size_t instantiations = 0;   // CS instantiations dropped, all agents
+  };
+  RuntimeRemoveResult remove_production_runtime(const Production* p);
+
   /// Creates a wme now (visible in wm()) and queues its add for the next
   /// match(). The span form copies straight into a recycled wme (no
   /// temporary vector); the vector form delegates.
@@ -251,8 +272,9 @@ class Engine {
   /// task count; fills `res` (traces) when non-null (the learning agent).
   uint64_t apply_runtime_update(const CompiledProduction& cp,
                                 RuntimeAddResult* res);
-  /// PSME_NET_VERIFY hook: abort with the full report on violation.
+  /// PSME_NET_VERIFY hooks: abort with the full report on violation.
   void debug_verify_after_add(const Production* p) const;
+  void debug_verify_after_remove(const std::string& name) const;
 
   EngineOptions opts_;
   std::shared_ptr<CompiledNetwork> cnet_;  // owned or shared; never null

@@ -87,6 +87,7 @@ const char* event_name(EventKind kind) {
     case EventKind::Gc: return "gc";
     case EventKind::ChunkBuild: return "chunk.build";
     case EventKind::ChunkCompile: return "chunk.compile";
+    case EventKind::ProdRemove: return "prod.remove";
     case EventKind::UpdateA: return "update.A";
     case EventKind::UpdateB: return "update.B";
     case EventKind::UpdateC: return "update.C";

@@ -1,0 +1,104 @@
+// Transient-query workload: epmem-style cue matching over the live Rete.
+//
+// A cue is a partial working-memory graph written as positive condition
+// elements — "(goal ^state <s>) (block ^on <s> ^color red)". Instead of a
+// bespoke graph matcher, the cue is compiled into a TEMPORARY production
+// through the run-time addition path: the §5.2 three-phase state update that
+// brings the new production's memories up to date IS the query evaluation —
+// by the time add_production_runtime returns, every partial instantiation of
+// the cue sits in the agent's beta memories and every full instantiation in
+// its conflict set. The session then reads two things out of that state:
+//
+//   * matches: the full instantiations (each one a graph match — the wmes
+//     bound to the cue's CEs, in CE order), harvested from the conflict set;
+//   * score: the best partial-instantiation depth — how many leading
+//     positive CEs some combination of wmes satisfies. Full match scores
+//     positive_ce_count; otherwise the deepest join whose left memory holds
+//     a live token gives its arity; otherwise 1 if the first CE's alpha
+//     memory is non-empty; else 0. (This is the graded retrieval signal an
+//     epmem-style "best partial match" needs.)
+//
+// end() tears the transient production back out through the removal path
+// (Engine::remove_production_runtime) — unsplice at a COW publish, drain,
+// reclaim — leaving network and agent state exactly as before begin(). The
+// add/match/remove cycle is the churn workload bench_query measures and
+// query_churn_test soaks; it is the hot-path stress test for removal.
+//
+// Cue restrictions: positive CEs only (no `-(...)`, no `-{...}` groups) —
+// a cue describes what should be PRESENT in the graph; negation has no
+// retrieval-depth semantics. Violations throw std::invalid_argument.
+//
+// Quiescent-only, like the add/remove machinery it rides: never run a query
+// while a match cycle is in flight. begin() flushes the engine's own pending
+// wme changes first so the query sees a settled working memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace psme {
+
+/// One full instantiation of a cue: the matched wmes, in cue-CE order.
+struct QueryMatch {
+  std::vector<const Wme*> wmes;
+};
+
+struct QueryResult {
+  uint32_t score = 0;         // best partial-instantiation depth, in CEs
+  uint32_t positive_ces = 0;  // cue size; score == positive_ces on full match
+  std::vector<QueryMatch> matches;  // full graph matches (empty if partial)
+
+  /// Cost of installing / tearing down the cue (the churn numbers
+  /// bench_query aggregates).
+  Engine::RuntimeAddResult add;
+  Engine::RuntimeRemoveResult remove;
+
+  [[nodiscard]] bool full() const {
+    return positive_ces > 0 && score == positive_ces;
+  }
+};
+
+/// A query session against one agent's engine. Reusable: each ask() runs a
+/// complete add/score/remove cycle; begin()/score()/matches()/end() expose
+/// the phases separately so the bench can time them individually.
+class QuerySession {
+ public:
+  explicit QuerySession(Engine& e) : engine_(e) {}
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+  ~QuerySession();
+
+  /// Compiles `cue_ces` (one or more positive CEs, production-LHS syntax)
+  /// into a transient production and runs the §5.2 update — the evaluation.
+  /// One cue may be active per session at a time (end() the previous first).
+  Engine::RuntimeAddResult begin(std::string_view cue_ces);
+
+  /// Best partial-instantiation depth of the active cue (see file comment).
+  [[nodiscard]] uint32_t score() const;
+
+  /// Full instantiations of the active cue, deterministic order (the
+  /// conflict set's content key).
+  [[nodiscard]] std::vector<QueryMatch> matches() const;
+
+  /// Number of positive CEs in the active cue.
+  [[nodiscard]] uint32_t positive_ces() const;
+
+  /// Removes the transient production, restoring the pre-begin network.
+  Engine::RuntimeRemoveResult end();
+
+  [[nodiscard]] bool active() const { return prod_ != nullptr; }
+
+  /// The whole cycle: begin + score/matches + end.
+  QueryResult ask(std::string_view cue_ces);
+
+ private:
+  Engine& engine_;
+  const Production* prod_ = nullptr;  // the active transient production
+  uint64_t seq_ = 0;                  // uniquifies query production names
+};
+
+}  // namespace psme

@@ -28,6 +28,21 @@ class ProductionStore {
   [[nodiscard]] size_t size() const { return owned_.size(); }
   [[nodiscard]] const Production* at(size_t i) const { return owned_[i].get(); }
 
+  /// Drops the AST of a removed production (swap-with-last; order within the
+  /// store is not meaningful). Returns false if `p` was never adopted here.
+  /// Only valid once every pointer into the AST is gone — the engine calls
+  /// it after the P-node and its record are destroyed.
+  bool release(const Production* p) {
+    for (size_t i = 0; i < owned_.size(); ++i) {
+      if (owned_[i].get() == p) {
+        if (i + 1 != owned_.size()) owned_[i] = std::move(owned_.back());
+        owned_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   std::vector<std::unique_ptr<Production>> owned_;
 };

@@ -169,6 +169,19 @@ class PairedHashTables {
     }
   }
 
+  /// Production removal's memory drain: erases every entry, left and right,
+  /// whose destination node is marked in `dead` (indexed by node id).
+  /// Left erasure goes through erase_left so the token unpins — that unpin
+  /// is what lets the next epoch boundary reclaim the removed production's
+  /// partial instantiations. Quiescent-only, like the enumerators (the
+  /// engine calls it between the unsplice publish and free_node).
+  struct PurgeCounts {
+    size_t left = 0;
+    size_t right = 0;
+  };
+  PurgeCounts purge_nodes(const std::vector<uint8_t>& dead)
+      PSME_NO_THREAD_SAFETY_ANALYSIS;
+
  private:
   std::vector<Line> lines_;
   RightEntryPool right_pool_;

@@ -570,6 +570,7 @@ void Network::node_outputs_into(uint32_t node_id, const MatchState& ms,
 Network::Census Network::census() const {
   Census c;
   for (const auto& n : nodes_) {
+    if (!n) continue;  // tombstone of a removed production's node
     switch (n->type) {
       case NodeType::Const: ++c.consts; break;
       case NodeType::Disj: ++c.disjs; break;

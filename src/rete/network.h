@@ -113,32 +113,78 @@ class Network {
   Jumptable& jumptable() { return jt_; }
   [[nodiscard]] const Jumptable& jumptable() const { return jt_; }
 
-  /// Creates a node of type T; assigns the next node id and a fresh
-  /// jumptable slot. New nodes always get ids greater than all existing
-  /// nodes — the invariant the §5.2 update filter relies on. Alpha-memory
-  /// nodes additionally get the next dense mem_index: the slot their
-  /// per-agent state occupies in every MatchState.
+  /// Creates a node of type T; assigns the next node id and a jumptable
+  /// slot. New nodes always get ids greater than all existing nodes — the
+  /// invariant the §5.2 update filter relies on, which is why removed nodes
+  /// are tombstoned (free_node) and ids never recycled. Jumptable slots and
+  /// alpha mem_indexes, by contrast, ARE recycled from removal's free lists:
+  /// both are dense resources whose per-agent state is drained before the
+  /// slot is freed, so reuse keeps the dispatch table and every MatchState's
+  /// alpha array flat under add/remove churn. Alpha-memory nodes get a dense
+  /// mem_index: the slot their per-agent state occupies in every MatchState.
   template <typename T>
   T* make_node() {
     auto owned = std::make_unique<T>();
     T* n = owned.get();
     n->id = static_cast<uint32_t>(nodes_.size());
-    n->jt_slot = jt_.new_slot();
+    if (free_slots_.empty()) {
+      n->jt_slot = jt_.new_slot();
+    } else {
+      n->jt_slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
     if constexpr (std::is_same_v<T, AlphaMemNode>) {
-      n->mem_index = alpha_mem_count_++;
+      if (free_mem_indexes_.empty()) {
+        n->mem_index = alpha_mem_count_++;
+      } else {
+        n->mem_index = free_mem_indexes_.back();
+        free_mem_indexes_.pop_back();
+      }
     }
     nodes_.push_back(std::move(owned));
     return n;
   }
 
+  /// Tombstones a removed node: recycles its jumptable slot (which must be
+  /// empty — the unsplice erased every entry, and a dead node's successors
+  /// are dead too) and, for alpha memories, its mem_index; then frees the
+  /// node. node(id) returns nullptr forever after — the id itself is never
+  /// reused, preserving the make_node invariant the §5.2 update filter
+  /// depends on. Caller contract (Engine::remove_production_runtime): the
+  /// node is unspliced from the published jumptable and every agent's state
+  /// for it has been drained.
+  void free_node(uint32_t id) {
+    Node* n = nodes_[id].get();
+    assert(n != nullptr && "free_node: node already freed");
+    assert(jt_.peek(n->jt_slot).empty() && "free_node: slot not unspliced");
+    free_slots_.push_back(n->jt_slot);
+    if (n->type == NodeType::AlphaMem) {
+      free_mem_indexes_.push_back(static_cast<AlphaMemNode*>(n)->mem_index);
+    }
+    nodes_[id].reset();
+    ++freed_nodes_;
+  }
+
   /// How many alpha memories exist (every MatchState sizes its alpha-state
-  /// array to this via ensure_alpha at drain boundaries).
+  /// array to this via ensure_alpha at drain boundaries). Counts recycled
+  /// indexes once: removal returns a mem_index to the free list instead of
+  /// shrinking this.
   [[nodiscard]] uint32_t alpha_mem_count() const { return alpha_mem_count_; }
 
+  /// Null for tombstoned (removed) ids; loops over the id space must skip.
   [[nodiscard]] Node* node(uint32_t id) { return nodes_[id].get(); }
   [[nodiscard]] const Node* node(uint32_t id) const { return nodes_[id].get(); }
   [[nodiscard]] uint32_t node_count() const {
     return static_cast<uint32_t>(nodes_.size());
+  }
+  /// Nodes minus tombstones (diagnostics; the churn tests assert flatness).
+  [[nodiscard]] uint32_t live_node_count() const {
+    return static_cast<uint32_t>(nodes_.size()) - freed_nodes_;
+  }
+  /// Recycled-resource watermarks (diagnostics).
+  [[nodiscard]] size_t free_slot_count() const { return free_slots_.size(); }
+  [[nodiscard]] size_t free_mem_index_count() const {
+    return free_mem_indexes_.size();
   }
 
   /// Jumptable slot holding the entry nodes for wmes of class `cls`.
@@ -223,6 +269,10 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<Symbol, uint32_t> roots_;  // class -> jumptable slot
   uint32_t alpha_mem_count_ = 0;
+  uint32_t freed_nodes_ = 0;
+  // Removal's recycling pools, consumed LIFO by make_node.
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> free_mem_indexes_;
 };
 
 }  // namespace psme

@@ -12,6 +12,7 @@
 // successor entries into existing slots — no other structure is touched.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -125,6 +126,27 @@ class Jumptable {
   void abort_cow() {
     staged_.reset();
     cow_active_ = false;
+  }
+
+  /// Production removal's unsplice: erases every successor entry targeting a
+  /// node marked in `dead` (indexed by node id) from every slot. During a
+  /// COW edit this mutates the staged table, so a removal publishes
+  /// atomically exactly like an addition — matchers only ever observe the
+  /// production fully present or fully gone. A dead node's own slot ends up
+  /// empty as a corollary (its successors are provably dead too), which is
+  /// what lets Network::free_node recycle the slot. Returns entries erased.
+  size_t erase_refs(const std::vector<uint8_t>& dead) {
+    Slots& t = table();
+    size_t erased = 0;
+    for (auto& slot : t) {
+      auto keep = std::remove_if(
+          slot.begin(), slot.end(), [&](const SuccessorRef& r) {
+            return r.node < dead.size() && dead[r.node] != 0;
+          });
+      erased += static_cast<size_t>(slot.end() - keep);
+      slot.erase(keep, slot.end());
+    }
+    return erased;
   }
 
   [[nodiscard]] bool cow_active() const { return cow_active_; }

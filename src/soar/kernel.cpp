@@ -242,10 +242,11 @@ void SoarKernel::flush_chunks(SoarRunStats& stats) {
     if (!chunk) continue;
     // Network-wide dedup: a signature any attached agent already compiled
     // into the shared Rete is skipped here too.
-    if (!engine_.network().note_chunk_signature(std::move(sig))) continue;
+    if (!engine_.network().note_chunk_signature(sig)) continue;
     stats.chunk_texts.push_back(
         production_to_text(*chunk, engine_.syms(), engine_.schemas()));
     auto res = engine_.add_production_runtime(std::move(*chunk));
+    chunk_sigs_.emplace(res.prod, std::move(sig));
     ++stats.chunks_built;
     SoarRunStats::ChunkCost cost;
     cost.compile_seconds = res.compile_seconds;
@@ -261,6 +262,26 @@ void SoarKernel::flush_chunks(SoarRunStats& stats) {
     stats.update_c.push_back(std::move(res.c));
   }
   pending_results_.clear();
+}
+
+Engine::RuntimeRemoveResult SoarKernel::excise(const Production* p) {
+  // Provenance first: the map holds pinned tokens whose nodes the removal
+  // drain is about to make reclaimable. The wmes keep their level and stay
+  // live — only the backtrace trail to this production is severed.
+  for (auto it = provenance_.begin(); it != provenance_.end();) {
+    if (it->second.prod == p) {
+      it->second.token.unpin();
+      it = provenance_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto sig = chunk_sigs_.find(p);
+  if (sig != chunk_sigs_.end()) {
+    engine_.network().forget_chunk_signature(sig->second);
+    chunk_sigs_.erase(sig);
+  }
+  return engine_.remove_production_runtime(p);
 }
 
 void SoarKernel::elaborate(SoarRunStats& stats) {

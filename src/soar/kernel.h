@@ -137,6 +137,17 @@ class SoarKernel {
   // ---- main loop ---------------------------------------------------------
   SoarRunStats run();
 
+  // ---- production removal ------------------------------------------------
+  /// Excises a production at run time: scrubs the provenance of every wme it
+  /// created (the chunker must never backtrace into a torn-down
+  /// instantiation), removes it from the live Rete through
+  /// Engine::remove_production_runtime, and — if it was a chunk this network
+  /// learned — forgets its dedup signature so an identical chunk can be
+  /// re-learned later. The wmes themselves stay in working memory: Soar
+  /// results outlive their creators (they are retracted by goal GC, not by
+  /// production removal).
+  Engine::RuntimeRemoveResult excise(const Production* p);
+
   // ---- introspection (tests/benches) --------------------------------------
   struct GoalEntry {
     Symbol id;
@@ -227,7 +238,9 @@ class SoarKernel {
   };
   std::vector<PendingResult> pending_results_;
   // Chunk signature dedup lives on the shared CompiledNetwork (network-wide
-  // across agent sessions), not here.
+  // across agent sessions), not here. This map only remembers which signature
+  // each locally-built chunk carries, so excise() can release it.
+  std::unordered_map<const Production*, std::string> chunk_sigs_;
   std::vector<const Instantiation*> unfired_scratch_;  // per-elab harvest
   int current_fire_level_ = 1;
 

@@ -48,7 +48,7 @@ const analysis::Violation* find_violation(const VerifyReport& rep, Check check,
 
 uint32_t find_node(const Network& net, NodeType type, uint32_t skip = 0) {
   for (uint32_t i = 0; i < net.node_count(); ++i) {
-    if (net.node(i)->type == type) {
+    if (net.node(i) != nullptr && net.node(i)->type == type) {
       if (skip == 0) return i;
       --skip;
     }
@@ -288,6 +288,94 @@ TEST(Corruption, StaleTableEntryIsReported) {
   ASSERT_NE(v, nullptr);
   EXPECT_NE(v->message.find("stale left-table entry"), std::string::npos);
   EXPECT_NE(v->message.find("4242"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Botched-unsplice corpus: each way a production removal can go wrong leaves
+// a tombstone-referencing needle the verifier must find (the removal oracle).
+// ---------------------------------------------------------------------------
+
+TEST(Corruption, DanglingUnspliceRefIsReported) {
+  Engine e;
+  e.load(
+      "(p keep (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p victim (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))");
+  const uint32_t victim_pnode =
+      e.record(e.productions()[1]).compiled.pnode;
+  e.remove_production_runtime(e.productions()[1]);
+  ASSERT_TRUE(e.verify_network().ok());  // the real removal is clean
+
+  // Re-splice a ref to the tombstoned P-node: the signature of an unsplice
+  // that missed a slot.
+  const uint32_t join = find_node(e.net(), NodeType::Join);
+  e.net().jumptable().add(e.net().node(join)->jt_slot,
+                          SuccessorRef{victim_pnode, Side::Left});
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Resolution, join,
+                                 "dangling unsplice");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("removed node"), std::string::npos);
+}
+
+TEST(Corruption, OrphanedNccPartnerIsReported) {
+  Engine e;
+  e.load("(p p1 (a ^v <x>) -{ (b ^v <x>) (c ^v <x>) } --> (halt))");
+  const uint32_t owner = find_node(e.net(), NodeType::Ncc);
+  const uint32_t pnode = find_node(e.net(), NodeType::Prod);
+
+  // Simulate a removal that freed the NCC owner (and its successor P-node)
+  // but forgot the partner: the partner survives pointing at a tombstone.
+  std::vector<uint8_t> dead(e.net().node_count(), 0);
+  dead[owner] = 1;
+  dead[pnode] = 1;
+  e.net().jumptable().erase_refs(dead);
+  e.net().free_node(pnode);
+  e.net().free_node(owner);
+
+  const VerifyReport rep = e.verify_network();
+  const auto* v =
+      find_violation(rep, Check::NegationPair, "orphaned NCC partner");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("removed node"), std::string::npos);
+}
+
+TEST(Corruption, LeftoverMemoryEntryAfterRemovalIsReported) {
+  Engine e;
+  e.load(
+      "(p keep (a ^v <x>) (b ^v <x>) --> (halt))\n"
+      "(p victim (a ^v <x>) (c ^v <x>) --> (halt))");
+  e.add_wme_text("(a ^v 1)");
+  e.match();  // a left entry waits at each production's join
+
+  // The victim's own (unshared) join dies with it.
+  const auto& cp = e.record(e.productions()[1]).compiled;
+  uint32_t victim_join = UINT32_MAX;
+  for (const uint32_t id : cp.new_nodes) {
+    if (e.net().node(id)->type == NodeType::Join) victim_join = id;
+  }
+  ASSERT_NE(victim_join, UINT32_MAX);
+  e.remove_production_runtime(e.productions()[1]);
+  ASSERT_TRUE(e.verify_network().ok());
+
+  // Resurrect a memory entry for the dead join: the signature of a drain
+  // that missed a line.
+  bool corrupted = false;
+  auto& tables = e.state().tables;
+  for (size_t i = 0; i < tables.line_count() && !corrupted; ++i) {
+    auto& line = tables.line_at(i);
+    SpinGuard g(line.lock);
+    for (auto& entry : line.left) {
+      entry.node_id = victim_join;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "expected a surviving left entry after removal";
+  const VerifyReport rep = e.verify_network();
+  const auto* v = find_violation(rep, Check::Resolution,
+                                 "memory not drained before removal");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("removed node"), std::string::npos);
 }
 
 // Every corpus corruption yields a *distinct* leading diagnostic: the same

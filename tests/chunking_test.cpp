@@ -2,6 +2,7 @@
 // chunks are installed at run time and transfer to later situations.
 #include <gtest/gtest.h>
 
+#include "analysis/verify.h"
 #include "soar/kernel.h"
 
 namespace psme {
@@ -191,6 +192,45 @@ TEST(Chunking, ChunkConditionsAreAnchored) {
     EXPECT_NE(text.find("(pref"), std::string::npos) << text;
     EXPECT_NE(text.find("(make pref"), std::string::npos) << text;
   }
+}
+
+TEST(Chunking, ExciseRemovesChunkAndReleasesSignature) {
+  SoarOptions opts;
+  opts.learning = true;
+  opts.max_decisions = 40;
+  SoarKernel k(opts);
+  k.load_productions(chunking_task_productions());
+  init_chunking_task(k);
+  const auto stats = k.run();
+  ASSERT_GE(stats.chunks_built, 1u);
+
+  Engine& e = k.engine();
+  const size_t prods_before = e.productions().size();
+  const uint32_t live_before = e.net().live_node_count();
+
+  // The chunk is the last production adopted.
+  const Production* chunk = e.productions().back();
+  const auto res = k.excise(chunk);
+  EXPECT_GT(res.nodes_removed, 0u);
+  EXPECT_EQ(e.productions().size(), prods_before - 1);
+  EXPECT_LT(e.net().live_node_count(), live_before);
+  const auto rep = e.verify_network();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+
+  // The signature was forgotten: an identical chunk can be re-learned (the
+  // network-wide dedup would otherwise silently swallow it forever).
+  ASSERT_FALSE(stats.chunk_texts.empty());
+  const size_t before_reload = e.productions().size();
+  k.load_productions(stats.chunk_texts.back());
+  EXPECT_EQ(e.productions().size(), before_reload + 1);
+
+  // Excising a task production (never a chunk) also works: provenance is
+  // scrubbed without disturbing working memory.
+  const size_t wm_size = e.wm().live().size();
+  k.excise(e.productions().front());
+  EXPECT_EQ(e.wm().live().size(), wm_size);
+  const auto rep2 = e.verify_network();
+  EXPECT_TRUE(rep2.ok()) << rep2.to_string();
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Differential test across all match policies: a seeded, randomized stream
-// of wme adds, wme removes, and run-time production additions (the chunking
-// path's §5.2 state update) is applied identically to six engines — serial,
+// of wme adds, wme removes, run-time production additions (the chunking
+// path's §5.2 state update), and run-time production REMOVALS (the COW
+// unsplice + drain path) is applied identically to six engines — serial,
 // Single, Multi, and three Steal tunings (2 workers each): the default,
 // split-every-link (chain_split_depth 1, with the backoff ladder disabled so
 // every failed sweep goes straight to the park ticket), and never-split
@@ -152,18 +153,18 @@ std::string run_seed(uint64_t seed, size_t max_ops, size_t* fail_op,
 
   for (size_t op = 0; op < max_ops; ++op) {
     const uint32_t kind = rng.below(100);
-    if (kind < 45) {
+    if (kind < 40) {
       const std::string text = std::string("(") + kClasses[rng.below(3)] +
                                " ^v " + std::to_string(rng.below(4)) + ")";
       for (auto& e : es) e->add_wme_text(text);
-    } else if (kind < 70) {
+    } else if (kind < 65) {
       // Remove the k-th live wme. live() is timetag-ordered and the engines
       // share the op history, so index k names the same wme in all four.
       const size_t n_live = es[0]->wm().live().size();
       if (n_live == 0) continue;
       const uint32_t k = rng.below(static_cast<uint32_t>(n_live));
       for (auto& e : es) e->remove_wme(e->wm().live()[k]);
-    } else if (kind < 80) {
+    } else if (kind < 75) {
       // Run-time production addition. Flush pending changes first so the
       // §5.2 update sees a WM the network has already matched.
       const std::string text = chunk_text(
@@ -174,6 +175,23 @@ std::string run_seed(uint64_t seed, size_t max_ops, size_t* fail_op,
         Parser parser(e->syms(), e->schemas(), test_rhs_arena());
         auto parsed = parser.parse_file(text);
         e->add_production_runtime(std::move(parsed[0]));
+      }
+      const std::string diff = compare_engines(es);
+      if (!diff.empty()) {
+        *fail_op = op;
+        return diff;
+      }
+    } else if (kind < 85) {
+      // Run-time production removal: unsplice the k-th production (base and
+      // run-time-added ones alike — productions() is in identical order on
+      // every engine). The drain must leave all six engines agreeing on CS,
+      // left-memory population, WM and production set.
+      const size_t n_prods = es[0]->productions().size();
+      if (n_prods == 0) continue;
+      const uint32_t k = rng.below(static_cast<uint32_t>(n_prods));
+      for (auto& e : es) {
+        e->match();
+        e->remove_production_runtime(e->productions()[k]);
       }
       const std::string diff = compare_engines(es);
       if (!diff.empty()) {

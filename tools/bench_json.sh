@@ -7,7 +7,9 @@
 # splitting vs split-every-link vs never-split, plus the VP sweep to 256),
 # and bench_multiagent (N agent sessions over one shared network and one
 # 8-worker pool: aggregate agent-cycles/sec and p99 step latency vs
-# session count).
+# session count), and bench_query (transient-query churn: add/match/remove
+# cycles through the run-time production removal path, swept over steal
+# workers × agent sessions).
 #
 # Each bench writes to a temp file that is validated (python3 -m json.tool)
 # and only then moved into place, so a crashing or interrupted bench can
@@ -23,7 +25,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset default >/dev/null
 cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens \
-  --target bench_longchain --target bench_multiagent
+  --target bench_longchain --target bench_multiagent --target bench_query
 
 # run_bench <binary> <output.json> [args...]: capture, validate, then commit.
 run_bench() {
@@ -56,3 +58,5 @@ run_bench build/bench/bench_longchain BENCH_longchain.json
 # bench_multiagent's wave is per agent per cycle (default 6) — its defaults
 # are tuned for the serving sweep, so don't forward the scheduler workload.
 run_bench build/bench/bench_multiagent BENCH_multiagent.json
+# bench_query takes cycles-per-session/reps — defaults are CI-sized.
+run_bench build/bench/bench_query BENCH_query.json

@@ -5,12 +5,18 @@
 //   network_lint --file my_rules.soar     # any production source file
 //   network_lint --json reports/          # also write <dir>/LINT_<name>.json
 //   network_lint --budget-us 5e5 --budget-depth 12 --strict-budget
+//   network_lint --cue "(block ^name <b>) (block ^on <b>)" eight-puzzle
 //
 // For every network: loads the productions into a fresh engine, runs the
 // structural verifier (src/analysis/verify.h), runs the cost linter
 // (src/analysis/cost_lint.h), prints the human table, and optionally writes
 // the machine-readable JSON report (src/analysis/report_json.h — the format
 // CI archives and tests golden-file).
+//
+// --cue installs the given positive CEs as a TRANSIENT query production
+// (src/query) before linting, so its row in the cost table prices what one
+// query against that network costs per wme change — then removes it and
+// re-verifies, proving the add/remove cycle leaves the network clean.
 //
 // Exit codes: 0 all clean; 1 verifier violations (or, with --strict-budget,
 // productions over budget); 2 usage/IO error.
@@ -26,6 +32,7 @@
 #include "analysis/report_json.h"
 #include "analysis/verify.h"
 #include "engine/engine.h"
+#include "query/query.h"
 #include "tasks/registry.h"
 
 namespace {
@@ -34,6 +41,7 @@ struct Options {
   std::vector<std::string> tasks;       // registry names
   std::vector<std::string> files;       // production source files
   std::string json_dir;                 // empty: no JSON output
+  std::string cue;                      // empty: no transient query priced
   psme::analysis::CostBudget budget;
   bool strict_budget = false;
   bool quiet = false;
@@ -44,6 +52,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [tasks...] [--file <src>] [--json <dir>] [--budget-us N]\n"
       "       [--budget-depth N] [--wme-bound N] [--strict-budget] [--quiet]\n"
+      "       [--cue \"<positive CEs>\"]\n"
       "tasks: ",
       argv0);
   for (const auto& name : psme::task_names()) {
@@ -63,6 +72,19 @@ int lint_one(const std::string& name, const std::string& src,
     std::fprintf(stderr, "network_lint: %s: load failed: %s\n", name.c_str(),
                  e.what());
     return 2;
+  }
+
+  // A --cue becomes a transient query production: present in the records
+  // while we verify and lint (so the table prices it), removed afterwards.
+  psme::QuerySession query(engine);
+  if (!opt.cue.empty()) {
+    try {
+      query.begin(opt.cue);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "network_lint: %s: bad --cue: %s\n", name.c_str(),
+                   e.what());
+      return 2;
+    }
   }
 
   const psme::analysis::VerifyReport verify = engine.verify_network();
@@ -127,6 +149,25 @@ int lint_one(const std::string& name, const std::string& src,
     if (!opt.quiet) std::printf("wrote %s\n", path.c_str());
   }
 
+  // Tear the transient query back out and prove the removal left no
+  // residue — the CLI face of the removal oracle.
+  if (query.active()) {
+    const auto rm = query.end();
+    const psme::analysis::VerifyReport after = engine.verify_network();
+    if (!opt.quiet) {
+      std::printf(
+          "cue removed: %zu node(s), %zu jumptable ref(s) unspliced; "
+          "network %s\n",
+          rm.nodes_removed, rm.refs_unspliced,
+          after.ok() ? "clean" : "DIRTY");
+    }
+    if (!after.ok()) {
+      std::fprintf(stderr, "network_lint: %s: residue after cue removal: %s",
+                   name.c_str(), after.to_string().c_str());
+      return 1;
+    }
+  }
+
   if (!verify.ok()) return 1;
   if (opt.strict_budget && lint.flagged != 0) return 1;
   return 0;
@@ -157,6 +198,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--wme-bound") {
       opt.budget.wme_bound =
           static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--cue") {
+      opt.cue = value();
     } else if (arg == "--strict-budget") {
       opt.strict_budget = true;
     } else if (arg == "--quiet") {
