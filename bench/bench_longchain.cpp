@@ -146,6 +146,7 @@ ParResult run_parallel(size_t workers, const StealTuning& tuning, int rounds,
   settle_rhs(e, values);
   ParallelMatcher matcher(e.net(), workers, TaskQueueSet::Policy::Steal,
                           nullptr, tuning);
+  matcher.register_agent(e.state());
   const auto heads = head_texts(values);
   r.cs_ok = true;
   for (int round = 0; round < rounds; ++round) {

@@ -22,11 +22,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/profile_report.h"
 #include "engine/agent_group.h"
 #include "harness.h"
+#include "obs/profiler.h"
+#include "par/parallel_match.h"
 
 using namespace psme;
 using namespace psme::bench;
@@ -71,6 +75,7 @@ struct Record {
   double p50_ms = 0, p99_ms = 0;  // step latency percentiles
   uint64_t tasks = 0;             // scheduler tasks over the window
   double agent_cycles_per_sec = 0;
+  analysis::ProfileReport prof;   // only filled by profiled runs
 };
 
 double percentile(std::vector<double>& v, double p) {
@@ -80,10 +85,18 @@ double percentile(std::vector<double>& v, double p) {
   return v[std::min(idx, v.size() - 1)];
 }
 
-Record run_config(size_t agents, size_t workers, int rounds, int wave) {
+/// `profile_shift` < 0 runs with the profiler off; >= 0 turns the group's
+/// shared match profiler on at that sampling shift and fills Record::prof
+/// (per-production AND per-agent attribution over the shared shards).
+Record run_config(size_t agents, size_t workers, int rounds, int wave,
+                  int profile_shift = -1) {
   AgentGroupOptions gopts;
   gopts.workers = workers;
   gopts.policy = TaskQueueSet::Policy::Steal;
+  if (profile_shift >= 0) {
+    gopts.profile = true;
+    gopts.profile_sample_shift = static_cast<uint32_t>(profile_shift);
+  }
   AgentGroup group(gopts);
   for (size_t a = 0; a < agents; ++a) group.add_agent();
   group.load(bench_productions());
@@ -117,6 +130,11 @@ Record run_config(size_t agents, size_t workers, int rounds, int wave) {
       r.wall_seconds > 0
           ? static_cast<double>(agents) * r.steps / r.wall_seconds
           : 0;
+  if (group.profiler() != nullptr) {
+    r.prof = analysis::build_profile_report(group.agent(0).net(),
+                                            group.agent(0).all_records(),
+                                            group.profiler()->snapshot());
+  }
   return r;
 }
 
@@ -164,6 +182,82 @@ int main(int argc, char** argv) {
                "(acceptance floor 2.0x)\n",
                ratio16);
 
+  // Profiled 16-session run (sampled 1 in 64): the shared profiler's
+  // per-agent cells attribute the shared pool's work back to individual
+  // sessions — the multi-tenant attribution surface. Overhead is measured
+  // against the profiler-off 16-session record above.
+  Record prof16;
+  for (int rep = 0; rep < reps; ++rep) {
+    Record one = run_config(16, workers, rounds, wave, /*profile_shift=*/6);
+    if (rep == 0 || one.wall_seconds < prof16.wall_seconds) {
+      prof16 = std::move(one);
+    }
+  }
+  double wall_off16 = 0;
+  for (const Record& r : records) {
+    if (r.agents == 16) wall_off16 = r.wall_seconds;
+  }
+  const double prof_overhead_pct =
+      wall_off16 > 0 ? (prof16.wall_seconds - wall_off16) / wall_off16 * 100.0
+                     : 0.0;
+  std::fprintf(stderr,
+               "\nprofiled 16 sessions (sampled 1/64): wall %.2f ms vs "
+               "%.2f ms off (%+.1f%%); per-agent attribution:\n",
+               prof16.wall_seconds * 1e3, wall_off16 * 1e3, prof_overhead_pct);
+  for (const analysis::AgentProfile& a : prof16.prof.agents) {
+    std::fprintf(stderr, "  agent %2u: %10llu activations %12.2f est_us\n",
+                 a.agent, static_cast<unsigned long long>(a.activations),
+                 a.est_us);
+  }
+
+  // Per-phase attribution across Soar sessions over one shared network and
+  // one shared pool: Elaborate drains through the parallel matcher; Decide
+  // and GC run serially between drains. Their aggregate share at 16 sessions
+  // answers the ROADMAP question of whether the serial gap matters at scale.
+  const int soar_sessions = argc > 4 ? std::atoi(argv[4]) : 16;
+  uint64_t ph_elab_ns = 0, ph_dec_ns = 0, ph_gc_ns = 0, ph_decisions = 0;
+  bool soar_all_solved = true;
+  {
+    const Task task = make_task("eight-puzzle");
+    auto cnet = std::make_shared<CompiledNetwork>();
+    ParallelMatcher matcher(cnet->net(), workers,
+                            TaskQueueSet::Policy::Steal);
+    std::vector<std::unique_ptr<SoarKernel>> kernels;  // sessions stay attached
+    for (int a = 0; a < soar_sessions; ++a) {
+      SoarOptions sopts;
+      sopts.learning = true;
+      sopts.max_decisions = task.max_decisions;
+      kernels.push_back(std::make_unique<SoarKernel>(sopts, cnet, &matcher));
+      SoarKernel& k = *kernels.back();
+      if (a == 0) k.load_productions(task.productions);
+      task.init(k);
+      const SoarRunStats st = k.run();
+      ph_elab_ns += st.elaborate_ns;
+      ph_dec_ns += st.decide_ns;
+      ph_gc_ns += st.gc_ns;
+      ph_decisions += st.decisions;
+      soar_all_solved = soar_all_solved && st.goal_achieved;
+    }
+  }
+  const uint64_t ph_total_ns = ph_elab_ns + ph_dec_ns + ph_gc_ns;
+  const double serial_share_pct =
+      ph_total_ns > 0
+          ? 100.0 * static_cast<double>(ph_dec_ns + ph_gc_ns) /
+                static_cast<double>(ph_total_ns)
+          : 0.0;
+  std::fprintf(
+      stderr,
+      "\nsoar phase attribution (%d eight-puzzle sessions, shared network, "
+      "%zu workers): elaborate %.2f ms (%.1f%%), decide %.2f ms (%.1f%%), "
+      "gc %.2f ms (%.1f%%) over %llu decisions — serial decide+gc share "
+      "%.1f%%%s\n",
+      soar_sessions, workers, ph_elab_ns / 1e6,
+      ph_total_ns > 0 ? 100.0 * ph_elab_ns / ph_total_ns : 0.0,
+      ph_dec_ns / 1e6, ph_total_ns > 0 ? 100.0 * ph_dec_ns / ph_total_ns : 0.0,
+      ph_gc_ns / 1e6, ph_total_ns > 0 ? 100.0 * ph_gc_ns / ph_total_ns : 0.0,
+      static_cast<unsigned long long>(ph_decisions), serial_share_pct,
+      soar_all_solved ? "" : "  (!! some sessions unsolved)");
+
   JsonWriter j(stdout);
   j.begin_object();
   j.field("bench", "multiagent");
@@ -188,6 +282,37 @@ int main(int argc, char** argv) {
   }
   j.end_array();
   j.field("speedup_16_vs_1", ratio16);
+  // Profiled 16-session run: overhead plus per-agent attribution through
+  // the shared profiler's agent cells.
+  j.begin_object("profile");
+  j.field("agents", static_cast<uint64_t>(16));
+  j.field("sample_shift", static_cast<uint64_t>(6));
+  j.field("wall_off_seconds", wall_off16);
+  j.field("wall_profiled_seconds", prof16.wall_seconds);
+  j.field("overhead_pct", prof_overhead_pct);
+  write_profile(j, "sampled", prof16.prof);
+  j.begin_array("per_agent");
+  for (const analysis::AgentProfile& a : prof16.prof.agents) {
+    j.begin_object();
+    j.field("agent", static_cast<uint64_t>(a.agent));
+    j.field("acts", a.activations);
+    j.field("est_us", a.est_us);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  // Per-phase attribution of the Soar-sessions run (elaborate drains the
+  // shared pool; decide and gc are the serial gap between drains).
+  j.begin_object("soar_phases");
+  j.field("sessions", static_cast<uint64_t>(soar_sessions));
+  j.field("task", "eight-puzzle");
+  j.field("decisions", ph_decisions);
+  j.field("elaborate_ns", ph_elab_ns);
+  j.field("decide_ns", ph_dec_ns);
+  j.field("gc_ns", ph_gc_ns);
+  j.field("serial_decide_gc_share_pct", serial_share_pct);
+  j.field("all_solved", soar_all_solved ? "true" : "false");
+  j.end_object();
   j.end_object();
   j.finish();
 

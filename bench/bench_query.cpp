@@ -24,6 +24,7 @@
 
 #include "engine/agent_group.h"
 #include "harness.h"
+#include "obs/profiler.h"
 #include "query/query.h"
 
 using namespace psme;
@@ -208,6 +209,82 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-CE measured join cost: a dedicated non-timed pass with the group's
+  // profiler at full rate (shift 0 — exact, no scaling). For each cue in the
+  // rotation: snapshot, install the cue (the §5.2 update IS the evaluation),
+  // resolve its per-CE anchor nodes (QuerySession::ce_join_nodes), snapshot
+  // again — the node-cell diff isolates what THIS query cost at each CE's
+  // join even when the prefix is shared with a resident production, and the
+  // snapshot window sidesteps the recycled-node-id caveat across cues.
+  struct CeCost {
+    uint32_t node = UINT32_MAX;
+    uint64_t acts = 0;
+    double est_us = 0;
+  };
+  struct CueCosts {
+    std::string cue;
+    uint32_t score = 0;
+    std::vector<CeCost> ces;
+  };
+  std::vector<CueCosts> per_ce;
+  {
+    AgentGroupOptions gopts;
+    gopts.workers = 8;
+    gopts.policy = TaskQueueSet::Policy::Steal;
+    gopts.profile = true;
+    gopts.profile_sample_shift = 0;
+    AgentGroup group(gopts);
+    group.add_agent();
+    group.load(resident_productions());
+    seed_episode(group.agent(0), 0, 24);
+    group.step_all();
+    QuerySession q(group.agent(0));
+    obs::ProfileSnapshot before, after;
+    for (int c = 0; c < 3; ++c) {
+      group.profiler()->snapshot_into(before);
+      q.begin(cue_for(c));
+      const std::vector<uint32_t> anchors = q.ce_join_nodes();
+      CueCosts cc;
+      cc.cue = cue_for(c);
+      cc.score = q.score();
+      (void)q.matches();
+      group.profiler()->snapshot_into(after);
+      for (const uint32_t id : anchors) {
+        CeCost ce;
+        ce.node = id;
+        if (id != UINT32_MAX && id < after.nodes.size()) {
+          const obs::ProfileCell& na = after.nodes[id];
+          obs::ProfileCell nb;
+          if (id < before.nodes.size()) nb = before.nodes[id];
+          ce.acts = na.activations - nb.activations;
+          ce.est_us = (obs::ProfileSnapshot::est_ns(na) -
+                       obs::ProfileSnapshot::est_ns(nb)) /
+                      1e3;
+        }
+        cc.ces.push_back(ce);
+      }
+      q.end();
+      per_ce.push_back(std::move(cc));
+    }
+  }
+  std::fprintf(stderr, "\nper-CE measured join cost (full-rate profiler, "
+                       "snapshot-diff per cue):\n");
+  for (const CueCosts& cc : per_ce) {
+    std::fprintf(stderr, "  cue \"%s\" (score %u):\n", cc.cue.c_str(),
+                 cc.score);
+    for (size_t i = 0; i < cc.ces.size(); ++i) {
+      const CeCost& ce = cc.ces[i];
+      if (ce.node == UINT32_MAX) {
+        std::fprintf(stderr, "    ce %zu: (unresolved)\n", i);
+      } else {
+        std::fprintf(stderr,
+                     "    ce %zu: node %u, %llu activations, %.2f est_us\n",
+                     i, ce.node, static_cast<unsigned long long>(ce.acts),
+                     ce.est_us);
+      }
+    }
+  }
+
   JsonWriter j(stdout);
   j.begin_object();
   j.field("bench", "query");
@@ -230,6 +307,30 @@ int main(int argc, char** argv) {
     j.end_object();
   }
   j.end_array();
+  // The per-CE measured join costs from the profiled pass above.
+  j.begin_object("profile");
+  j.field("sample_shift", static_cast<uint64_t>(0));
+  j.begin_array("per_ce");
+  for (const CueCosts& cc : per_ce) {
+    j.begin_object();
+    j.field("cue", cc.cue);
+    j.field("score", static_cast<uint64_t>(cc.score));
+    j.begin_array("ces");
+    for (size_t i = 0; i < cc.ces.size(); ++i) {
+      const CeCost& ce = cc.ces[i];
+      j.begin_object();
+      j.field("ce", static_cast<uint64_t>(i));
+      j.field("resolved", ce.node == UINT32_MAX ? "false" : "true");
+      j.field("node", static_cast<uint64_t>(ce.node));
+      j.field("acts", ce.acts);
+      j.field("est_us", ce.est_us);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
   j.end_object();
   j.finish();
   return 0;

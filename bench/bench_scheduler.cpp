@@ -19,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/profile_report.h"
 #include "engine/engine.h"
 #include "harness.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "par/parallel_match.h"
 
 using namespace psme;
@@ -59,6 +61,7 @@ struct Record {
   size_t workers = 0;
   ParallelStats stats;  // accumulated over all cycles
   size_t cs_size = 0;   // final conflict-set size (cross-config check)
+  analysis::ProfileReport prof;  // only filled by profiled runs
 };
 
 const char* policy_name(TaskQueueSet::Policy p) {
@@ -72,16 +75,20 @@ const char* policy_name(TaskQueueSet::Policy p) {
 
 /// Runs the full wave script on a fresh engine through one persistent
 /// matcher; every configuration sees the identical workload. A non-null
-/// `tracer` records per-worker task/steal/park events (the PSME_TRACE run).
+/// `tracer` records per-worker task/steal/park events (the PSME_TRACE run);
+/// a non-null `profiler` attributes per-node measured cost and the Record
+/// carries the per-production report built from its final snapshot.
 Record run_config(TaskQueueSet::Policy policy, size_t workers, int rounds,
-                  int wave, obs::Tracer* tracer = nullptr) {
+                  int wave, obs::Tracer* tracer = nullptr,
+                  obs::MatchProfiler* profiler = nullptr) {
   Record r;
   r.policy = policy_name(policy);
   r.workers = workers;
 
   Engine e;
   e.load(bench_productions());
-  ParallelMatcher matcher(e.net(), workers, policy, tracer);
+  ParallelMatcher matcher(e.net(), workers, policy, tracer, {}, profiler);
+  matcher.register_agent(e.state());
 
   auto accumulate = [&r](const ParallelStats& st) { r.stats.accumulate(st); };
 
@@ -119,6 +126,10 @@ Record run_config(TaskQueueSet::Policy policy, size_t workers, int rounds,
     }
   }
   r.cs_size = e.cs().size();
+  if (profiler != nullptr) {
+    r.prof = analysis::build_profile_report(e.net(), e.all_records(),
+                                            profiler->snapshot());
+  }
   return r;
 }
 
@@ -274,6 +285,64 @@ int main(int argc, char** argv) {
                  any_dropped ? "  (!: ring dropped events)" : "");
   }
 
+  // Profiled runs: the same 8-worker Steal workload with the match profiler
+  // on, full-rate (shift 0) and 1-in-64 sampled (shift 6), against the
+  // profiler-off best from the sweep above. The wall-time delta is THE
+  // overhead number EXPERIMENTS.md records (target: sampled under 2%);
+  // the top-5 hottest productions go into the JSON for bench_json.sh to
+  // archive. Fresh profiler per repetition so the kept report covers
+  // exactly the kept (best-wall) run.
+  const double wall_off = wall_of("steal", 8);
+  Record prof_full, prof_sampled;
+  for (const uint32_t shift : {0u, 6u}) {
+    Record best;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::MatchProfiler profiler(shift);
+      Record one = run_config(TaskQueueSet::Policy::Steal, 8, rounds, wave,
+                              nullptr, &profiler);
+      if (one.cs_size != oracle_cs) {
+        cs_mismatch = true;
+        std::fprintf(stderr,
+                     "!! profiled steal/8 shift %u rep %d final CS size "
+                     "%zu != %zu\n",
+                     shift, rep, one.cs_size, oracle_cs);
+      }
+      if (rep == 0 || one.stats.wall_seconds < best.stats.wall_seconds) {
+        best = std::move(one);
+      }
+    }
+    (shift == 0 ? prof_full : prof_sampled) = std::move(best);
+  }
+  auto overhead_pct = [wall_off](const Record& r) {
+    return wall_off > 0
+               ? (r.stats.wall_seconds - wall_off) / wall_off * 100.0
+               : 0.0;
+  };
+  std::fprintf(stderr,
+               "\nprofiler overhead (steal, 8 workers, best of %d): off "
+               "%.2f ms, full %.2f ms (%+.1f%%), sampled 1/64 %.2f ms "
+               "(%+.1f%%)\n",
+               reps, wall_off * 1e3, prof_full.stats.wall_seconds * 1e3,
+               overhead_pct(prof_full), prof_sampled.stats.wall_seconds * 1e3,
+               overhead_pct(prof_sampled));
+  {
+    // Top-5 hottest productions to stderr (stdout is the JSON document).
+    std::vector<const analysis::ProductionProfile*> top;
+    for (const auto& p : prof_full.prof.productions) top.push_back(&p);
+    std::stable_sort(top.begin(), top.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->est_us > b->est_us;
+                     });
+    if (top.size() > 5) top.resize(5);
+    std::fprintf(stderr, "%-12s %10s %10s %10s\n", "production", "acts",
+                 "emits", "est_us");
+    for (const auto* p : top) {
+      std::fprintf(stderr, "%-12s %10llu %10llu %10.2f\n", p->name.c_str(),
+                   static_cast<unsigned long long>(p->activations),
+                   static_cast<unsigned long long>(p->emits), p->est_us);
+    }
+  }
+
   // Machine-readable document on stdout.
   JsonWriter j(stdout);
   j.begin_object();
@@ -316,6 +385,19 @@ int main(int argc, char** argv) {
     j.end_object();
   }
   j.end_array();
+  // The profiled steal/8 runs: overhead-vs-off deltas plus the top-5
+  // hottest productions at each sampling rate.
+  j.begin_object("profile");
+  j.field("policy", "steal");
+  j.field("workers", static_cast<uint64_t>(8));
+  j.field("wall_off_seconds", wall_off);
+  j.field("wall_full_seconds", prof_full.stats.wall_seconds);
+  j.field("overhead_full_pct", overhead_pct(prof_full));
+  j.field("wall_sampled_seconds", prof_sampled.stats.wall_seconds);
+  j.field("overhead_sampled_pct", overhead_pct(prof_sampled));
+  write_profile(j, "full", prof_full.prof);
+  write_profile(j, "sampled", prof_sampled.prof);
+  j.end_object();
   j.field("cs_consistent", cs_mismatch ? "false" : "true");
   j.end_object();
   j.finish();

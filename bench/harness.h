@@ -7,10 +7,12 @@
 // ones; EXPERIMENTS.md records the comparison.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/profile_report.h"
 #include "obs/metrics.h"
 #include "psim/report.h"
 #include "psim/sim.h"
@@ -176,6 +178,40 @@ inline void write_metrics(JsonWriter& j, const char* key,
   for (const obs::Metric& metric : m.metrics()) {
     j.field(metric.name.c_str(), metric.value);
   }
+  j.end_object();
+}
+
+/// Streams the headline of a measured ProfileReport plus its `top_k` hottest
+/// productions (by est_us, record order on ties) as one JSON object under
+/// `key` — the "profile" object profiled bench runs emit next to their
+/// timing records. Schema:
+///   {"sample_shift":N,"activations":N,"sampled":N,"time_us":X,
+///    "top":[{"name":"...","acts":N,"emits":N,"est_us":X},...]}
+inline void write_profile(JsonWriter& j, const char* key,
+                          const analysis::ProfileReport& rep,
+                          size_t top_k = 5) {
+  j.begin_object(key);
+  j.field("sample_shift", static_cast<uint64_t>(rep.sample_shift));
+  j.field("activations", rep.total_activations);
+  j.field("sampled", rep.total_sampled);
+  j.field("time_us", rep.total_us);
+  j.begin_array("top");
+  std::vector<size_t> order(rep.productions.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rep.productions[a].est_us > rep.productions[b].est_us;
+  });
+  if (order.size() > top_k) order.resize(top_k);
+  for (const size_t i : order) {
+    const analysis::ProductionProfile& p = rep.productions[i];
+    j.begin_object();
+    j.field("name", p.name);
+    j.field("acts", p.activations);
+    j.field("emits", p.emits);
+    j.field("est_us", p.est_us);
+    j.end_object();
+  }
+  j.end_array();
   j.end_object();
 }
 

@@ -4,8 +4,14 @@
 //
 //   $ ./eight_puzzle_demo [--stats] [--agents N] [--chain-split-depth N]
 //                         [--steal-backoff-base N] [--steal-backoff-max N]
-//                         [--steal-backoff-park N]
+//                         [--steal-backoff-park N] [--profile-json <path>]
 //   $ PSME_TRACE=trace.json ./eight_puzzle_demo
+//
+// --profile-json repeats the during-chunking run on an 8-worker Steal
+// matcher with the runtime match profiler on (full rate) and writes the
+// deterministic per-production profile document to <path> — the file
+// `network_lint --profile <path> eight-puzzle` correlates against the
+// static cost table (CI does exactly this).
 //
 // The steal-tuning flags apply to the traced parallel run (they configure
 // EngineOptions::steal; serial runs ignore them).
@@ -26,7 +32,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/export.h"
@@ -91,6 +99,7 @@ void run_agents(const Task& task, size_t agents) {
 int main(int argc, char** argv) {
   bool want_stats = false;
   size_t agents = 1;
+  std::string profile_path;
   StealTuning tuning;
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> uint32_t {
@@ -102,6 +111,12 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "--profile-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "eight_puzzle_demo: --profile-json needs a path\n");
+        return 2;
+      }
+      profile_path = argv[++i];
     } else if (std::strcmp(argv[i], "--agents") == 0) {
       agents = value();
       if (agents == 0) {
@@ -165,6 +180,29 @@ int main(int argc, char** argv) {
       std::printf("\nend-of-run metrics (traced run):\n");
       psme::obs::print_metrics_table(traced.metrics, stdout);
     }
+  }
+
+  if (!profile_path.empty()) {
+    // Profiled repeat of the during-chunking run: 8-worker Steal matcher,
+    // profiler at full rate (every activation timed) — the run is short, so
+    // the exact document beats sampling noise here. run_task builds the
+    // profile_json before teardown.
+    std::printf("\nprofiling during-chunking run (8 workers, full rate) ...\n");
+    EngineOptions eo;
+    eo.match_workers = 8;
+    eo.steal = tuning;
+    eo.profile = true;
+    eo.profile_sample_shift = 0;
+    const auto profiled = run_task(task, /*learning=*/true, nullptr, eo);
+    report("profiled (8 workers)", profiled);
+    std::ofstream out(profile_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "eight_puzzle_demo: cannot write %s\n",
+                   profile_path.c_str());
+      return 2;
+    }
+    out << profiled.profile_json;
+    std::printf("wrote %s\n", profile_path.c_str());
   }
 
   if (agents > 1) run_agents(task, agents);

@@ -17,19 +17,10 @@ struct InEdge {
 /// Saturating multiply against the token cap.
 double sat(double v, double cap) { return std::min(v, cap); }
 
-}  // namespace
-
-LintReport lint_costs(const Network& net,
-                      const std::vector<const AddRecord*>& records,
-                      const CostModel& cost, const CostBudget& budget) {
-  LintReport rep;
-  rep.budget = budget;
+/// In-edges per node (resolved refs only; the verifier reports dangling).
+std::vector<std::vector<InEdge>> build_in_edges(const Network& net) {
   const uint32_t n = net.node_count();
   const Jumptable& jt = net.jumptable();
-  const double W = budget.wme_bound;
-  const double cap = budget.token_cap;
-
-  // In-edges per node (resolved refs only; the verifier reports dangling).
   std::vector<std::vector<InEdge>> ins(n);
   for (const auto& [cls, slot] : net.roots()) {
     (void)cls;
@@ -49,6 +40,54 @@ LintReport lint_costs(const Network& net,
       }
     }
   }
+  return ins;
+}
+
+/// Backward walk from `pnode` over `ins` (+ NCC partners of reached owners)
+/// into `set`, sorted by id (= topological). `in_set` must be all-zero on
+/// entry and is left MARKED for every node in `set` — callers clear it when
+/// they are done with membership tests.
+void slice_from(const Network& net, const std::vector<std::vector<InEdge>>& ins,
+                uint32_t pnode, std::vector<uint8_t>& in_set,
+                std::vector<uint32_t>& set, std::vector<uint32_t>& stack) {
+  const uint32_t n = net.node_count();
+  set.clear();
+  stack.assign(1, pnode);
+  in_set[pnode] = 1;
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    set.push_back(v);
+    for (const InEdge& e : ins[v]) {
+      if (!e.from_root && in_set[e.from] == 0) {
+        in_set[e.from] = 1;
+        stack.push_back(e.from);
+      }
+    }
+    if (net.node(v)->type == NodeType::Ncc) {
+      const auto& ncc = static_cast<const NccNode&>(*net.node(v));
+      if (ncc.partner < n && in_set[ncc.partner] == 0) {
+        in_set[ncc.partner] = 1;
+        stack.push_back(ncc.partner);
+      }
+    }
+  }
+  std::sort(set.begin(), set.end());  // id order = topological
+}
+
+}  // namespace
+
+LintReport lint_costs(const Network& net,
+                      const std::vector<const AddRecord*>& records,
+                      const CostModel& cost, const CostBudget& budget) {
+  LintReport rep;
+  rep.budget = budget;
+  const uint32_t n = net.node_count();
+  const Jumptable& jt = net.jumptable();
+  const double W = budget.wme_bound;
+  const double cap = budget.token_cap;
+
+  const std::vector<std::vector<InEdge>> ins = build_in_edges(net);
 
   auto pred_of = [&](uint32_t i, Side side) -> uint32_t {
     for (const InEdge& e : ins[i]) {
@@ -173,29 +212,7 @@ LintReport lint_costs(const Network& net,
       continue;  // removed production's record (the verifier flags it)
     }
     const uint32_t pnode = r->compiled.pnode;
-
-    set.clear();
-    stack.assign(1, pnode);
-    in_set[pnode] = 1;
-    while (!stack.empty()) {
-      const uint32_t v = stack.back();
-      stack.pop_back();
-      set.push_back(v);
-      for (const InEdge& e : ins[v]) {
-        if (!e.from_root && in_set[e.from] == 0) {
-          in_set[e.from] = 1;
-          stack.push_back(e.from);
-        }
-      }
-      if (net.node(v)->type == NodeType::Ncc) {
-        const auto& ncc = static_cast<const NccNode&>(*net.node(v));
-        if (ncc.partner < n && in_set[ncc.partner] == 0) {
-          in_set[ncc.partner] = 1;
-          stack.push_back(ncc.partner);
-        }
-      }
-    }
-    std::sort(set.begin(), set.end());  // id order = topological
+    slice_from(net, ins, pnode, in_set, set, stack);
 
     ProductionCost pc;
     pc.prod = r->ast;
@@ -253,6 +270,26 @@ LintReport lint_costs(const Network& net,
   }
 
   return rep;
+}
+
+std::vector<std::vector<uint32_t>> production_slices(
+    const Network& net, const std::vector<const AddRecord*>& records) {
+  const uint32_t n = net.node_count();
+  const std::vector<std::vector<InEdge>> ins = build_in_edges(net);
+  std::vector<uint8_t> in_set(n, 0);
+  std::vector<uint32_t> set, stack;
+  std::vector<std::vector<uint32_t>> out(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AddRecord* r = records[i];
+    if (r == nullptr || r->compiled.pnode >= n ||
+        net.node(r->compiled.pnode) == nullptr) {
+      continue;  // removed production: empty slice
+    }
+    slice_from(net, ins, r->compiled.pnode, in_set, set, stack);
+    out[i] = set;
+    for (const uint32_t v : set) in_set[v] = 0;
+  }
+  return out;
 }
 
 void LintReport::print_table() const {

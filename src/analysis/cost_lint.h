@@ -78,4 +78,15 @@ LintReport lint_costs(const Network& net,
                       const std::vector<const AddRecord*>& records,
                       const CostModel& cost = {}, const CostBudget& budget = {});
 
+/// The network slice of every production, parallel to `records`: each entry
+/// is the node set backward-reachable from that record's P-node (plus NCC
+/// partners of reached owners), in id order; empty for a removed
+/// production's record. This is the same walk lint_costs uses to charge
+/// static cost, exported so the measured-profile report
+/// (analysis/profile_report.h) attributes runtime node cells to productions
+/// through the identical slicing — static and measured tables can then be
+/// joined row by row (network_lint --profile).
+std::vector<std::vector<uint32_t>> production_slices(
+    const Network& net, const std::vector<const AddRecord*>& records);
+
 }  // namespace psme::analysis

@@ -11,10 +11,15 @@ AgentGroup::AgentGroup(AgentGroupOptions opts) : opts_(std::move(opts)) {
   if (opts_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(opts_.trace);
   }
+  if (opts_.profile) {
+    profiler_ =
+        std::make_unique<obs::MatchProfiler>(opts_.profile_sample_shift);
+  }
   // Agent-less matcher: sessions register as they are added. prewarm()
   // ensures worker tracks 1..W on the tracer; agent tracks follow.
   matcher_ = std::make_unique<ParallelMatcher>(
-      cnet_->net(), opts_.workers, opts_.policy, tracer_.get(), opts_.steal);
+      cnet_->net(), opts_.workers, opts_.policy, tracer_.get(), opts_.steal,
+      profiler_.get());
 }
 
 AgentGroup::~AgentGroup() {
@@ -25,9 +30,10 @@ AgentGroup::~AgentGroup() {
 
 Engine& AgentGroup::add_agent() {
   EngineOptions eo = opts_.agent;
-  // The group owns scheduling and tracing; per-agent knobs stay.
+  // The group owns scheduling, tracing and profiling; per-agent knobs stay.
   eo.match_workers = 0;
   eo.trace.enabled = false;
+  eo.profile = false;
   agents_.push_back(std::make_unique<Engine>(cnet_, eo, matcher_.get()));
   Engine& e = *agents_.back();
   if (tracer_ != nullptr) {
@@ -35,6 +41,13 @@ Engine& AgentGroup::add_agent() {
     const size_t track = 1 + opts_.workers + e.agent_id();
     tracer_->ensure_tracks(track + 1);
     e.set_trace_sink(tracer_.get(), track);
+  }
+  if (profiler_ != nullptr) {
+    // Quiescent (no cycle in flight during add_agent): grow the agent cells
+    // now so the next drain's ensure is a compare, and route the agent's
+    // serial drains (private match(), §5.2 updates) into the shared shards.
+    profiler_->ensure_agents(agents_.size());
+    e.set_profiler(profiler_.get());
   }
   return e;
 }
@@ -96,6 +109,7 @@ void AgentGroup::collect_metrics(obs::MetricsRegistry& m) const {
   m.gauge("group.agents", agents_.size());
   m.gauge("group.cow_publishes", cnet_->cow_publishes());
   if (tracer_ != nullptr) obs::collect(m, *tracer_);
+  if (profiler_ != nullptr) obs::collect(m, *profiler_);
 }
 
 }  // namespace psme

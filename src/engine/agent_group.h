@@ -42,6 +42,12 @@ struct AgentGroupOptions {
   EngineOptions agent;
   /// Shared tracer (one ring per worker + one per agent). Disabled default.
   obs::TraceOptions trace;
+  /// Shared match profiler (obs/profiler.h): one shard per worker, agent
+  /// cells tagged per session, so per-agent attribution survives the batched
+  /// drains. Per-agent EngineOptions::profile is overridden off — a private
+  /// profiler can't observe the shared workers.
+  bool profile = false;
+  uint32_t profile_sample_shift = 0;
 };
 
 class AgentGroup {
@@ -64,6 +70,11 @@ class AgentGroup {
   ParallelMatcher& matcher() { return *matcher_; }
   /// Null unless options().trace.enabled.
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_.get(); }
+  /// Null unless options().profile. Snapshot/reset only between step_all
+  /// calls (quiescence); agent cells are indexed by agent_id().
+  [[nodiscard]] obs::MatchProfiler* profiler() const {
+    return profiler_.get();
+  }
   [[nodiscard]] const AgentGroupOptions& options() const { return opts_; }
 
   /// Loads productions into the shared network (visible to every agent; any
@@ -86,6 +97,7 @@ class AgentGroup {
   AgentGroupOptions opts_;
   std::shared_ptr<CompiledNetwork> cnet_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MatchProfiler> profiler_;
   std::unique_ptr<ParallelMatcher> matcher_;
   std::vector<std::unique_ptr<Engine>> agents_;
   std::vector<Activation> seed_scratch_;  // batched seeds, capacity reused

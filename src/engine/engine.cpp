@@ -43,6 +43,13 @@ Engine::Engine(std::shared_ptr<CompiledNetwork> cnet, EngineOptions opts,
     trace_sink_ = tracer_.get();
     serial_exec_.set_tracer(trace_sink_, 0);
   }
+  if (opts_.profile && external_matcher_ == nullptr) {
+    // Attach mode leaves profiling to the group's shared profiler
+    // (set_profiler): the shared matcher's workers can't write into a
+    // per-agent profiler's shards without racing the other sessions.
+    profiler_ = std::make_unique<obs::MatchProfiler>(opts_.profile_sample_shift);
+    serial_exec_.set_profiler(profiler_.get());
+  }
   if (external_matcher_ != nullptr) {
     agent_ = external_matcher_->register_agent(state_);
   }
@@ -96,7 +103,7 @@ ParallelMatcher& Engine::matcher() {
   if (!matcher_) {
     matcher_ = std::make_unique<ParallelMatcher>(
         net(), state_, opts_.match_workers, opts_.match_policy, tracer_.get(),
-        opts_.steal);
+        opts_.steal, profiler_.get());
   }
   return *matcher_;
 }
@@ -168,6 +175,10 @@ uint64_t Engine::apply_runtime_update(const CompiledProduction& cp,
   } else {
     TraceExecutor ex(net(), state_, opts_.record_traces);
     ex.set_tracer(trace_sink_, trace_track_);
+    // The §5.2 update IS the evaluation for a transient query: without the
+    // profiler, a cue's new-node activations would be invisible to the
+    // per-CE costing (query_demo --profile / bench_query).
+    ex.set_profiler(profiler());
     ex.update_mode = true;
     ex.min_node_id = cp.first_new_id;
 
@@ -403,6 +414,9 @@ void Engine::collect_metrics(obs::MetricsRegistry& m) const {
     obs::collect(m, state_.arena.stats());
   }
   if (tracer_ != nullptr) obs::collect(m, *tracer_);
+  // Own profiler only: a group-shared profiler holds every session's cells
+  // and is collected once by the group, not once per agent.
+  if (profiler_ != nullptr) obs::collect(m, *profiler_);
 }
 
 Engine::RunResult Engine::run(uint64_t max_cycles) {

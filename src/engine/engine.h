@@ -71,6 +71,22 @@ struct EngineOptions {
   /// the group's tracer (if any) carries the worker tracks; this one only
   /// carries the agent's own track-0 spans.
   obs::TraceOptions trace;
+
+  /// Match profiling (obs/profiler.h). When enabled the engine owns a
+  /// MatchProfiler wired into both executors (serial and parallel): every
+  /// executed task is attributed to its (node, agent) cell in the executing
+  /// worker's shard. Shards are preallocated/grown only at quiescent drain
+  /// boundaries, so profiling preserves the §10 guarantee under all four
+  /// policies (engine_alloc_test proves it). Read via profiler()/snapshot
+  /// at quiescence; production attribution happens at reporting time
+  /// (analysis/profile_report.h). In attach mode the group owns the shared
+  /// profiler instead (AgentGroupOptions::profile) and this flag is ignored.
+  bool profile = false;
+  /// Power-of-two activation TIMING sampling: a worker times every
+  /// 2^shift-th task it executes (0 = time all). Counts stay exact either
+  /// way; reports scale time per cell. Shift 6 holds profiling overhead
+  /// under the always-on budget for resident servers (EXPERIMENTS.md).
+  uint32_t profile_sample_shift = 0;
 };
 
 class Engine {
@@ -237,6 +253,23 @@ class Engine {
   /// Null unless options().trace.enabled. Read rings only at quiescence.
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_.get(); }
 
+  /// The active match profiler: the engine's own when options().profile,
+  /// else whatever set_profiler attached (AgentGroup's shared one); null
+  /// when profiling is off. Snapshot/reset only at quiescence.
+  [[nodiscard]] obs::MatchProfiler* profiler() const {
+    return external_profiler_ != nullptr ? external_profiler_
+                                         : profiler_.get();
+  }
+
+  /// Routes this session's serial task profiling into `p` instead of an
+  /// owned profiler (AgentGroup shares one across agents and workers).
+  /// Quiescent-only; the profiler must outlive the engine. Null restores
+  /// the own-profiler default.
+  void set_profiler(obs::MatchProfiler* p) {
+    external_profiler_ = p;
+    serial_exec_.set_profiler(profiler());
+  }
+
   /// Routes this session's engine-level spans (match cycles, §5.2 update
   /// phases, chunk compiles, serial task spans) into `t`'s ring `track`
   /// instead of the engine's own tracer — AgentGroup gives every agent its
@@ -291,6 +324,8 @@ class Engine {
   std::unique_ptr<obs::Tracer> tracer_;  // created at ctor when trace.enabled
   obs::Tracer* trace_sink_ = nullptr;  // own tracer, or the group's
   uint32_t trace_track_ = 0;           // this agent's track in trace_sink_
+  std::unique_ptr<obs::MatchProfiler> profiler_;  // created when opts.profile
+  obs::MatchProfiler* external_profiler_ = nullptr;  // group-owned (attach)
   // Steady-state scratch, alive for the Engine's lifetime so repeated
   // cycles reuse high-water capacity (DESIGN.md §10): the serial executor
   // (ring + trace state), the per-cycle seed vector, and the fire delta.

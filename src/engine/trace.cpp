@@ -28,6 +28,10 @@ CycleTrace TraceExecutor::run_to_quiescence_inplace(
   // Quiescent drain boundary: alpha state compiled since the last drain
   // (chunk additions) must exist before any task touches it.
   state->ensure_alpha(net_.alpha_mem_count());
+  if (profiler_ != nullptr) {
+    profiler_->ensure_nodes(net_.node_count());
+    profiler_->ensure_agents(1 + agent);
+  }
   for (auto& s : seeds) emit(std::move(s));
   while (!queue_.empty()) {
     const QueuedTask task = queue_.front();
@@ -48,7 +52,17 @@ CycleTrace TraceExecutor::run_to_quiescence_inplace(
     stats.reset();
     current_parent_ = index;
     const uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
+    uint64_t p0 = 0;
+    bool timed = false;
+    if (profiler_ != nullptr) {
+      timed = profiler_->sample(0);
+      if (timed) p0 = obs::profile_now_ns();
+    }
     net_.execute(task.act, *this);
+    if (profiler_ != nullptr) {
+      profiler_->record(0, task.act.node, task.act.agent, timed,
+                        timed ? obs::profile_now_ns() - p0 : 0, stats.emits);
+    }
     if (tracer_ != nullptr) {
       obs::record_task(*tracer_, tracer_->ring(track_), t0, task.act, stats);
     }

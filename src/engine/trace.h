@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/ring.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "rete/hash_tables.h"
 #include "rete/network.h"
@@ -70,6 +71,13 @@ class TraceExecutor final : public ExecContext {
     track_ = static_cast<uint32_t>(track);
   }
 
+  /// Attaches a match profiler (obs/profiler.h): every executed task is
+  /// folded into shard 0 — the engine thread's shard, which a co-owned
+  /// ParallelMatcher only writes while this executor is idle. Shards grow
+  /// at the top of each drain, so profiled serial cycles stay heap-free at
+  /// steady state like the traced ones.
+  void set_profiler(obs::MatchProfiler* profiler) { profiler_ = profiler; }
+
  private:
   // std::pair is not trivially copyable in libstdc++ (its operator= is
   // user-provided), so the FIFO ring carries this explicit POD instead.
@@ -82,6 +90,7 @@ class TraceExecutor final : public ExecContext {
   Network& net_;
   bool record_;
   obs::Tracer* tracer_ = nullptr;  // null = no task spans
+  obs::MatchProfiler* profiler_ = nullptr;  // null = profiling off
   uint32_t track_ = 0;
   uint64_t executed_ = 0;
   uint32_t current_parent_ = UINT32_MAX;

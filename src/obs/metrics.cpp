@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include "base/arena.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "par/parallel_match.h"
 #include "soar/kernel.h"
@@ -104,6 +105,9 @@ void collect(MetricsRegistry& m, const SoarRunStats& st) {
   m.counter("soar.elab_cycles", st.elab_cycles);
   m.counter("soar.impasses", st.impasses);
   m.counter("soar.chunks_built", st.chunks_built);
+  m.counter("soar.elaborate_ns", st.elaborate_ns);
+  m.counter("soar.decide_ns", st.decide_ns);
+  m.counter("soar.gc_ns", st.gc_ns);
   m.gauge("soar.goal_achieved", st.goal_achieved ? 1 : 0);
   uint64_t match_tasks = 0;
   for (const CycleTrace& t : st.traces) match_tasks += t.task_count();
@@ -118,6 +122,15 @@ void collect(MetricsRegistry& m, const Tracer& t) {
   m.gauge("obs.tracks", t.tracks());
   m.counter("obs.events", t.total_events());
   m.counter("obs.events_dropped", t.total_dropped());
+}
+
+void collect(MetricsRegistry& m, const MatchProfiler& p) {
+  // Reporting-time merge across shards (quiescent-only, like every collect).
+  const ProfileSnapshot s = p.snapshot();
+  m.gauge("prof.sample_shift", s.sample_shift);
+  m.counter("prof.activations", s.total_activations);
+  m.counter("prof.sampled", s.total_sampled);
+  m.counter("prof.time_ns", s.total_time_ns);
 }
 
 }  // namespace psme::obs

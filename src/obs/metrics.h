@@ -31,6 +31,7 @@ struct SoarRunStats;
 namespace psme::obs {
 
 class Tracer;
+class MatchProfiler;
 
 enum class MetricKind : uint8_t { Counter, Gauge };
 
@@ -89,5 +90,11 @@ void collect(MetricsRegistry& m, const SoarRunStats& st);
 
 /// "obs.*" — the tracing layer's own accounting (tracks, events, drops).
 void collect(MetricsRegistry& m, const Tracer& t);
+
+/// "prof.*" — the match profiler's merged totals (activations, timed
+/// samples, sampled wall ns). Per-node/per-production detail stays in
+/// analysis/profile_report.h; these three let a metrics table confirm the
+/// profiler saw the run.
+void collect(MetricsRegistry& m, const MatchProfiler& p);
 
 }  // namespace psme::obs

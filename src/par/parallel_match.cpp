@@ -179,20 +179,23 @@ uint64_t ActivationPool::slab_allocs() const {
 ParallelMatcher::ParallelMatcher(Network& net, MatchState& primary,
                                  size_t n_workers,
                                  TaskQueueSet::Policy policy,
-                                 obs::Tracer* tracer, StealTuning tuning)
-    : ParallelMatcher(net, n_workers, policy, tracer, tuning) {
+                                 obs::Tracer* tracer, StealTuning tuning,
+                                 obs::MatchProfiler* profiler)
+    : ParallelMatcher(net, n_workers, policy, tracer, tuning, profiler) {
   // Agent 0 is the primary state (single-agent call sites).
   register_agent(primary);
 }
 
 ParallelMatcher::ParallelMatcher(Network& net, size_t n_workers,
                                  TaskQueueSet::Policy policy,
-                                 obs::Tracer* tracer, StealTuning tuning)
+                                 obs::Tracer* tracer, StealTuning tuning,
+                                 obs::MatchProfiler* profiler)
     : net_(net),
       n_workers_(n_workers == 0 ? 1 : n_workers),
       policy_(policy),
       tuning_(tuning),
       tracer_(tracer),
+      profiler_(profiler),
       pool_(n_workers == 0 ? 1 : n_workers),
       apool_(n_workers == 0 ? 1 : n_workers) {
   // Slots exist under every policy: the locked policies use only the
@@ -239,6 +242,14 @@ void ParallelMatcher::prewarm() {
     // allocated here — quiescent, single-threaded — so event recording
     // inside a cycle is a pure bump-and-store (DESIGN.md §11).
     tracer_->ensure_tracks(1 + n_workers_);
+  }
+  if (profiler_ != nullptr) {
+    // Shards sized before any worker runs, same contract as the rings. Node
+    // and agent capacity grow again at each drain boundary (run_impl) as the
+    // network and agent table do.
+    profiler_->ensure_workers(n_workers_);
+    profiler_->ensure_nodes(net_.node_count());
+    profiler_->ensure_agents(states_.empty() ? 1 : states_.size());
   }
 }
 
@@ -304,6 +315,14 @@ ParallelStats ParallelMatcher::run_impl(std::vector<Activation>& seeds,
   for (MatchState* ms : states_) {
     ms->ensure_alpha(net_.alpha_mem_count());
     ms->arena.begin_drain(n_workers_);
+  }
+  if (profiler_ != nullptr) {
+    // Quiescent boundary: grow the shards to whatever the network/agent
+    // table became since the last drain, so record() never writes past a
+    // cell array mid-cycle. Steady state: three integer compares.
+    profiler_->ensure_workers(n_workers_);
+    profiler_->ensure_nodes(net_.node_count());
+    profiler_->ensure_agents(states_.empty() ? 1 : states_.size());
   }
   ParallelStats st = policy_ == TaskQueueSet::Policy::Steal
                          ? run_steal(seeds, filter)
@@ -468,6 +487,13 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
         t0 = tracer_->now_ns();
         ctx.stats.reset();  // per-task deltas, like the serial recorder
       }
+      uint64_t p0 = 0;
+      bool timed = false;
+      if (profiler_ != nullptr) {
+        if (ring == nullptr) ctx.stats.reset();  // emits must be a delta
+        timed = profiler_->sample(worker);
+        if (timed) p0 = obs::profile_now_ns();
+      }
       // Re-bind the context to this task's agent: the tag names the only
       // MatchState the task may touch, and emit stamps it onto children.
       ctx.state = states_[cur->agent];
@@ -483,6 +509,11 @@ void ParallelMatcher::steal_loop(size_t worker, const UpdateFilter* filter,
         abort.store(true, std::memory_order_release);
         lot_.unpark_all();
         throw;
+      }
+      if (profiler_ != nullptr) {
+        profiler_->record(worker, cur->node, cur->agent, timed,
+                          timed ? obs::profile_now_ns() - p0 : 0,
+                          ctx.stats.emits);
       }
       if (ring != nullptr) {
         obs::record_task(*tracer_, *ring, t0, *cur, ctx.stats);
@@ -607,6 +638,13 @@ void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
         t0 = tracer_->now_ns();
         ctx.stats.reset();
       }
+      uint64_t p0 = 0;
+      bool timed = false;
+      if (profiler_ != nullptr) {
+        if (ring == nullptr) ctx.stats.reset();  // emits must be a delta
+        timed = profiler_->sample(worker);
+        if (timed) p0 = obs::profile_now_ns();
+      }
       ctx.state = states_[a.agent];
       ctx.agent = a.agent;
       try {
@@ -616,6 +654,11 @@ void ParallelMatcher::locked_loop(size_t worker, const UpdateFilter* filter,
         // on a count that can no longer drain, then fail the cycle.
         outstanding_.store(0, std::memory_order_release);
         throw;
+      }
+      if (profiler_ != nullptr) {
+        profiler_->record(worker, a.node, a.agent, timed,
+                          timed ? obs::profile_now_ns() - p0 : 0,
+                          ctx.stats.emits);
       }
       if (ring != nullptr) obs::record_task(*tracer_, *ring, t0, a, ctx.stats);
       executed.fetch_add(1, std::memory_order_relaxed);

@@ -45,6 +45,7 @@
 
 #include "base/arena.h"
 #include "base/rng.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "par/task_queue.h"
 #include "par/worker_pool.h"
@@ -195,9 +196,17 @@ class ParallelMatcher {
   /// their own track. The tracer must outlive the matcher.
   /// `tuning` parameterizes the Steal policy's idle backoff and chain
   /// splitting (ignored by the locked policies).
+  /// `profiler`, when non-null, attributes every executed task to its
+  /// (node, agent) cell in the worker's shard (obs/profiler.h): prewarm()
+  /// and the run_impl drain boundary grow the shards quiescently, the
+  /// scheduler loops call sample()/record() around each execute. The
+  /// profiler must outlive the matcher; it may be shared with the serial
+  /// executor (worker indices line up: shard 0 is the engine thread only
+  /// when the matcher is idle).
   ParallelMatcher(Network& net, MatchState& primary, size_t n_workers,
                   TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
-                  obs::Tracer* tracer = nullptr, StealTuning tuning = {});
+                  obs::Tracer* tracer = nullptr, StealTuning tuning = {},
+                  obs::MatchProfiler* profiler = nullptr);
 
   /// Agent-less form for multi-agent serving (AgentGroup): no state is
   /// registered at construction; every agent — including agent 0 — joins via
@@ -205,7 +214,8 @@ class ParallelMatcher {
   /// seeds.
   ParallelMatcher(Network& net, size_t n_workers,
                   TaskQueueSet::Policy policy = TaskQueueSet::Policy::Steal,
-                  obs::Tracer* tracer = nullptr, StealTuning tuning = {});
+                  obs::Tracer* tracer = nullptr, StealTuning tuning = {},
+                  obs::MatchProfiler* profiler = nullptr);
   ~ParallelMatcher();
   ParallelMatcher(const ParallelMatcher&) = delete;
   ParallelMatcher& operator=(const ParallelMatcher&) = delete;
@@ -323,6 +333,7 @@ class ParallelMatcher {
   TaskQueueSet::Policy policy_;
   StealTuning tuning_;
   obs::Tracer* tracer_;  // null = tracing off (one branch per event site)
+  obs::MatchProfiler* profiler_;  // null = profiling off (same discipline)
   WorkerPool pool_;
   ParkingLot lot_;
   ActivationPool apool_;

@@ -129,6 +129,49 @@ uint32_t QuerySession::score() const {
   return 0;
 }
 
+std::vector<uint32_t> QuerySession::ce_join_nodes() const {
+  std::vector<uint32_t> out;
+  if (prod_ == nullptr) return out;
+  const CompiledProduction& cp = engine_.record(prod_).compiled;
+  const Network& net = engine_.network().net();
+  out.assign(positive_ces(), UINT32_MAX);
+
+  // Same feeder hunt as score(): the node splicing into {pnode, Left}.
+  const Jumptable& jt = net.jumptable();
+  const Node* feeder = nullptr;
+  auto feeds_pnode = [&](uint32_t id) {
+    const Node* node = net.node(id);
+    if (node == nullptr) return false;
+    for (const SuccessorRef& ref : jt.peek(node->jt_slot)) {
+      if (ref.node == cp.pnode && ref.side == Side::Left) return true;
+    }
+    return false;
+  };
+  for (const uint32_t id : cp.new_nodes) {
+    if (feeds_pnode(id)) { feeder = net.node(id); break; }
+  }
+  if (feeder == nullptr) {
+    for (const uint32_t id : cp.shared_nodes) {
+      if (feeds_pnode(id)) { feeder = net.node(id); break; }
+    }
+  }
+
+  // Walk the pure-Join chain toward the alpha network: the join that takes
+  // an i-wme left token handles CE i; the chain bottoms out at CE 0's alpha
+  // memory (also the whole cue, for a single-CE cue).
+  const Node* cur = feeder;
+  while (cur != nullptr &&
+         (cur->type == NodeType::Join || cur->type == NodeType::Not)) {
+    const auto& join = static_cast<const TwoInputNode&>(*cur);
+    if (join.left_arity < out.size()) out[join.left_arity] = join.id;
+    cur = net.node(join.left_pred);
+  }
+  if (cur != nullptr && cur->type == NodeType::AlphaMem && !out.empty()) {
+    out[0] = cur->id;
+  }
+  return out;
+}
+
 std::vector<QueryMatch> QuerySession::matches() const {
   std::vector<QueryMatch> out;
   if (prod_ == nullptr) return out;

@@ -87,6 +87,17 @@ class QuerySession {
   /// Number of positive CEs in the active cue.
   [[nodiscard]] uint32_t positive_ces() const;
 
+  /// Per-CE measured-cost anchors for the active cue: entry i names the
+  /// network node that prices CE i against the match profiler — the join
+  /// whose left arity is i for i >= 1 (its activations/time are the cost of
+  /// extending an i-CE prefix by CE i), and the first CE's alpha memory for
+  /// i == 0. Entries are UINT32_MAX when unresolvable. A cue prefix shared
+  /// with a resident production resolves to the SHARED node, whose profiler
+  /// cell aggregates both tenants — snapshot-diff around the query isolates
+  /// the cue's own contribution (bench_query does). Empty without an active
+  /// cue.
+  [[nodiscard]] std::vector<uint32_t> ce_join_nodes() const;
+
   /// Removes the transient production, restoring the pre-begin network.
   Engine::RuntimeRemoveResult end();
 

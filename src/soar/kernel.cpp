@@ -310,10 +310,23 @@ void SoarKernel::elaborate(SoarRunStats& stats) {
 
 SoarRunStats SoarKernel::run() {
   SoarRunStats stats;
+  // Flight recorder: armed by options or by PSME_FLIGHT (which defaults the
+  // cadence to every decision). The ring is preallocated once and survives
+  // across run() calls; snapshot capture is reporting-time work at the
+  // quiescent decision boundary (the kernel's own bookkeeping allocates
+  // there anyway — see ROADMAP's heap-free-the-kernel item).
+  const char* flight_path = obs::env_flight_path();
+  uint64_t flight_every = opts_.flight_every;
+  if (flight_every == 0 && flight_path != nullptr) flight_every = 1;
+  if (flight_every != 0 && flight_ == nullptr) {
+    flight_ = std::make_unique<obs::FlightRecorder>(opts_.flight_capacity);
+  }
   for (;;) {
     {
       obs::Span span(engine_.tracer(), 0, obs::EventKind::Elaborate);
+      const uint64_t t0 = obs::profile_now_ns();
       elaborate(stats);
+      stats.elaborate_ns += obs::profile_now_ns() - t0;
     }
     if (goal_test_ && goal_test_(*this)) {
       stats.goal_achieved = true;
@@ -327,14 +340,27 @@ SoarRunStats SoarKernel::run() {
     bool changed = false;
     {
       obs::Span span(engine_.tracer(), 0, obs::EventKind::Decide);
+      const uint64_t t0 = obs::profile_now_ns();
       changed = decide(stats);
+      stats.decide_ns += obs::profile_now_ns() - t0;
     }
     if (changed) {
       obs::Span span(engine_.tracer(), 0, obs::EventKind::Gc);
+      const uint64_t t0 = obs::profile_now_ns();
       gc_unreachable();
+      stats.gc_ns += obs::profile_now_ns() - t0;
+    }
+    if (flight_ != nullptr && stats.decisions % flight_every == 0) {
+      obs::MetricsRegistry m;
+      obs::collect(m, stats);
+      engine_.collect_metrics(m);
+      flight_->snapshot(m, engine_.profiler(), stats.decisions);
     }
     if (on_decision_) on_decision_(*this);
     if (!changed) break;  // fully quiescent: nothing can change
+  }
+  if (flight_ != nullptr && flight_path != nullptr) {
+    flight_->dump(flight_path);
   }
   return stats;
 }

@@ -46,6 +46,16 @@ struct SoarOptions {
   /// one persistent ParallelMatcher. Parallel cycles record no traces.
   size_t match_workers = 0;
   TaskQueueSet::Policy match_policy = TaskQueueSet::Policy::Steal;
+
+  /// Flight recorder (obs/profiler.h): when non-zero, run() captures a
+  /// (metrics + profile) snapshot into a preallocated ring every
+  /// `flight_every` decisions — a post-hoc window over a long-lived session
+  /// without tracing overhead. PSME_FLIGHT=<path> arms it too (defaulting
+  /// flight_every to 1) and dumps the retained window there at the end of
+  /// run(). Capture is a reporting-time operation at the quiescent decision
+  /// boundary, never inside a match cycle.
+  uint64_t flight_every = 0;
+  size_t flight_capacity = 32;
 };
 
 /// Provenance of one wme: the instantiation whose firing created it.
@@ -62,6 +72,15 @@ struct SoarRunStats {
   uint64_t chunks_built = 0;
   bool goal_achieved = false;
   bool halted_on_limit = false;
+
+  /// Per-phase wall time of the run loop (always-on: two clock reads per
+  /// phase per decision). Elaborate covers the parallel-drain-friendly match
+  /// work; Decide and GC run serially between drains — these three settle
+  /// the ROADMAP question of whether that serial gap matters as sessions
+  /// scale (bench_multiagent reports their shares).
+  uint64_t elaborate_ns = 0;
+  uint64_t decide_ns = 0;
+  uint64_t gc_ns = 0;
 
   /// One trace per elaboration cycle (the match workload of the run).
   std::vector<CycleTrace> traces;
@@ -136,6 +155,11 @@ class SoarKernel {
 
   // ---- main loop ---------------------------------------------------------
   SoarRunStats run();
+
+  /// The flight recorder, non-null once run() armed it (SoarOptions::
+  /// flight_every or PSME_FLIGHT). Retained across runs, so a caller can
+  /// inspect the last window after run() returns or dump() it elsewhere.
+  [[nodiscard]] obs::FlightRecorder* flight() const { return flight_.get(); }
 
   // ---- production removal ------------------------------------------------
   /// Excises a production at run time: scrubs the provenance of every wme it
@@ -217,6 +241,7 @@ class SoarKernel {
   Engine engine_;
   std::function<bool(SoarKernel&)> goal_test_;
   std::function<void(SoarKernel&)> on_decision_;
+  std::unique_ptr<obs::FlightRecorder> flight_;  // armed on first run()
 
   Symbol cls_wme_, cls_pref_;
   Symbol attr_id_, attr_attr_, attr_value_;

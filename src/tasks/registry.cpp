@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/profile_report.h"
 #include "obs/export.h"
 
 namespace psme {
@@ -38,6 +39,15 @@ TaskRunResult run_task(const Task& task, bool learning,
   res.stats = kernel.run();
   obs::collect(res.metrics, res.stats);
   kernel.engine().collect_metrics(res.metrics);
+  if (kernel.engine().profiler() != nullptr) {
+    // Snapshot before teardown; the run is quiescent here. The document is
+    // named after the task so a later `network_lint --profile` run joins it
+    // against the same task's static cost table by production name.
+    const analysis::ProfileReport rep = analysis::build_profile_report(
+        kernel.engine().net(), kernel.engine().all_records(),
+        kernel.engine().profiler()->snapshot());
+    res.profile_json = analysis::profile_json(task.name, rep);
+  }
   if (kernel.engine().tracer() != nullptr) {
     // Export before the kernel (and its rings) is torn down. The run is
     // quiescent here — export may read every ring.

@@ -48,6 +48,11 @@ struct TaskRunResult {
   SoarRunStats stats;
   uint64_t production_count = 0;
   obs::MetricsRegistry metrics;
+  /// Deterministic analysis::profile_json document of the run's measured
+  /// match profile, built before teardown when engine_opts.profile was set
+  /// (empty otherwise). Named after the task, so network_lint --profile
+  /// correlates it against the same task's static cost table.
+  std::string profile_json;
 };
 TaskRunResult run_task(const Task& task, bool learning,
                        const std::vector<std::string>* extra_chunk_texts = nullptr,

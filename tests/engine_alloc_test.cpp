@@ -42,7 +42,8 @@ void cycle(Engine& e) {
 
 void expect_allocation_free_cycles(size_t workers, TaskQueueSet::Policy policy,
                                    bool tracing = false,
-                                   StealTuning tuning = {}) {
+                                   StealTuning tuning = {},
+                                   bool profiling = false) {
   EngineOptions opts;
   opts.record_traces = false;  // trace recording allocates by design
   opts.match_workers = workers;
@@ -53,6 +54,10 @@ void expect_allocation_free_cycles(size_t workers, TaskQueueSet::Policy policy,
   // exercised too) and events are fixed-size PODs.
   opts.trace.enabled = tracing;
   opts.trace.ring_events = 1u << 10;
+  // Profiling shards grow only at quiescent drain boundaries; once the
+  // network stops growing, sample()/record() touch preallocated cells only.
+  opts.profile = profiling;
+  opts.profile_sample_shift = 2;  // sampling tick + timing both exercised
   Engine e(opts);
   e.load(kPingPong);
   e.add_wme_text("(ctl ^phase go)");
@@ -78,6 +83,15 @@ void expect_allocation_free_cycles(size_t workers, TaskQueueSet::Policy policy,
     EXPECT_GT(e.tracer()->total_events(), 0u);
     EXPECT_GT(e.tracer()->total_dropped(), 0u)
         << "1032 cycles into 1024-event rings must overflow";
+  }
+  if (profiling) {
+    // The profiler really ran: activations were counted, and a subset of
+    // them was timed (shift 2 = 1 in 4 per worker tick).
+    ASSERT_NE(e.profiler(), nullptr);
+    const obs::ProfileSnapshot s = e.profiler()->snapshot();
+    EXPECT_GT(s.total_activations, 0u);
+    EXPECT_GT(s.total_sampled, 0u);
+    EXPECT_LE(s.total_sampled, s.total_activations);
   }
 }
 
@@ -131,6 +145,29 @@ TEST(EngineAlloc, MultiQueueCycleIsAllocationFreeWithTracing) {
 
 TEST(EngineAlloc, StealCycleIsAllocationFreeWithTracing) {
   expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal, true);
+}
+
+// Same four regimes with the match profiler on (ISSUE 10 acceptance): the
+// hot path is a shard-local tick, at most two clock reads, and writes into
+// preallocated cells — §10 must hold with profiling enabled.
+TEST(EngineAlloc, SerialCycleIsAllocationFreeWithProfiling) {
+  expect_allocation_free_cycles(0, TaskQueueSet::Policy::Steal, false, {},
+                                /*profiling=*/true);
+}
+
+TEST(EngineAlloc, SingleQueueCycleIsAllocationFreeWithProfiling) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Single, false, {},
+                                /*profiling=*/true);
+}
+
+TEST(EngineAlloc, MultiQueueCycleIsAllocationFreeWithProfiling) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Multi, false, {},
+                                /*profiling=*/true);
+}
+
+TEST(EngineAlloc, StealCycleIsAllocationFreeWithProfiling) {
+  expect_allocation_free_cycles(4, TaskQueueSet::Policy::Steal, false, {},
+                                /*profiling=*/true);
 }
 
 }  // namespace

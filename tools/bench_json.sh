@@ -15,6 +15,12 @@
 # and only then moved into place, so a crashing or interrupted bench can
 # never leave a stale or truncated BENCH_*.json behind.
 #
+# After the benches, the measured-profile artifacts: a profiled eight-puzzle
+# chunking run (eight_puzzle_demo --profile-json) writes
+# PROFILE_eight_puzzle.json, and network_lint --profile joins it against the
+# static cost table, archiving CORR_eight-puzzle.json alongside the LINT_*
+# reports.
+#
 #   tools/bench_json.sh                 # default workload
 #   tools/bench_json.sh 30 32           # rounds / wave size forwarded
 set -euo pipefail
@@ -25,7 +31,8 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset default >/dev/null
 cmake --build build -j "$jobs" --target bench_scheduler --target bench_tokens \
-  --target bench_longchain --target bench_multiagent --target bench_query
+  --target bench_longchain --target bench_multiagent --target bench_query \
+  --target eight_puzzle_demo --target network_lint
 
 # run_bench <binary> <output.json> [args...]: capture, validate, then commit.
 run_bench() {
@@ -60,3 +67,28 @@ run_bench build/bench/bench_longchain BENCH_longchain.json
 run_bench build/bench/bench_multiagent BENCH_multiagent.json
 # bench_query takes cycles-per-session/reps — defaults are CI-sized.
 run_bench build/bench/bench_query BENCH_query.json
+
+# Measured-profile artifacts: a full-rate profiled eight-puzzle chunking run
+# (the demo's human output stays on stdout; the profile goes to the file),
+# validated the same way before being committed into place.
+echo "==== eight_puzzle_demo --profile-json -> PROFILE_eight_puzzle.json ===="
+prof_tmp="$(mktemp PROFILE_eight_puzzle.json.XXXXXX.tmp)"
+trap 'rm -f "$prof_tmp"' EXIT
+build/examples/eight_puzzle_demo --profile-json "$prof_tmp" >/dev/null
+python3 -m json.tool "$prof_tmp" > /dev/null || {
+  echo "error: eight_puzzle_demo emitted an invalid profile (kept: $prof_tmp)" >&2
+  trap - EXIT
+  exit 1
+}
+mv "$prof_tmp" PROFILE_eight_puzzle.json
+trap - EXIT
+echo "wrote $repo_root/PROFILE_eight_puzzle.json"
+
+# Join measured vs static: writes CORR_eight-puzzle.json next to the LINT_*
+# reports (the join is by production name, so only the eight-puzzle task
+# correlates; --strict-profile would fail an empty join).
+echo "==== network_lint --profile -> CORR_eight-puzzle.json ===="
+build/tools/network_lint eight-puzzle --json . \
+  --profile PROFILE_eight_puzzle.json --quiet
+python3 -m json.tool CORR_eight-puzzle.json > /dev/null
+echo "wrote $repo_root/CORR_eight-puzzle.json"

@@ -6,6 +6,7 @@
 //   network_lint --json reports/          # also write <dir>/LINT_<name>.json
 //   network_lint --budget-us 5e5 --budget-depth 12 --strict-budget
 //   network_lint --cue "(block ^name <b>) (block ^on <b>)" eight-puzzle
+//   network_lint --profile PROF_eight-puzzle.json eight-puzzle
 //
 // For every network: loads the productions into a fresh engine, runs the
 // structural verifier (src/analysis/verify.h), runs the cost linter
@@ -18,8 +19,19 @@
 // query against that network costs per wme change — then removes it and
 // re-verifies, proving the add/remove cycle leaves the network clean.
 //
+// --profile joins a measured profile (the "profile" JSON object the runtime
+// match profiler emits — eight_puzzle_demo --profile-json, bench harness
+// runs) against the static cost table: for every production the linter
+// priced, the correlation table shows measured activations and microseconds
+// next to the static worst-case bound, flags HOT rows (measured exceeds the
+// static bound — the linter under-modeled this production) and COLD rows
+// (measured under 1e-4 of the bound while matched — the bound is too loose
+// to rank by). With --json, also writes <dir>/CORR_<name>.json. The profile
+// must come from the SAME production set; rows are joined by name.
+//
 // Exit codes: 0 all clean; 1 verifier violations (or, with --strict-budget,
-// productions over budget); 2 usage/IO error.
+// productions over budget; or, with --strict-profile, hot/cold correlation
+// flags); 2 usage/IO error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +41,7 @@
 #include <vector>
 
 #include "analysis/cost_lint.h"
+#include "analysis/profile_report.h"
 #include "analysis/report_json.h"
 #include "analysis/verify.h"
 #include "engine/engine.h"
@@ -42,8 +55,12 @@ struct Options {
   std::vector<std::string> files;       // production source files
   std::string json_dir;                 // empty: no JSON output
   std::string cue;                      // empty: no transient query priced
+  std::string profile_path;             // empty: no measured correlation
   psme::analysis::CostBudget budget;
+  double hot_ratio = 1.0;    // measured/static above this → HOT
+  double cold_ratio = 1e-4;  // measured/static below this (matched) → COLD
   bool strict_budget = false;
+  bool strict_profile = false;
   bool quiet = false;
 };
 
@@ -52,7 +69,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [tasks...] [--file <src>] [--json <dir>] [--budget-us N]\n"
       "       [--budget-depth N] [--wme-bound N] [--strict-budget] [--quiet]\n"
-      "       [--cue \"<positive CEs>\"]\n"
+      "       [--cue \"<positive CEs>\"] [--profile <prof.json>]\n"
+      "       [--hot-ratio R] [--cold-ratio R] [--strict-profile]\n"
       "tasks: ",
       argv0);
   for (const auto& name : psme::task_names()) {
@@ -63,8 +81,9 @@ int usage(const char* argv0) {
 }
 
 /// Lints one named production set. Returns 0 clean / 1 dirty / 2 error.
+/// `prof` is the parsed --profile file, or nullptr when not given.
 int lint_one(const std::string& name, const std::string& src,
-             const Options& opt) {
+             const Options& opt, const psme::analysis::ParsedProfile* prof) {
   psme::Engine engine;
   try {
     engine.load(src);
@@ -149,6 +168,50 @@ int lint_one(const std::string& name, const std::string& src,
     if (!opt.quiet) std::printf("wrote %s\n", path.c_str());
   }
 
+  // Static-vs-measured correlation: join the profile's per-production
+  // measured cost against the cost table just computed. Rows join by
+  // production name, so a profile taken on a different production set
+  // simply correlates zero rows (reported, and an error under
+  // --strict-profile — an empty join means the profile is stale).
+  uint32_t corr_flagged = 0;
+  if (prof != nullptr) {
+    const psme::analysis::CorrelationReport corr = psme::analysis::correlate(
+        lint, *prof, opt.hot_ratio, opt.cold_ratio);
+    corr_flagged = corr.flagged;
+    if (!opt.quiet) {
+      std::printf("---- measured profile: %s (network \"%s\", "
+                  "%llu activations) ----\n",
+                  opt.profile_path.c_str(), prof->network.c_str(),
+                  static_cast<unsigned long long>(prof->total_activations));
+      corr.print_table();
+    }
+    if (corr.correlated == 0) {
+      std::fprintf(stderr,
+                   "network_lint: %s: profile correlated ZERO productions "
+                   "(profile network \"%s\" — wrong production set?)\n",
+                   name.c_str(), prof->network.c_str());
+    }
+    if (corr.flagged != 0) {
+      std::fprintf(stderr,
+                   "network_lint: %s: %u production(s) with anomalous "
+                   "measured/static cost ratio\n",
+                   name.c_str(), corr.flagged);
+    }
+    if (!opt.json_dir.empty()) {
+      const std::string json =
+          psme::analysis::correlation_json(name, corr);
+      const std::string path = opt.json_dir + "/CORR_" + name + ".json";
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "network_lint: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << json;
+      if (!opt.quiet) std::printf("wrote %s\n", path.c_str());
+    }
+    if (opt.strict_profile && corr.correlated == 0) return 1;
+  }
+
   // Tear the transient query back out and prove the removal left no
   // residue — the CLI face of the removal oracle.
   if (query.active()) {
@@ -170,6 +233,7 @@ int lint_one(const std::string& name, const std::string& src,
 
   if (!verify.ok()) return 1;
   if (opt.strict_budget && lint.flagged != 0) return 1;
+  if (opt.strict_profile && corr_flagged != 0) return 1;
   return 0;
 }
 
@@ -200,8 +264,16 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--cue") {
       opt.cue = value();
+    } else if (arg == "--profile") {
+      opt.profile_path = value();
+    } else if (arg == "--hot-ratio") {
+      opt.hot_ratio = std::strtod(value(), nullptr);
+    } else if (arg == "--cold-ratio") {
+      opt.cold_ratio = std::strtod(value(), nullptr);
     } else if (arg == "--strict-budget") {
       opt.strict_budget = true;
+    } else if (arg == "--strict-profile") {
+      opt.strict_profile = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -215,6 +287,28 @@ int main(int argc, char** argv) {
   }
   if (opt.tasks.empty() && opt.files.empty()) opt.tasks = psme::task_names();
 
+  // Parse the measured profile once; every linted network correlates
+  // against it (name-joined, so only the matching set gets non-empty rows).
+  psme::analysis::ParsedProfile prof;
+  if (!opt.profile_path.empty()) {
+    std::ifstream in(opt.profile_path);
+    if (!in) {
+      std::fprintf(stderr, "network_lint: cannot read %s\n",
+                   opt.profile_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    prof = psme::analysis::parse_profile_json(ss.str());
+    if (!prof.ok) {
+      std::fprintf(stderr, "network_lint: %s: %s\n", opt.profile_path.c_str(),
+                   prof.error.c_str());
+      return 2;
+    }
+  }
+  const psme::analysis::ParsedProfile* profp =
+      opt.profile_path.empty() ? nullptr : &prof;
+
   int worst = 0;
   for (const std::string& name : opt.tasks) {
     std::string src;
@@ -224,7 +318,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "network_lint: %s\n", e.what());
       return 2;
     }
-    worst = std::max(worst, lint_one(name, src, opt));
+    worst = std::max(worst, lint_one(name, src, opt, profp));
   }
   for (const std::string& path : opt.files) {
     std::ifstream in(path);
@@ -238,7 +332,7 @@ int main(int argc, char** argv) {
     std::string label = path.substr(path.find_last_of('/') + 1);
     const size_t dot = label.find_last_of('.');
     if (dot != std::string::npos) label.resize(dot);
-    worst = std::max(worst, lint_one(label, ss.str(), opt));
+    worst = std::max(worst, lint_one(label, ss.str(), opt, profp));
   }
   return worst;
 }
